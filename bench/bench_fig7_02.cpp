@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 7.2: Breakdown of energy per Sign + Verify for 192- and
+ * 256-bit key sizes into sub-components.
+ */
+
+#include "bench_util.hh"
+
+using namespace ulecc;
+using namespace ulecc::bench;
+
+namespace
+{
+
+void
+breakdownFor(CurveId id)
+{
+    Table t(breakdownHeaders("Config (" + curveIdName(id) + ")"));
+    for (MicroArch arch : {MicroArch::Baseline, MicroArch::IsaExt,
+                           MicroArch::IsaExtIcache, MicroArch::Monte}) {
+        EvalResult r = evaluate(arch, id);
+        t.addRow(breakdownRow(microArchName(arch), r.totalEnergy()));
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig 7.2",
+           "Energy breakdown per Sign+Verify, 192- and 256-bit");
+    breakdownFor(CurveId::P192);
+    breakdownFor(CurveId::P256);
+    footnote("paper: ROM dominates baseline/ISA-ext; the cache trades "
+             "ROM energy for uncore energy; Monte slashes ROM and RAM "
+             "activity while Pete keeps burning clock power");
+    return 0;
+}

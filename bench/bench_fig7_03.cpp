@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 7.3: Energy per Sign + Verify vs. key size for the baseline
+ * (no hardware acceleration), broken into sub-components.
+ */
+
+#include "bench_util.hh"
+
+using namespace ulecc;
+using namespace ulecc::bench;
+
+int
+main()
+{
+    banner("Fig 7.3", "Baseline energy breakdown vs key size");
+    Table t(breakdownHeaders("Key size"));
+    for (CurveId id : primeCurveIds()) {
+        EvalResult r = evaluate(MicroArch::Baseline, id);
+        t.addRow(breakdownRow(std::to_string(curveIdBits(id)),
+                              r.totalEnergy()));
+    }
+    t.print();
+    footnote("paper: Pete's power is nearly constant across key sizes "
+             "(energy tracks execution time); ROM is the largest "
+             "single consumer");
+    return 0;
+}

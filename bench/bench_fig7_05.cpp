@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 7.5: Energy per Sign + Verify vs. key size for binary fields
+ * (software-only vs. binary ISA extensions).
+ */
+
+#include "bench_util.hh"
+
+using namespace ulecc;
+using namespace ulecc::bench;
+
+int
+main()
+{
+    banner("Fig 7.5",
+           "Binary fields: software-only vs binary ISA extensions");
+    Table t({"Key size", "SW-only uJ", "Binary ISA uJ", "Factor"});
+    for (CurveId id : binaryCurveIds()) {
+        double sw = evaluate(MicroArch::Baseline, id).totalUj();
+        double isa = evaluate(MicroArch::IsaExt, id).totalUj();
+        std::string name = std::to_string(curveIdBits(id))
+            + (standardCurve(id).synthetic() ? "*" : "");
+        t.addRow({name, fmt(sw), fmt(isa), fmt(sw / isa)});
+    }
+    t.print();
+    footnote("paper band: 6.40-8.46x -- without a carry-less "
+             "multiplier, binary ECC is impractical in software "
+             "(* = synthetic stand-in parameters, see DESIGN.md)");
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Figure 7.6: Energy breakdown per Sign + Verify vs. key size for the
+ * binary ISA extensions.
+ */
+
+#include "bench_util.hh"
+
+using namespace ulecc;
+using namespace ulecc::bench;
+
+int
+main()
+{
+    banner("Fig 7.6", "Binary ISA extension energy breakdown");
+    Table t(breakdownHeaders("Key size"));
+    for (CurveId id : binaryCurveIds()) {
+        t.addRow(breakdownRow(std::to_string(curveIdBits(id)),
+                              evaluate(MicroArch::IsaExt, id)
+                                  .totalEnergy()));
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 7.8: Energy per Sign + Verify vs. key size for Monte (left)
+ * and Billie (right), broken into sub-components.
+ */
+
+#include "bench_util.hh"
+
+using namespace ulecc;
+using namespace ulecc::bench;
+
+int
+main()
+{
+    banner("Fig 7.8", "Monte (prime) and Billie (binary) breakdowns");
+    Table m(breakdownHeaders("Monte @ key"));
+    for (CurveId id : primeCurveIds()) {
+        m.addRow(breakdownRow(std::to_string(curveIdBits(id)),
+                              evaluate(MicroArch::Monte, id)
+                                  .totalEnergy()));
+    }
+    m.print();
+    Table b(breakdownHeaders("Billie @ key"));
+    for (CurveId id : binaryCurveIds()) {
+        b.addRow(breakdownRow(std::to_string(curveIdBits(id)),
+                              evaluate(MicroArch::Billie, id)
+                                  .totalEnergy()));
+    }
+    b.print();
+    footnote("paper: Pete dominates the Monte stacks even while "
+             "stalled; Billie itself dominates her stacks (synthesised "
+             "flip-flop register file) and scales poorly past 163-bit");
+    return 0;
+}

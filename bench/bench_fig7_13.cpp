@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 7.13: Energy breakdown per Sign + Verify vs. key size for the
+ * prime ISA-extended microarchitecture with a 4 KB instruction cache.
+ */
+
+#include "bench_util.hh"
+
+using namespace ulecc;
+using namespace ulecc::bench;
+
+int
+main()
+{
+    banner("Fig 7.13",
+           "Prime ISA ext + 4KB I$ breakdown vs key size");
+    Table t(breakdownHeaders("Key size"));
+    for (CurveId id : primeCurveIds()) {
+        t.addRow(breakdownRow(std::to_string(curveIdBits(id)),
+                              evaluate(MicroArch::IsaExtIcache, id)
+                                  .totalEnergy()));
+    }
+    t.print();
+    footnote("paper: the most energy-efficient prime configuration "
+             "without a coprocessor; every component except ROM "
+             "access scales with key size");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Related-work comparisons (paper Chapter 3), quantified on our
+ * platform:
+ *
+ *  - Wander et al.: 160-bit-class ECC vs 1024-bit RSA on a
+ *    software-only node (ECC's reason to exist at these budgets);
+ *  - Potlapally et al.: asymmetric crypto's share of secure-session
+ *    energy;
+ *  - Wenger & Hutter: binary vs prime custom processors at the
+ *    ~192-bit level (their Neptun reports a 2.82x signature factor).
+ */
+
+#include "workload/asm_kernels.hh"
+#include "workload/op_trace.hh"
+
+#include "bench_util.hh"
+
+using namespace ulecc;
+using namespace ulecc::bench;
+
+int
+main()
+{
+    banner("Related work (Wander et al.)",
+           "ECC vs RSA-class modular exponentiation, software only");
+    // RSA-1024 private operation ~ 1.5 * 1024 modular multiplications
+    // of 1024-bit operands (square-and-multiply, CRT ignored to stay
+    // conservative toward RSA); public op (e = 65537) ~ 17.
+    // The 1024-bit multiply cost is extrapolated from the simulated
+    // kernels (exact quadratic fit through k = 6, 12, 17).
+    const int k_rsa = 32; // 1024-bit
+    auto mul_at = [](int k) {
+        MpUint a = MpUint::powerOfTwo(32 * k - 1).sub(MpUint(987653));
+        MpUint b = MpUint::powerOfTwo(32 * k - 2).add(MpUint(123457));
+        return static_cast<double>(
+            runKernel(AsmKernel::MulOs, a, b, k).cycles);
+    };
+    double y6 = mul_at(6), y12 = mul_at(12), y17 = mul_at(17);
+    // Quadratic through (6,y6), (12,y12), (17,y17).
+    auto lagrange = [&](double x) {
+        return y6 * (x - 12) * (x - 17) / ((6 - 12) * (6 - 17))
+            + y12 * (x - 6) * (x - 17) / ((12 - 6) * (12 - 17))
+            + y17 * (x - 6) * (x - 12) / ((17 - 6) * (17 - 12));
+    };
+    double mul1024 = lagrange(k_rsa);
+    double rsa_red = 2.5 * (13.0 * k_rsa + 19.0); // generic reduction
+    double rsa_sign = 1.5 * 1024 * (mul1024 + rsa_red + 16);
+    double rsa_verify = 17 * (mul1024 + rsa_red + 16);
+
+    EvalResult ecc = evaluate(MicroArch::Baseline, CurveId::P192);
+    PowerModel pm;
+    // RSA runs on the same baseline Pete: same average power.
+    double base_mw = ecc.avgPowerMw;
+    double rsa_sign_uj = rsa_sign * 3e-6 * base_mw;
+    double rsa_verify_uj = rsa_verify * 3e-6 * base_mw;
+
+    Table t({"Operation", "Cycles", "Energy uJ"});
+    t.addRow({"ECDSA P-192 sign",
+              std::to_string(ecc.sign.cycles),
+              fmt(ecc.sign.energy.totalUj(), 1)});
+    t.addRow({"ECDSA P-192 verify",
+              std::to_string(ecc.verify.cycles),
+              fmt(ecc.verify.energy.totalUj(), 1)});
+    t.addRow({"RSA-1024 private op (est)",
+              std::to_string(static_cast<uint64_t>(rsa_sign)),
+              fmt(rsa_sign_uj, 1)});
+    t.addRow({"RSA-1024 public op (est)",
+              std::to_string(static_cast<uint64_t>(rsa_verify)),
+              fmt(rsa_verify_uj, 1)});
+    t.print();
+    double exchanges = (rsa_sign_uj + rsa_verify_uj)
+        / (ecc.sign.energy.totalUj() + ecc.verify.energy.totalUj());
+    std::printf("  mutual-auth energy ratio RSA/ECC = %.1fx "
+                "(Wander et al. report 4.2x more key exchanges for "
+                "ECC-160 on their budget)\n", exchanges);
+
+    banner("Related work (Potlapally et al.)",
+           "Asymmetric share of a secure session (software node)");
+    // A short session: 1 handshake + AES-class encryption of 1 KB.
+    // Symmetric cost ~ 30 cycles/byte on a 32-bit MCU.
+    double sym_uj = 1024 * 30 * 3e-6 * base_mw;
+    double asym_uj = ecc.totalUj();
+    std::printf("  handshake %.1f uJ vs 1KB symmetric %.2f uJ -> "
+                "asymmetric share %.1f%% (paper cites >90%% of "
+                "cryptographic energy for small transfers)\n",
+                asym_uj, sym_uj,
+                100.0 * asym_uj / (asym_uj + sym_uj));
+
+    banner("Related work (Wenger & Hutter)",
+           "Binary vs prime at the ~192-bit level");
+    double prime_sign =
+        evaluate(MicroArch::IsaExt, CurveId::P192).sign.energy.totalUj();
+    double binary_sign =
+        evaluate(MicroArch::IsaExt, CurveId::B163).sign.energy.totalUj();
+    std::printf("  signature energy prime/binary = %.2fx on our "
+                "ISA-extended core (Neptun reports 2.82x on a custom "
+                "processor; their fixed-function datapath amplifies "
+                "the squaring advantage)\n",
+                prime_sign / binary_sign);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table 7.1: Latency per operation (100K clock cycles) for the
+ * prime-field microarchitectures.
+ */
+
+#include "bench_util.hh"
+
+using namespace ulecc;
+using namespace ulecc::bench;
+
+int
+main()
+{
+    banner("Table 7.1",
+           "Latency per operation (100K cycles), prime fields");
+    // Paper values: {sign, verify} per (arch, key).
+    const double paper[3][5][2] = {
+        {{26.9, 34.27}, {37.2, 47.9}, {57.2, 72.8}, {133.6, 174.9},
+         {297.2, 304.8}},
+        {{20.5, 25.6}, {27.5, 34.6}, {42.7, 53.7}, {90.9, 114.6},
+         {184.0, 230.5}},
+        {{6.0, 7.5}, {8.3, 10.3}, {10.9, 13.4}, {28.2, 34.9},
+         {64.5, 78.2}},
+    };
+    const MicroArch archs[3] = {MicroArch::Baseline, MicroArch::IsaExt,
+                                MicroArch::Monte};
+    Table t({"uArch", "Key size", "Sign", "Verify", "Sign+Verify"});
+    for (int a = 0; a < 3; ++a) {
+        int kidx = 0;
+        for (CurveId id : primeCurveIds()) {
+            EvalResult r = evaluate(archs[a], id);
+            t.addRow({microArchName(archs[a]),
+                      std::to_string(curveIdBits(id)),
+                      fmtVsPaper(r.sign.cycles / 1e5,
+                                 paper[a][kidx][0], 1),
+                      fmtVsPaper(r.verify.cycles / 1e5,
+                                 paper[a][kidx][1], 1),
+                      fmt(r.totalCycles() / 1e5, 1)});
+            ++kidx;
+        }
+    }
+    t.print();
+    footnote("sign+verify approximates the client side of an SSL "
+             "handshake; absolute numbers depend on the compiled "
+             "software, shapes and orderings must match");
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table 7.2: Latency per operation (100K clock cycles) for the
+ * binary-field microarchitectures.
+ */
+
+#include "bench_util.hh"
+
+using namespace ulecc;
+using namespace ulecc::bench;
+
+int
+main()
+{
+    banner("Table 7.2",
+           "Latency per operation (100K cycles), binary fields");
+    const double paper[3][5][2] = {
+        {{58.8, 80.3}, {122.3, 166.3}, {182.0, 248.7}, {414.4, 611.0},
+         {1034.9, 1420.2}},
+        {{9.7, 12.5}, {18.3, 23.5}, {24.4, 27.4}, {55.0, 76.6},
+         {136.2, 180.0}},
+        {{1.9, 2.3}, {3.4, 4.0}, {4.6, 5.4}, {9.0, 10.6},
+         {16.7, 19.7}},
+    };
+    const MicroArch archs[3] = {MicroArch::Baseline, MicroArch::IsaExt,
+                                MicroArch::Billie};
+    Table t({"uArch", "Key size", "Sign", "Verify", "Sign+Verify"});
+    for (int a = 0; a < 3; ++a) {
+        int kidx = 0;
+        for (CurveId id : binaryCurveIds()) {
+            EvalResult r = evaluate(archs[a], id);
+            t.addRow({microArchName(archs[a]),
+                      std::to_string(curveIdBits(id)),
+                      fmtVsPaper(r.sign.cycles / 1e5,
+                                 paper[a][kidx][0], 1),
+                      fmtVsPaper(r.verify.cycles / 1e5,
+                                 paper[a][kidx][1], 1),
+                      fmt(r.totalCycles() / 1e5, 1)});
+            ++kidx;
+        }
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 7.3: FFAU area utilisation, static power and dynamic power vs.
+ * datapath width (the fitted synthesis model vs. the paper's 45 nm
+ * results).
+ */
+
+#include "accel/ffau_study.hh"
+
+#include "bench_util.hh"
+
+using namespace ulecc;
+using namespace ulecc::bench;
+
+int
+main()
+{
+    banner("Table 7.3",
+           "FFAU area / static power / dynamic power vs width");
+    // Paper anchors per key size and width.
+    const double paper[3][4][3] = {
+        {{2091, 32.3, 166.2}, {4244, 59.3, 311.9},
+         {11329, 159.1, 659.9}, {36582, 530.6, 1472.7}},
+        {{2091, 34.0, 186.2}, {4244, 61.6, 310.2},
+         {11327, 161.4, 684.4}, {36582, 532.9, 1613.4}},
+        {{2168, 35.4, 197.1}, {4322, 65.0, 321.6},
+         {11405, 164.3, 888.5}, {36664, 535.7, 1686.5}},
+    };
+    int kidx = 0;
+    for (int key : ffauStudyKeySizes()) {
+        Table t({"Width (key " + std::to_string(key) + ")",
+                 "Area (cells)", "Static uW", "Dynamic uW"});
+        int widx = 0;
+        for (int w : ffauStudyWidths()) {
+            FfauDesignPoint pt = ffauDesignPoint(w, key);
+            t.addRow({std::to_string(w) + "-bit",
+                      fmtVsPaper(pt.areaCells, paper[kidx][widx][0], 0),
+                      fmtVsPaper(pt.staticPowerUw,
+                                 paper[kidx][widx][1], 1),
+                      fmtVsPaper(pt.dynamicPowerUw,
+                                 paper[kidx][widx][2], 1)});
+            ++widx;
+        }
+        t.print();
+        ++kidx;
+    }
+    footnote("model: area = 165w + 5.6w^2 + const (linear control + "
+             "quadratic array multiplier), static tracks area, dynamic "
+             "~linear in width; 100 MHz, 0.9V logic / 0.7V memory");
+    return 0;
+}

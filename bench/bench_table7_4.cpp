@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 7.4: FFAU average power, execution time and energy per CIOS
+ * Montgomery multiplication vs. datapath width.
+ */
+
+#include "accel/ffau_study.hh"
+
+#include "bench_util.hh"
+
+using namespace ulecc;
+using namespace ulecc::bench;
+
+int
+main()
+{
+    banner("Table 7.4",
+           "FFAU power / time / energy per Montgomery multiplication");
+    const double paper[3][4][3] = {
+        // {avg uW, exec ns, energy nJ}
+        {{198.5, 13920, 2.763}, {371.2, 4220, 1.566},
+         {819.0, 1520, 1.245}, {2004.3, 710, 1.423}},
+        {{220.2, 23510, 5.176}, {371.8, 6710, 2.495},
+         {845.7, 2150, 1.818}, {2146.3, 830, 1.782}},
+        {{232.5, 50550, 11.755}, {386.6, 13830, 5.347},
+         {888.5, 4110, 3.652}, {2222.3, 1410, 3.133}},
+    };
+    int kidx = 0;
+    for (int key : ffauStudyKeySizes()) {
+        Table t({"Width (key " + std::to_string(key) + ")",
+                 "Avg power uW", "Exec time ns", "Energy nJ"});
+        int widx = 0;
+        for (int w : ffauStudyWidths()) {
+            FfauDesignPoint pt = ffauDesignPoint(w, key);
+            t.addRow({std::to_string(w) + "-bit",
+                      fmtVsPaper(pt.averagePowerUw(),
+                                 paper[kidx][widx][0], 1),
+                      fmtVsPaper(pt.execTimeNs, paper[kidx][widx][1],
+                                 0),
+                      fmtVsPaper(pt.energyNj, paper[kidx][widx][2],
+                                 3)});
+            ++widx;
+        }
+        t.print();
+        ++kidx;
+    }
+    footnote("execution time follows Eq. 5.2 exactly (cc = 2k^2 + 6k "
+             "+ (k+1)p + 22, p = 3, 100 MHz); power = fitted area/"
+             "activity model");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/per-table benchmark harnesses.
+ */
+
+#ifndef ULECC_BENCH_BENCH_UTIL_HH
+#define ULECC_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/evaluator.hh"
+#include "core/report.hh"
+
+namespace ulecc::bench
+{
+
+/** Adds a component-breakdown row (the Fig 7.2/7.9-style stacks). */
+inline std::vector<std::string>
+breakdownRow(const std::string &label, const EnergyBreakdown &e)
+{
+    return {label, fmt(e.peteUj), fmt(e.ramUj), fmt(e.romUj),
+            fmt(e.uncoreUj), fmt(e.monteUj), fmt(e.billieUj),
+            fmt(e.totalUj())};
+}
+
+inline std::vector<std::string>
+breakdownHeaders(const std::string &first)
+{
+    return {first, "Pete uJ", "RAM uJ", "ROM uJ", "Uncore uJ",
+            "Monte uJ", "Billie uJ", "Total uJ"};
+}
+
+/** Prints the standard reproduction footer. */
+inline void
+footnote(const std::string &note)
+{
+    std::printf("  note: %s\n", note.c_str());
+}
+
+} // namespace ulecc::bench
+
+#endif // ULECC_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Design-space exploration: the paper's central use case as an API.
+ *
+ * Given a per-operation energy budget (how many uJ one ECDSA
+ * sign+verify may cost) and a required security level, sweep the
+ * hardware/software spectrum of Figure 1.1 and report which
+ * configurations fit -- the trade between reconfigurability and
+ * energy the paper asks the system designer to make.
+ *
+ * Usage: design_space_explorer [budget_uJ] [min_key_bits]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/evaluator.hh"
+#include "core/report.hh"
+
+using namespace ulecc;
+
+namespace
+{
+
+const char *
+reconfigurability(MicroArch arch)
+{
+    switch (arch) {
+      case MicroArch::Baseline: return "full (pure software)";
+      case MicroArch::IsaExt: return "full (software + ISA)";
+      case MicroArch::IsaExtIcache: return "full (software + ISA)";
+      case MicroArch::Monte: return "microcode-programmable";
+      case MicroArch::Billie: return "fixed field";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double budget_uj = argc > 1 ? std::atof(argv[1]) : 50.0;
+    int min_bits = argc > 2 ? std::atoi(argv[2]) : 192;
+
+    std::printf("Design-space exploration: budget %.1f uJ per "
+                "sign+verify, >= %d-bit security\n\n",
+                budget_uj, min_bits);
+
+    Table t({"Config", "Curve", "Energy uJ", "Time ms", "Power mW",
+             "Fits?", "Reconfigurability"});
+    std::vector<CurveId> curves;
+    for (CurveId id : primeCurveIds())
+        curves.push_back(id);
+    for (CurveId id : binaryCurveIds())
+        curves.push_back(id);
+
+    const MicroArch archs[] = {MicroArch::Baseline, MicroArch::IsaExt,
+                               MicroArch::IsaExtIcache, MicroArch::Monte,
+                               MicroArch::Billie};
+    int fitting = 0;
+    for (CurveId id : curves) {
+        if (curveIdBits(id) < min_bits)
+            continue;
+        for (MicroArch arch : archs) {
+            if (!archSupportsCurve(arch, id))
+                continue;
+            EvalResult r = evaluate(arch, id);
+            bool fits = r.totalUj() <= budget_uj;
+            fitting += fits;
+            t.addRow({microArchName(arch), curveIdName(id),
+                      fmt(r.totalUj(), 1), fmt(r.timeMs(), 2),
+                      fmt(r.avgPowerMw, 2), fits ? "yes" : "no",
+                      reconfigurability(arch)});
+        }
+    }
+    t.print();
+    std::printf("\n%d configurations fit the budget.  Prefer the "
+                "left-most (most reconfigurable) fitting entry: too "
+                "little acceleration breaks the energy budget, too "
+                "much ossifies the security level (Section 1.1).\n",
+                fitting);
+    return 0;
+}

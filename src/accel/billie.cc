@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Billie implementation.
+ */
+
+#include "accel/billie.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "mpint/op_observer.hh"
+
+namespace ulecc
+{
+
+Billie::Billie(const BillieConfig &config)
+    : config_(config), field_(config.field)
+{
+}
+
+uint64_t
+Billie::dispatch(Pete &cpu, Unit unit, uint64_t latency,
+                 std::initializer_list<int> src_regs, int dst_reg)
+{
+    uint64_t now = cpu.cycle();
+    uint64_t stall = 0;
+    while (!queue_.empty() && queue_.front() <= now)
+        queue_.pop_front();
+    if (queue_.size() >= static_cast<size_t>(config_.queueDepth)) {
+        uint64_t free_at = queue_.front();
+        stall = free_at > now ? free_at - now : 0;
+        queue_.pop_front();
+    }
+    // Structural hazard: unit busy.  Data hazard: source register not
+    // yet written back.
+    uint64_t ready = now + stall;
+    ready = std::max(ready, unitFree_[static_cast<int>(unit)]);
+    for (int r : src_regs) {
+        ready = std::max(ready, regReadyAt_.at(r));
+        stats_.regReads++;
+    }
+    uint64_t done = ready + latency;
+    unitFree_[static_cast<int>(unit)] = done;
+    if (dst_reg >= 0) {
+        regReadyAt_.at(dst_reg) = done;
+        stats_.regWrites++;
+    }
+    stats_.activeCycles += latency;
+    queue_.push_back(done);
+    stats_.busyUntil = std::max(stats_.busyUntil, done);
+    return stall;
+}
+
+uint64_t
+Billie::execute(const DecodedInst &inst, Pete &cpu)
+{
+    OpObserverScope quiet(nullptr);
+    const int m = field_.degree();
+    const int words = field_.words();
+    switch (inst.op) {
+      case Op::Cop2sync: {
+        uint64_t busy = stats_.busyUntil;
+        uint64_t now = cpu.cycle();
+        queue_.clear();
+        return busy > now ? busy - now : 0;
+      }
+      case Op::Bld: {
+        uint32_t addr = cpu.reg(inst.rt);
+        int fs = inst.rd;
+        MpUint v;
+        for (int i = 0; i < words; ++i)
+            v.setLimb(i, cpu.mem().peek32(addr + 4 * i));
+        regs_.at(fs) = v;
+        cpu.mem().ramCounters().reads += words;
+        stats_.sharedRamReads += words;
+        stats_.loads++;
+        return dispatch(cpu, Unit::LdSt, billieLdStCycles(m), {}, fs);
+      }
+      case Op::Bst: {
+        uint32_t addr = cpu.reg(inst.rt);
+        int fs = inst.rd;
+        for (int i = 0; i < words; ++i)
+            cpu.mem().poke32(addr + 4 * i, regs_.at(fs).limb(i));
+        cpu.mem().ramCounters().writes += words;
+        stats_.sharedRamWrites += words;
+        stats_.stores++;
+        return dispatch(cpu, Unit::LdSt, billieLdStCycles(m),
+                        {fs}, -1);
+      }
+      case Op::Bmul: {
+        int fd = inst.rd, fs = inst.shamt, ft = inst.rt;
+        regs_.at(fd) = field_.mul(regs_.at(fs), regs_.at(ft));
+        stats_.mulOps++;
+        return dispatch(cpu, Unit::Mul,
+                        billieMulCycles(m, config_.digitWidth),
+                        {fs, ft}, fd);
+      }
+      case Op::Bsqr: {
+        int fd = inst.rd, ft = inst.rt;
+        regs_.at(fd) = field_.sqr(regs_.at(ft));
+        stats_.sqrOps++;
+        return dispatch(cpu, Unit::Sqr, 2, {ft}, fd);
+      }
+      case Op::Badd: {
+        int fd = inst.rd, fs = inst.shamt, ft = inst.rt;
+        regs_.at(fd) = field_.add(regs_.at(fs), regs_.at(ft));
+        stats_.addOps++;
+        return dispatch(cpu, Unit::Add, 1, {fs, ft}, fd);
+      }
+      default:
+        throw std::runtime_error("Billie: unsupported COP2 instruction");
+    }
+}
+
+} // namespace ulecc

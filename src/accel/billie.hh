@@ -1,0 +1,102 @@
+/**
+ * @file
+ * "Billie": the fixed-field binary accelerator (paper Section 5.5).
+ *
+ * Billie is a load-store coprocessor with a sixteen-entry, field-width
+ * register file, a digit-serial GF(2^m) multiplier (Algorithm 8), a
+ * single-cycle hardwired squarer, a full-width XOR adder, and a
+ * load/store unit buffering between the 32-bit shared-RAM port and the
+ * m-bit register file.  A four-entry instruction queue decouples Pete;
+ * a scoreboard stalls dispatch on structural (busy unit) and data
+ * (operand not yet written back) hazards.
+ *
+ * The field polynomial is fixed at construction ("non-configurable"
+ * in the paper's taxonomy), but the model is parameterized over the
+ * five NIST binary fields and the multiplier digit width D so the
+ * Fig 7.14 digit-size sweep and the >163-bit scaling study can run.
+ */
+
+#ifndef ULECC_ACCEL_BILLIE_HH
+#define ULECC_ACCEL_BILLIE_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+
+#include "mpint/binary_field.hh"
+#include "sim/cpu.hh"
+
+namespace ulecc
+{
+
+/** Billie build-time configuration. */
+struct BillieConfig
+{
+    NistBinary field = NistBinary::B163;
+    int digitWidth = 3; ///< multiplier digit size D (energy-optimal: 3)
+    int queueDepth = 4;
+};
+
+/** Billie statistics for the energy model. */
+struct BillieStats
+{
+    uint64_t mulOps = 0;
+    uint64_t sqrOps = 0;
+    uint64_t addOps = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t activeCycles = 0;  ///< any unit busy
+    uint64_t regReads = 0;
+    uint64_t regWrites = 0;
+    uint64_t sharedRamReads = 0;
+    uint64_t sharedRamWrites = 0;
+    uint64_t busyUntil = 0;
+};
+
+/** Digit-serial multiplier latency: ceil(m/D) iterations + drain. */
+inline uint64_t
+billieMulCycles(int m, int digit)
+{
+    return (m + digit - 1) / digit + 2;
+}
+
+/** Load/store latency: field element over the 32-bit RAM port. */
+inline uint64_t
+billieLdStCycles(int m)
+{
+    return (m + 31) / 32 + 2;
+}
+
+/** The coprocessor model. */
+class Billie : public Cop2
+{
+  public:
+    explicit Billie(const BillieConfig &config = {});
+
+    uint64_t execute(const DecodedInst &inst, Pete &cpu) override;
+
+    const BillieStats &stats() const { return stats_; }
+    const BinaryField &field() const { return field_; }
+    const BillieConfig &config() const { return config_; }
+
+    /** Register file inspection (tests). */
+    const MpUint &regValue(int index) const { return regs_.at(index); }
+
+  private:
+    enum class Unit { Mul, Sqr, Add, LdSt };
+
+    uint64_t dispatch(Pete &cpu, Unit unit, uint64_t latency,
+                      std::initializer_list<int> srcRegs, int dstReg);
+
+    BillieConfig config_;
+    BinaryField field_;
+    std::array<MpUint, 16> regs_;
+    std::array<uint64_t, 16> regReadyAt_{};
+    std::array<uint64_t, 4> unitFree_{}; ///< indexed by Unit
+    std::deque<uint64_t> queue_;
+    BillieStats stats_;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_ACCEL_BILLIE_HH

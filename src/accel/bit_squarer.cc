@@ -1,0 +1,67 @@
+/**
+ * @file
+ * BitSquarer implementation.
+ */
+
+#include "accel/bit_squarer.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace ulecc
+{
+
+BitSquarer::BitSquarer(const BinaryField &field)
+    : m_(field.degree()), taps_(field.degree())
+{
+    // Column i of the squaring matrix is x^(2i) mod f(x).
+    for (int i = 0; i < m_; ++i) {
+        MpUint basis;
+        basis.setBit(2 * i);
+        MpUint col = field.reduce(basis);
+        for (int j = 0; j < m_; ++j) {
+            if (col.bit(j))
+                taps_[j].push_back(i);
+        }
+    }
+}
+
+MpUint
+BitSquarer::square(const MpUint &a) const
+{
+    assert(a.bitLength() <= m_ && "input must be reduced");
+    MpUint out;
+    for (int j = 0; j < m_; ++j) {
+        int bit = 0;
+        for (int i : taps_[j])
+            bit ^= a.bit(i);
+        if (bit)
+            out.setBit(j);
+    }
+    return out;
+}
+
+int
+BitSquarer::xorGateCount() const
+{
+    int gates = 0;
+    for (const auto &t : taps_) {
+        if (t.size() > 1)
+            gates += static_cast<int>(t.size()) - 1;
+    }
+    return gates;
+}
+
+int
+BitSquarer::maxDepth() const
+{
+    size_t widest = 1;
+    for (const auto &t : taps_)
+        widest = std::max(widest, t.size());
+    int depth = 0;
+    while ((1u << depth) < widest)
+        ++depth;
+    return depth;
+}
+
+} // namespace ulecc

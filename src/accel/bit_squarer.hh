@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Hardwired binary-field squaring unit generator (paper Fig 5.13).
+ *
+ * When the field polynomial is fixed, GF(2^m) squaring is a linear map
+ * over GF(2): each output bit is the XOR of a fixed set of input bits
+ * ("binary-field squaring can be performed simply with a handful of
+ * XOR gates when the binary field is fixed", Section 5.5).  This
+ * generator derives the XOR network for any irreducible polynomial --
+ * it is the synthesis step that makes Billie's single-cycle squarer --
+ * and evaluates it, giving both a functional model and gate-count /
+ * depth estimates for the area story.
+ */
+
+#ifndef ULECC_ACCEL_BIT_SQUARER_HH
+#define ULECC_ACCEL_BIT_SQUARER_HH
+
+#include <vector>
+
+#include "mpint/binary_field.hh"
+
+namespace ulecc
+{
+
+/** A generated squaring network for one fixed field. */
+class BitSquarer
+{
+  public:
+    explicit BitSquarer(const BinaryField &field);
+
+    /** Squares @p a through the XOR network (must be reduced). */
+    MpUint square(const MpUint &a) const;
+
+    /** Input-bit taps feeding each output bit. */
+    const std::vector<std::vector<int>> &taps() const { return taps_; }
+
+    /** Total 2-input XOR gates (sum of taps-1 per output). */
+    int xorGateCount() const;
+
+    /** Worst-case XOR-tree depth (gate levels). */
+    int maxDepth() const;
+
+    int degree() const { return m_; }
+
+  private:
+    int m_;
+    std::vector<std::vector<int>> taps_; ///< taps_[j] = inputs of out j
+};
+
+} // namespace ulecc
+
+#endif // ULECC_ACCEL_BIT_SQUARER_HH

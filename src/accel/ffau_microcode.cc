@@ -1,0 +1,303 @@
+/**
+ * @file
+ * FFAU microcode engine implementation.
+ *
+ * The installed microprogram implements CIOS (paper Algorithm 5) in
+ * ten microinstructions -- two inner loops nested in one outer loop --
+ * mirroring the paper's observation that 64 entries were "more than
+ * enough" for CIOS plus modular add/sub.
+ */
+
+#include "accel/ffau_microcode.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ulecc
+{
+
+namespace
+{
+
+/** Constant-bus selectors used by IdxCtl::Load. */
+enum ConstSel : uint8_t
+{
+    SelZero = 0,
+    SelABase,   ///< a region base (0)
+    SelBPlusI,  ///< b region base + outer loop counter
+    SelNBase,   ///< n region base
+};
+
+} // namespace
+
+FfauMicroEngine::FfauMicroEngine()
+{
+    // The CIOS microprogram.  Labels:
+    //   0: outer-iteration setup
+    //   1: multiplication sweep body  (j = 0..k-1)
+    //   2: T[k] += C
+    //   3: T[k+1] = carry-out
+    //   4: m = T[0] * n0'
+    //   5: first reduction step (result discarded, carry kept)
+    //   6: reduction sweep body       (j = 1..k-1)
+    //   7: T[k-1] = T[k] + C
+    //   8: T[k] = T[k+1] + C; next outer iteration
+    //   9: halt
+    program_.resize(10);
+
+    MicroInst &setup = program_[0];
+    setup.op = CoreOp::Nop;
+    setup.idxA = IdxCtl::Load;   // -> a base
+    setup.idxB = IdxCtl::Load;   // -> b + i
+    setup.idxT = IdxCtl::Clear;
+    setup.idxW = IdxCtl::Clear;
+    setup.loopJ = IdxCtl::Clear;
+
+    MicroInst &msweep = program_[1];
+    msweep.op = CoreOp::MulAdd;  // (C,S) <- a[j]*b[i] + T[j] + C
+    msweep.srcA = SrcA::AbMem;
+    msweep.srcB = SrcB::AbMem;
+    msweep.srcC = SrcC::TMem;
+    msweep.useCarry = true;
+    msweep.dst = Dst::TMem;
+    msweep.idxA = IdxCtl::Inc;
+    msweep.idxT = IdxCtl::Inc;
+    msweep.idxW = IdxCtl::Inc;
+    msweep.loopJ = IdxCtl::Inc;
+    msweep.branch = Branch::LoopJ;
+    msweep.target = 1;
+
+    MicroInst &tk = program_[2];
+    tk.op = CoreOp::AddCarry;    // (C,S) <- T[k] + C
+    tk.srcC = SrcC::TMem;
+    tk.useCarry = true;
+    tk.dst = Dst::TMem;
+    tk.idxT = IdxCtl::Inc;
+    tk.idxW = IdxCtl::Inc;
+
+    MicroInst &tk1 = program_[3];
+    tk1.op = CoreOp::AddCarry;   // T[k+1] <- carry
+    tk1.srcC = SrcC::Zero;
+    tk1.useCarry = true;
+    tk1.dst = Dst::TMem;
+
+    MicroInst &calcm = program_[4];
+    calcm.op = CoreOp::CalcM;    // temp <- T[0] * n0'  (dedicated tap)
+    calcm.dst = Dst::TempReg;
+    calcm.idxB = IdxCtl::Load;   // -> n base
+    calcm.idxT = IdxCtl::Clear;
+    calcm.idxW = IdxCtl::Clear;
+    calcm.loopJ = IdxCtl::Clear;
+
+    MicroInst &red0 = program_[5];
+    red0.op = CoreOp::MulAdd;    // (C,S) <- m*n[0] + T[0]; S discarded
+    red0.srcA = SrcA::TempReg;
+    red0.srcB = SrcB::AbMem;
+    red0.srcC = SrcC::TMem;
+    red0.dst = Dst::None;
+    red0.idxB = IdxCtl::Inc;
+    red0.idxT = IdxCtl::Inc;
+    red0.loopJ = IdxCtl::Inc;
+
+    MicroInst &rsweep = program_[6];
+    rsweep.op = CoreOp::MulAdd;  // (C,S) <- m*n[j] + T[j] + C
+    rsweep.srcA = SrcA::TempReg;
+    rsweep.srcB = SrcB::AbMem;
+    rsweep.srcC = SrcC::TMem;
+    rsweep.useCarry = true;
+    rsweep.dst = Dst::TMem;      // -> T[j-1]
+    rsweep.idxB = IdxCtl::Inc;
+    rsweep.idxT = IdxCtl::Inc;
+    rsweep.idxW = IdxCtl::Inc;
+    rsweep.loopJ = IdxCtl::Inc;
+    rsweep.branch = Branch::LoopJ;
+    rsweep.target = 6;
+
+    MicroInst &fold1 = program_[7];
+    fold1.op = CoreOp::AddCarry; // T[k-1] <- T[k] + C
+    fold1.srcC = SrcC::TMem;
+    fold1.useCarry = true;
+    fold1.dst = Dst::TMem;
+    fold1.idxT = IdxCtl::Inc;
+    fold1.idxW = IdxCtl::Inc;
+
+    MicroInst &fold2 = program_[8];
+    fold2.op = CoreOp::AddCarry; // T[k] <- T[k+1] + C
+    fold2.srcC = SrcC::TMem;
+    fold2.useCarry = true;
+    fold2.dst = Dst::TMem;
+    fold2.loopI = IdxCtl::Inc;
+    fold2.branch = Branch::LoopI;
+    fold2.target = 0;
+
+    program_[9].branch = Branch::Halt;
+    assert(static_cast<int>(program_.size()) <= microStoreSize);
+}
+
+void
+FfauMicroEngine::configure(int k, uint32_t n0prime)
+{
+    if (k < 1 || k > MpUint::maxLimbs)
+        throw std::invalid_argument("FfauMicroEngine: bad word count");
+    k_ = k;
+    n0prime_ = n0prime;
+}
+
+void
+FfauMicroEngine::loadOperands(const MpUint &a, const MpUint &b,
+                              const MpUint &n)
+{
+    assert(k_ > 0 && "configure() first");
+    abMem_.fill(0);
+    tMem_.fill(0);
+    for (int i = 0; i < k_; ++i) {
+        abMem_[i] = a.limb(i);
+        abMem_[k_ + i] = b.limb(i);
+        abMem_[2 * k_ + i] = n.limb(i);
+    }
+    n_ = n;
+    carry_ = 0;
+    tempReg_ = 0;
+    idxA_ = idxB_ = idxT_ = idxW_ = 0;
+    loopJ_ = loopI_ = 0;
+    pc_ = 0;
+    stats_ = {};
+}
+
+uint32_t
+FfauMicroEngine::readA(const MicroInst &mi)
+{
+    if (mi.srcA == SrcA::TempReg)
+        return tempReg_;
+    stats_.abReads++;
+    return abMem_.at(idxA_);
+}
+
+uint32_t
+FfauMicroEngine::readB(const MicroInst &mi)
+{
+    if (mi.srcB == SrcB::ConstRam)
+        return n0prime_;
+    stats_.abReads++;
+    return abMem_.at(idxB_);
+}
+
+uint32_t
+FfauMicroEngine::readC(const MicroInst &mi)
+{
+    if (mi.srcC == SrcC::Zero)
+        return 0;
+    stats_.tReads++;
+    return tMem_.at(idxT_);
+}
+
+void
+FfauMicroEngine::step(const MicroInst &mi)
+{
+    stats_.microInstructions++;
+
+    // --- Arithmetic core -------------------------------------------
+    uint32_t result = 0;
+    bool have_result = false;
+    switch (mi.op) {
+      case CoreOp::Nop:
+        carry_ = 0; // setup cycles also clear the carry register
+        break;
+      case CoreOp::MulAdd: {
+        stats_.multOps++;
+        uint64_t sum = static_cast<uint64_t>(readA(mi)) * readB(mi)
+            + readC(mi) + (mi.useCarry ? carry_ : 0);
+        result = static_cast<uint32_t>(sum);
+        carry_ = sum >> 32;
+        have_result = true;
+        break;
+      }
+      case CoreOp::AddCarry: {
+        uint64_t sum = static_cast<uint64_t>(readC(mi))
+            + (mi.useCarry ? carry_ : 0);
+        result = static_cast<uint32_t>(sum);
+        carry_ = sum >> 32;
+        have_result = true;
+        break;
+      }
+      case CoreOp::CalcM: {
+        stats_.multOps++;
+        stats_.tReads++;
+        result = tMem_[0] * n0prime_; // dedicated T[0] tap, mod 2^w
+        carry_ = 0;
+        have_result = true;
+        break;
+      }
+    }
+    if (have_result) {
+        switch (mi.dst) {
+          case Dst::TMem:
+            tMem_.at(idxW_) = result;
+            stats_.tWrites++;
+            break;
+          case Dst::TempReg:
+            tempReg_ = result;
+            break;
+          case Dst::None:
+            break;
+        }
+    }
+
+    // --- Index-register controls (Table 5.5) -----------------------
+    auto apply = [&](uint32_t &reg, IdxCtl ctl, uint32_t load_value) {
+        switch (ctl) {
+          case IdxCtl::Hold: break;
+          case IdxCtl::Load: reg = load_value; break;
+          case IdxCtl::Clear: reg = 0; break;
+          case IdxCtl::Inc: reg += 1; break;
+        }
+    };
+    // Constant-bus values from the address logic + constant RAM.
+    apply(idxA_, mi.idxA, /*SelABase*/ 0);
+    apply(idxB_, mi.idxB,
+          pc_ == 0 ? static_cast<uint32_t>(k_) + loopI_  // b + i
+                   : static_cast<uint32_t>(2 * k_));     // n base
+    apply(idxT_, mi.idxT, 0);
+    apply(idxW_, mi.idxW, 0);
+    apply(loopJ_, mi.loopJ, 0);
+    apply(loopI_, mi.loopI, 0);
+
+    // --- Branch decision --------------------------------------------
+    switch (mi.branch) {
+      case Branch::Next:
+        ++pc_;
+        break;
+      case Branch::LoopJ:
+        pc_ = (loopJ_ != static_cast<uint32_t>(k_)) ? mi.target
+                                                    : pc_ + 1;
+        break;
+      case Branch::LoopI:
+        pc_ = (loopI_ != static_cast<uint32_t>(k_)) ? mi.target
+                                                    : pc_ + 1;
+        break;
+      case Branch::Halt:
+        break;
+    }
+}
+
+MpUint
+FfauMicroEngine::run()
+{
+    assert(k_ > 0 && "configure() first");
+    uint64_t guard = 0;
+    while (program_[pc_].branch != Branch::Halt) {
+        step(program_[pc_]);
+        if (++guard > 10'000'000)
+            throw std::runtime_error("FfauMicroEngine: runaway program");
+    }
+    // Gather T[0..k] and apply the follow-on conditional subtraction
+    // (the add/sub microroutine in the real control store).
+    MpUint t;
+    for (int i = 0; i <= k_; ++i)
+        t.setLimb(i, tMem_[i]);
+    if (t >= n_)
+        t = t.sub(n_);
+    return t;
+}
+
+} // namespace ulecc

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The FFAU's microcoded control unit, modelled at the
+ * microinstruction level (paper Sections 5.4.2, Figures 5.9/5.10,
+ * Tables 5.4/5.5).
+ *
+ * The datapath contains:
+ *  - a 2-stage multiply-add arithmetic core (Table 5.4 capabilities)
+ *    with an internal carry register;
+ *  - an AB scratchpad (operands a, b and modulus n; 2 read ports) and
+ *    a T scratchpad (the running CIOS partial product);
+ *  - a temporary result register (breaks the structural hazard during
+ *    the reduction sweep: it holds m while T is read);
+ *  - index registers driving the scratchpad read ports with the
+ *    two-bit control codes of Table 5.5 (hold / load / clear /
+ *    increment);
+ *  - a 64-entry microcode store with loop counters, conditional
+ *    branches, and a constant RAM for run-time field configuration.
+ *
+ * The engine executes a genuine CIOS microprogram: the result is
+ * bit-exact Montgomery multiplication and the retired microinstruction
+ * count reproduces the cycle formula of Eq. 5.2 up to pipeline-fill
+ * effects.  It exists to validate the analytical Monte model against
+ * an operational definition of the hardware.
+ */
+
+#ifndef ULECC_ACCEL_FFAU_MICROCODE_HH
+#define ULECC_ACCEL_FFAU_MICROCODE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mpint/mpuint.hh"
+
+namespace ulecc
+{
+
+/** Table 5.5 index-register control codes. */
+enum class IdxCtl : uint8_t
+{
+    Hold = 0,  ///< no change
+    Load = 1,  ///< load from the constant bus
+    Clear = 2, ///< reset to zero
+    Inc = 3,   ///< increment
+};
+
+/** Arithmetic-core operations (a subset of Table 5.4). */
+enum class CoreOp : uint8_t
+{
+    Nop,
+    MulAdd,      ///< (carry, r) <- A * B + C + carry_in?
+    AddCarry,    ///< (carry, r) <- C + carry (pipe clear)
+    CalcM,       ///< m <- T[0] * n0' (mod 2^w), into the temp register
+};
+
+/** Where the arithmetic core's A / B / C operands come from. */
+enum class SrcA : uint8_t { AbMem, TempReg };
+enum class SrcB : uint8_t { AbMem, ConstRam };
+enum class SrcC : uint8_t { TMem, Zero };
+
+/** Where the result goes. */
+enum class Dst : uint8_t { TMem, TempReg, None };
+
+/** Branch behaviour of a microinstruction. */
+enum class Branch : uint8_t
+{
+    Next,       ///< fall through
+    LoopJ,      ///< if (j != limit) goto target
+    LoopI,      ///< if (i != limit) goto target
+    Halt,
+};
+
+/** One word of the 64-entry microcode store. */
+struct MicroInst
+{
+    CoreOp op = CoreOp::Nop;
+    SrcA srcA = SrcA::AbMem;
+    SrcB srcB = SrcB::AbMem;
+    SrcC srcC = SrcC::TMem;
+    Dst dst = Dst::None;
+    bool useCarry = false;  ///< add the core's carry register
+    // Index-register controls (Table 5.5).
+    IdxCtl idxA = IdxCtl::Hold; ///< AB-memory read index (port A)
+    IdxCtl idxB = IdxCtl::Hold; ///< AB-memory read index (port B)
+    IdxCtl idxT = IdxCtl::Hold; ///< T-memory read index
+    IdxCtl idxW = IdxCtl::Hold; ///< T-memory write index
+    // Loop control.
+    Branch branch = Branch::Next;
+    uint8_t target = 0;
+    IdxCtl loopJ = IdxCtl::Hold;
+    IdxCtl loopI = IdxCtl::Hold;
+};
+
+/** Execution statistics. */
+struct FfauMicroStats
+{
+    uint64_t microInstructions = 0; ///< == datapath cycles (1 uop/cy)
+    uint64_t abReads = 0;
+    uint64_t tReads = 0;
+    uint64_t tWrites = 0;
+    uint64_t multOps = 0;
+};
+
+/**
+ * The microcode engine.  Configure with the field (word count and
+ * n0' constant, as the ctc2-programmed constant RAM would be), load
+ * operands, run the CIOS microprogram.
+ */
+class FfauMicroEngine
+{
+  public:
+    static constexpr int microStoreSize = 64;
+
+    /** Builds the engine with the CIOS microprogram installed. */
+    FfauMicroEngine();
+
+    /**
+     * Configures the constant RAM: word count k and the CIOS constant
+     * n0' = -n[0]^-1 mod 2^32 (paper: "algorithm parameters must be
+     * preloaded into Monte prior to use").
+     */
+    void configure(int k, uint32_t n0prime);
+
+    /** Loads the operand/modulus scratchpad (a, b, n regions). */
+    void loadOperands(const MpUint &a, const MpUint &b, const MpUint &n);
+
+    /**
+     * Runs the microprogram to completion.
+     * @return the Montgomery product a*b*R^-1 mod n (unreduced by the
+     *         final conditional subtraction, which the paper performs
+     *         as a follow-on add/sub microroutine -- apply it here for
+     *         convenience).
+     */
+    MpUint run();
+
+    const FfauMicroStats &stats() const { return stats_; }
+
+    /** The installed microprogram (inspection/tests). */
+    const std::vector<MicroInst> &program() const { return program_; }
+
+  private:
+    void step(const MicroInst &mi);
+    uint32_t readA(const MicroInst &mi);
+    uint32_t readB(const MicroInst &mi);
+    uint32_t readC(const MicroInst &mi);
+
+    std::vector<MicroInst> program_;
+    // Datapath state.
+    std::array<uint32_t, 3 * MpUint::maxLimbs> abMem_{}; ///< a | b | n
+    std::array<uint32_t, 2 * MpUint::maxLimbs> tMem_{};  ///< CIOS T
+    uint32_t tempReg_ = 0;
+    uint64_t carry_ = 0;
+    // Index registers.
+    uint32_t idxA_ = 0, idxB_ = 0, idxT_ = 0, idxW_ = 0;
+    uint32_t loopJ_ = 0, loopI_ = 0;
+    // Constant RAM.
+    int k_ = 0;
+    uint32_t n0prime_ = 0;
+    MpUint n_;
+    uint32_t pc_ = 0;
+    FfauMicroStats stats_;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_ACCEL_FFAU_MICROCODE_HH

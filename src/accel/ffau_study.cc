@@ -1,0 +1,108 @@
+/**
+ * @file
+ * FFAU width-study implementation.
+ */
+
+#include "accel/ffau_study.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "accel/monte.hh"
+
+namespace ulecc
+{
+
+namespace
+{
+
+/**
+ * Area model: a linear term (control, index registers, adders) plus a
+ * quadratic term (the parallel array multiplier), fitted to the paper's
+ * Table 7.3 synthesis results:
+ *
+ *     width   paper cells   model
+ *       8        2,091       2,094
+ *      16        4,244       4,427
+ *      32       11,329      10,742
+ *      64       36,582      36,582 (fit anchor)
+ */
+double
+areaModel(int width, int key_bits)
+{
+    double w = width;
+    double area = 165.0 * w + 5.6 * w * w + 260.0;
+    // Scratchpad grows slightly with the maximum key size.
+    area += 0.20 * key_bits;
+    return area;
+}
+
+/** Static power tracks area (leakage per cell). */
+double
+staticModel(double area_cells, int key_bits)
+{
+    return 0.01435 * area_cells + 0.004 * key_bits - 0.5;
+}
+
+/**
+ * Dynamic power: near-linear in width (array multiplier activity, three
+ * operand buses), with a mild activity increase at larger key sizes
+ * (longer bursts keep the pipeline fuller).  Fitted to Table 7.3.
+ */
+double
+dynamicModel(int width, int key_bits)
+{
+    double w = width;
+    double base = 19.0 * w + 25.0;
+    double key_factor = 1.0 + 0.10 * (key_bits - 192) / 192.0;
+    return base * key_factor;
+}
+
+} // namespace
+
+FfauDesignPoint
+ffauDesignPoint(int width_bits, int key_bits)
+{
+    if (key_bits % width_bits != 0)
+        throw std::invalid_argument(
+            "ffauDesignPoint: key size must be a width multiple");
+    FfauDesignPoint pt;
+    pt.widthBits = width_bits;
+    pt.keyBits = key_bits;
+    pt.areaCells = areaModel(width_bits, key_bits);
+    pt.staticPowerUw = staticModel(pt.areaCells, key_bits);
+    pt.dynamicPowerUw = dynamicModel(width_bits, key_bits);
+    const int k = key_bits / width_bits;
+    pt.cycles = ffauCiosCycles(k, /*pipeline depth*/ 3);
+    pt.execTimeNs = pt.cycles * 10.0; // 100 MHz
+    pt.energyNj = pt.averagePowerUw() * 1e-6 * pt.execTimeNs;
+    return pt;
+}
+
+const std::vector<int> &
+ffauStudyWidths()
+{
+    static const std::vector<int> widths = {8, 16, 32, 64};
+    return widths;
+}
+
+const std::vector<int> &
+ffauStudyKeySizes()
+{
+    static const std::vector<int> keys = {192, 256, 384};
+    return keys;
+}
+
+const std::vector<ArmM3Reference> &
+armM3References()
+{
+    // Paper Table 7.5, verbatim.
+    static const std::vector<ArmM3Reference> refs = {
+        {192, 13870.0, 4500.0, 62.4},
+        {256, 23010.0, 4500.0, 103.6},
+        {384, 48530.0, 4500.0, 218.4},
+    };
+    return refs;
+}
+
+} // namespace ulecc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * FFAU datapath-width design-space study (paper Section 7.9).
+ *
+ * The FFAU's HDL is parameterizable over the datapath width; the paper
+ * synthesises 8/16/32/64-bit variants at 45 nm (100 MHz, 0.9 V logic /
+ * 0.7 V memory) and characterises area, static and dynamic power
+ * (Table 7.3).  Execution time follows Eq. 5.2 with k = keyBits/width;
+ * average power x time gives energy per Montgomery multiplication
+ * (Table 7.4, Fig 7.15).  The ARM Cortex-M3 reference points
+ * (Table 7.5) provide the software yardstick in Fig 7.15.
+ *
+ * Area and power here come from a fitted analytical model anchored to
+ * the paper's synthesis results (our substitution for Synopsys
+ * PrimeTime); cycle counts are computed, not copied.
+ */
+
+#ifndef ULECC_ACCEL_FFAU_STUDY_HH
+#define ULECC_ACCEL_FFAU_STUDY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ulecc
+{
+
+/** One (width, key size) design point. */
+struct FfauDesignPoint
+{
+    int widthBits = 32;
+    int keyBits = 192;
+    double areaCells = 0;      ///< standard-cell area units
+    double staticPowerUw = 0;
+    double dynamicPowerUw = 0;
+    uint64_t cycles = 0;       ///< per CIOS Montgomery multiplication
+    double execTimeNs = 0;     ///< at 100 MHz
+    double energyNj = 0;       ///< avg power x time
+
+    double
+    averagePowerUw() const
+    {
+        return staticPowerUw + dynamicPowerUw;
+    }
+};
+
+/** Evaluates one design point of the width study. */
+FfauDesignPoint ffauDesignPoint(int widthBits, int keyBits);
+
+/** The widths evaluated in the paper. */
+const std::vector<int> &ffauStudyWidths();
+
+/** The key sizes evaluated in the paper's width study. */
+const std::vector<int> &ffauStudyKeySizes();
+
+/** ARM Cortex-M3 reference (paper Table 7.5): energy per modular
+ *  multiplication at 100 MHz / 0.9 V. */
+struct ArmM3Reference
+{
+    int keyBits;
+    double execTimeNs;
+    double averagePowerUw;
+    double energyNj;
+};
+
+/** The three Table 7.5 rows. */
+const std::vector<ArmM3Reference> &armM3References();
+
+} // namespace ulecc
+
+#endif // ULECC_ACCEL_FFAU_STUDY_HH

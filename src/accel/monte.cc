@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Monte implementation.
+ */
+
+#include "accel/monte.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "mpint/op_observer.hh"
+
+namespace ulecc
+{
+
+void
+Monte::ensureField()
+{
+    if (!field_ || field_->modulus() != bufN_) {
+        if (bufN_.isZero() || !bufN_.isOdd())
+            throw std::runtime_error("Monte: invalid modulus in N");
+        field_ = std::make_unique<PrimeField>(bufN_);
+    }
+}
+
+uint64_t
+Monte::issue(Pete &cpu, MonteUnit unit, uint64_t busy)
+{
+    // Model the instruction queue: Pete stalls only when the queue is
+    // full; otherwise the instruction is buffered and Pete runs on.
+    uint64_t now = cpu.cycle();
+    uint64_t stall = 0;
+    while (!tl_.queue.empty() && tl_.queue.front() <= now + stall)
+        tl_.queue.pop_front();
+    if (tl_.queue.size() >= static_cast<size_t>(config_.queueDepth)) {
+        uint64_t free_at = tl_.queue.front();
+        stall = free_at > now ? free_at - now : 0;
+        tl_.queue.pop_front();
+    }
+
+    // Readiness per the Section 5.4.1 dispatch rules.  With double
+    // buffering, loads run ahead of pending stores and overlapping
+    // computation; without it, a single shared buffer serialises the
+    // DMA behind the FFAU.
+    uint64_t ready = now + stall;
+    const bool db = config_.doubleBuffer;
+    switch (unit) {
+      case MonteUnit::Load:
+        ready = std::max(ready, db ? tl_.loadFree
+                                   : std::max(tl_.dmaFree, tl_.ffauFree));
+        break;
+      case MonteUnit::Store:
+        // Stores wait in the reservation register for the producing
+        // computation.
+        ready = std::max(ready, std::max(tl_.ffauFree,
+                                         db ? tl_.storeFree
+                                            : tl_.dmaFree));
+        break;
+      case MonteUnit::Ffau:
+        // Operands must be resident before the microprogram starts.
+        ready = std::max(ready, std::max(tl_.ffauFree,
+                                         db ? tl_.loadFree
+                                            : tl_.dmaFree));
+        break;
+    }
+
+    uint64_t done = ready + busy;
+    switch (unit) {
+      case MonteUnit::Load:
+        (db ? tl_.loadFree : tl_.dmaFree) = done;
+        stats_.dmaActiveCycles += busy;
+        break;
+      case MonteUnit::Store:
+        (db ? tl_.storeFree : tl_.dmaFree) = done;
+        stats_.dmaActiveCycles += busy;
+        break;
+      case MonteUnit::Ffau:
+        tl_.ffauFree = done;
+        stats_.ffauActiveCycles += busy;
+        break;
+    }
+    tl_.queue.push_back(done);
+    stats_.busyUntil = tl_.busy();
+    return stall;
+}
+
+void
+Monte::loadBuffer(Pete &cpu, MpUint &dst, uint32_t addr)
+{
+    dst = MpUint();
+    for (int i = 0; i < words_; ++i)
+        dst.setLimb(i, cpu.mem().peek32(addr + 4 * i));
+    if (lastStoreAddr_ && *lastStoreAddr_ == addr) {
+        // Result -> operand forwarding path: no shared-RAM reads.
+        stats_.forwardedLoads++;
+        stats_.bufferReads += words_;
+    } else {
+        stats_.sharedRamReads += words_;
+        cpu.mem().ramCounters().reads += words_;
+    }
+    stats_.bufferWrites += words_;
+}
+
+void
+Monte::storeResult(Pete &cpu, uint32_t addr)
+{
+    for (int i = 0; i < words_; ++i)
+        cpu.mem().poke32(addr + 4 * i, result_.limb(i));
+    cpu.mem().ramCounters().writes += words_;
+    stats_.sharedRamWrites += words_;
+    stats_.bufferReads += words_;
+    lastStoreAddr_ = addr;
+}
+
+uint64_t
+Monte::execute(const DecodedInst &inst, Pete &cpu)
+{
+    // Internal field calls must not leak into a workload op trace.
+    OpObserverScope quiet(nullptr);
+    const uint64_t dma_cycles = static_cast<uint64_t>(words_) + 2;
+    switch (inst.op) {
+      case Op::Ctc2:
+        // Control registers: 0 = word count k (others -- microcode
+        // constants -- are implied by the loaded modulus here).
+        if (inst.rd == 0) {
+            int k = static_cast<int>(cpu.reg(inst.rt));
+            if (k < 1 || k > 17)
+                throw std::runtime_error("Monte: bad word count");
+            words_ = k;
+        }
+        return 0;
+      case Op::Cop2sync: {
+        uint64_t busy = tl_.busy();
+        uint64_t now = cpu.cycle();
+        tl_.queue.clear();
+        return busy > now ? busy - now : 0;
+      }
+      case Op::Cop2lda:
+        loadBuffer(cpu, bufA_, cpu.reg(inst.rt));
+        return issue(cpu, MonteUnit::Load, dma_cycles);
+      case Op::Cop2ldb:
+        loadBuffer(cpu, bufB_, cpu.reg(inst.rt));
+        return issue(cpu, MonteUnit::Load, dma_cycles);
+      case Op::Cop2ldn:
+        loadBuffer(cpu, bufN_, cpu.reg(inst.rt));
+        return issue(cpu, MonteUnit::Load, dma_cycles);
+      case Op::Cop2mul: {
+        ensureField();
+        // The FFAU microprogram runs CIOS: result = A*B*R^-1 mod N.
+        result_ = field_->montMulCios(bufA_, bufB_);
+        stats_.mulOps++;
+        uint64_t cc = ffauCiosCycles(words_, config_.pipelineDepth);
+        // Three operand sweeps per cycle out of the split buffers.
+        stats_.bufferReads += 3 * cc / 2;
+        stats_.bufferWrites += cc / 2;
+        return issue(cpu, MonteUnit::Ffau, cc);
+      }
+      case Op::Cop2add:
+      case Op::Cop2sub: {
+        ensureField();
+        result_ = (inst.op == Op::Cop2add)
+            ? field_->add(bufA_.mod(bufN_), bufB_.mod(bufN_))
+            : field_->sub(bufA_.mod(bufN_), bufB_.mod(bufN_));
+        stats_.addSubOps++;
+        uint64_t cc = ffauAddSubCycles(words_, config_.pipelineDepth);
+        stats_.bufferReads += 2 * words_;
+        stats_.bufferWrites += words_;
+        return issue(cpu, MonteUnit::Ffau, cc);
+      }
+      case Op::Cop2st:
+        storeResult(cpu, cpu.reg(inst.rt));
+        return issue(cpu, MonteUnit::Store, dma_cycles);
+      default:
+        throw std::runtime_error("Monte: unsupported COP2 instruction");
+    }
+}
+
+} // namespace ulecc

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * "Monte": the reconfigurable prime-field accelerator (paper
+ * Section 5.4).
+ *
+ * Monte hangs off Pete's coprocessor-2 interface and shares the 16 KB
+ * dual-port RAM.  It contains:
+ *
+ *  - an instruction queue that dispatches to two functional units (the
+ *    FFAU and the DMA engine), allowing loads to run ahead of stores
+ *    (the Section 5.4.1 worked example);
+ *  - a DMA engine with double-buffered operand/result buffers and a
+ *    store-to-load forwarding path;
+ *  - the microcoded Finite-Field Arithmetic Unit executing CIOS
+ *    Montgomery multiplication and modular add/sub, with the cycle
+ *    count of Eq. 5.2:  cc = 2k^2 + 6k + (k+1)p + 22.
+ *
+ * The class is both functional (bit-exact CIOS results written back to
+ * shared RAM) and timed (a timeline model of the queue/DMA/FFAU
+ * overlap that reproduces the double-buffering gains of Section 7.7).
+ */
+
+#ifndef ULECC_ACCEL_MONTE_HH
+#define ULECC_ACCEL_MONTE_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "mpint/prime_field.hh"
+#include "sim/cpu.hh"
+
+namespace ulecc
+{
+
+/** Monte build-time configuration. */
+struct MonteConfig
+{
+    int pipelineDepth = 3;   ///< FFAU arithmetic-core latency p
+    bool doubleBuffer = true; ///< overlap DMA with computation
+    int queueDepth = 4;      ///< coprocessor instruction queue entries
+};
+
+/** Monte accelerator statistics (consumed by the energy model). */
+struct MonteStats
+{
+    uint64_t ffauActiveCycles = 0;
+    uint64_t dmaActiveCycles = 0;
+    uint64_t bufferReads = 0;   ///< internal scratchpad reads
+    uint64_t bufferWrites = 0;
+    uint64_t sharedRamReads = 0;
+    uint64_t sharedRamWrites = 0;
+    uint64_t forwardedLoads = 0; ///< result->operand forwarding hits
+    uint64_t mulOps = 0;
+    uint64_t addSubOps = 0;
+    uint64_t busyUntil = 0;      ///< absolute cycle the units drain
+};
+
+/**
+ * FFAU cycle count for one CIOS Montgomery multiplication
+ * (paper Eq. 5.2) with word count @p k and pipeline depth @p p.
+ */
+inline uint64_t
+ffauCiosCycles(int k, int p = 3)
+{
+    return 2ull * k * k + 6ull * k + static_cast<uint64_t>(k + 1) * p
+        + 22;
+}
+
+/** FFAU cycle count for modular add/sub (linear sweep + correction). */
+inline uint64_t
+ffauAddSubCycles(int k, int p = 3)
+{
+    return 2ull * k + p + 8;
+}
+
+/** The coprocessor model. */
+class Monte : public Cop2
+{
+  public:
+    explicit Monte(const MonteConfig &config = {}) : config_(config) {}
+
+    uint64_t execute(const DecodedInst &inst, Pete &cpu) override;
+
+    const MonteStats &stats() const { return stats_; }
+
+    /** Control register 0: word count k. */
+    int words() const { return words_; }
+
+  private:
+    struct Timeline
+    {
+        uint64_t loadFree = 0;  ///< load DMA channel (double buffer)
+        uint64_t storeFree = 0; ///< store DMA channel (double buffer)
+        uint64_t dmaFree = 0;   ///< unified DMA (single buffer)
+        uint64_t ffauFree = 0;
+        std::deque<uint64_t> queue; ///< completion times of in-flight ops
+
+        uint64_t
+        busy() const
+        {
+            return std::max(std::max(loadFree, storeFree),
+                            std::max(dmaFree, ffauFree));
+        }
+    };
+
+    enum class MonteUnit { Load, Store, Ffau };
+
+    uint64_t issue(Pete &cpu, MonteUnit unit, uint64_t busy);
+    void loadBuffer(Pete &cpu, MpUint &dst, uint32_t addr);
+    void storeResult(Pete &cpu, uint32_t addr);
+    void ensureField();
+
+    MonteConfig config_;
+    MonteStats stats_;
+    Timeline tl_;
+
+    int words_ = 6; ///< control register: field word count
+    MpUint bufA_;
+    MpUint bufB_;
+    MpUint bufN_;
+    MpUint result_;
+    std::optional<uint32_t> lastStoreAddr_; ///< for load forwarding
+    std::unique_ptr<PrimeField> field_;     ///< built when N changes
+};
+
+} // namespace ulecc
+
+#endif // ULECC_ACCEL_MONTE_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The design-space evaluation engine -- the paper's central
+ * contribution, reproduced: energy per ECDSA operation for every
+ * hardware/software configuration at every security level.
+ *
+ * For a (microarchitecture, curve) pair the evaluator composes:
+ *
+ *   exact field-op counts  (functional ECDSA run, workload/op_trace)
+ * x per-op cycle/activity  (simulated + anchored kernels,
+ *                           workload/kernel_model; accelerator
+ *                           timelines, accel/)
+ * + fixed protocol overhead
+ * -> cycles and event counts -> energy     (energy/power_model)
+ *
+ * with instruction-cache behaviour taken from the structural fetch-
+ * trace replay (workload/fetch_trace).
+ */
+
+#ifndef ULECC_CORE_EVALUATOR_HH
+#define ULECC_CORE_EVALUATOR_HH
+
+#include "energy/power_model.hh"
+#include "workload/kernel_model.hh"
+
+namespace ulecc
+{
+
+/** Evaluation options. */
+struct EvalOptions
+{
+    KernelModelOptions kernel;
+    /**
+     * Attach an ideal (never-missing) 4 KB instruction cache to any
+     * configuration -- the Fig 7.11 best-case study.
+     */
+    bool idealIcache = false;
+    PowerParams power;
+};
+
+/** One operation's (sign or verify) composed result. */
+struct OperationEval
+{
+    uint64_t cycles = 0;
+    EventCounts events;
+    EnergyBreakdown energy;
+};
+
+/** Full evaluation of one design point. */
+struct EvalResult
+{
+    MicroArch arch;
+    CurveId curve;
+    OperationEval sign;
+    OperationEval verify;
+
+    uint64_t
+    totalCycles() const
+    {
+        return sign.cycles + verify.cycles;
+    }
+
+    EnergyBreakdown
+    totalEnergy() const
+    {
+        EnergyBreakdown e = sign.energy;
+        e += verify.energy;
+        return e;
+    }
+
+    double
+    totalUj() const
+    {
+        return sign.energy.totalUj() + verify.energy.totalUj();
+    }
+
+    /** Wall time at the 333 MHz system clock, in ms. */
+    double timeMs(double clock_ns = 3.0) const
+    {
+        return totalCycles() * clock_ns * 1e-6;
+    }
+
+    double avgPowerMw = 0;
+    double staticPowerMw = 0;
+};
+
+/** Evaluates one (arch, curve) design point. */
+EvalResult evaluate(MicroArch arch, CurveId curve,
+                    const EvalOptions &options = {});
+
+/** True when @p arch applies to @p curve (Monte: prime, Billie: binary). */
+bool archSupportsCurve(MicroArch arch, CurveId curve);
+
+} // namespace ulecc
+
+#endif // ULECC_CORE_EVALUATOR_HH

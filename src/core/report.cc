@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Report helpers implementation.
+ */
+
+#include "core/report.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ulecc
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_) {
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            os << "  " << cells[i]
+               << std::string(widths[i] - cells[i].size(), ' ');
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << "  " << std::string(total - 2, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+fmt(double value, int decimals)
+{
+    char buf[64];
+    snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+fmtVsPaper(double ours, double paper, int decimals)
+{
+    char buf[96];
+    snprintf(buf, sizeof buf, "%.*f (paper %.*f)", decimals, ours,
+             decimals, paper);
+    return buf;
+}
+
+void
+banner(const std::string &experiment, const std::string &title)
+{
+    std::printf("\n==== %s: %s ====\n", experiment.c_str(),
+                title.c_str());
+}
+
+} // namespace ulecc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table/series formatting helpers shared by the benchmark harnesses.
+ *
+ * Every bench binary prints the same rows/series the paper reports,
+ * with the paper's value alongside ours where the paper states one.
+ */
+
+#ifndef ULECC_CORE_REPORT_HH
+#define ULECC_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace ulecc
+{
+
+/** A simple fixed-width text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Adds one row (must match the header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Renders with aligned columns. */
+    std::string render() const;
+
+    /** Prints to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a double with @p decimals digits. */
+std::string fmt(double value, int decimals = 2);
+
+/** Formats "ours (paper X, ratio r)" comparison cells. */
+std::string fmtVsPaper(double ours, double paper, int decimals = 2);
+
+/** Prints a bench banner: experiment id + description. */
+void banner(const std::string &experiment, const std::string &title);
+
+} // namespace ulecc
+
+#endif // ULECC_CORE_REPORT_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Scalar point multiplication algorithms (paper Section 4.1).
+ *
+ * An ECDSA signature needs one single scalar multiplication (X = kP);
+ * a verification needs a twin multiplication (X = u1*P + u2*Q).  The
+ * paper's software uses:
+ *
+ *  - a sliding-window single multiplication with two precomputed points
+ *    (3P and 5P), exploiting cheap point subtraction (signed digits);
+ *  - a twin multiplication that precomputes P+Q and P-Q and scans both
+ *    multipliers simultaneously;
+ *  - (evaluated but not selected) Montgomery-ladder multiplication for
+ *    binary curves, provided here for the Fig 7.14 comparison.
+ */
+
+#ifndef ULECC_EC_SCALAR_MULT_HH
+#define ULECC_EC_SCALAR_MULT_HH
+
+#include <vector>
+
+#include "ec/curve.hh"
+
+namespace ulecc
+{
+
+/**
+ * Signed-digit recoding with digit set {0, +-1, +-3, +-5}.
+ * Digits are returned least-significant first; reconstructing
+ * sum(d_i * 2^i) yields k.
+ */
+std::vector<int> recodeSigned135(const MpUint &k);
+
+/**
+ * Single scalar multiplication k*P via the signed sliding-window
+ * method with precomputed 3P and 5P.
+ */
+AffinePoint scalarMul(const Curve &curve, const MpUint &k,
+                      const AffinePoint &p);
+
+/**
+ * Twin scalar multiplication u1*P + u2*Q via simultaneous NAF scanning
+ * with precomputed P+Q and P-Q (paper Section 4.1).
+ */
+AffinePoint twinScalarMul(const Curve &curve, const MpUint &u1,
+                          const AffinePoint &p, const MpUint &u2,
+                          const AffinePoint &q);
+
+/**
+ * Montgomery-ladder scalar multiplication for binary curves
+ * (Lopez & Dahab; Hankerson et al. Algorithm 3.40).  x-coordinate
+ * ladder with y recovery.
+ */
+AffinePoint scalarMulLadder(const BinaryCurve &curve, const MpUint &k,
+                            const AffinePoint &p);
+
+/** Non-adjacent form of k, digits in {-1, 0, 1}, LSB first. */
+std::vector<int> recodeNaf(const MpUint &k);
+
+} // namespace ulecc
+
+#endif // ULECC_EC_SCALAR_MULT_HH

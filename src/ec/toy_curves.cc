@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Toy curve construction by exhaustive point counting.
+ */
+
+#include "ec/toy_curves.hh"
+
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace ulecc
+{
+
+namespace
+{
+
+std::vector<uint64_t>
+primeFactors(uint64_t n)
+{
+    std::vector<uint64_t> factors;
+    for (uint64_t d = 2; d * d <= n; ++d) {
+        if (n % d == 0) {
+            factors.push_back(d);
+            while (n % d == 0)
+                n /= d;
+        }
+    }
+    if (n > 1)
+        factors.push_back(n);
+    return factors;
+}
+
+} // namespace
+
+std::unique_ptr<PrimeCurve>
+makeToyPrimeCurve(uint32_t p)
+{
+    assert(p > 5 && p < (1u << 20));
+    auto modpow = [&](uint64_t base, uint64_t exp) {
+        uint64_t r = 1;
+        base %= p;
+        while (exp) {
+            if (exp & 1)
+                r = r * base % p;
+            base = base * base % p;
+            exp >>= 1;
+        }
+        return r;
+    };
+    auto is_qr = [&](uint64_t v) {
+        return v == 0 || modpow(v, (p - 1) / 2) == 1;
+    };
+
+    const uint32_t a = p - 3;
+    for (uint32_t b = 1; b < p; ++b) {
+        // Discriminant 4a^3 + 27b^2 != 0 (mod p).
+        uint64_t disc = (4ull * a % p * a % p * a
+                         + 27ull * b % p * b) % p;
+        if (disc == 0)
+            continue;
+        // Count points.
+        uint64_t count = 1; // infinity
+        for (uint64_t x = 0; x < p; ++x) {
+            uint64_t rhs = (x * x % p * x + static_cast<uint64_t>(a) * x
+                            + b) % p;
+            if (rhs == 0)
+                count += 1;
+            else if (is_qr(rhs))
+                count += 2;
+        }
+        // Want a large prime-order subgroup.
+        std::vector<uint64_t> factors = primeFactors(count);
+        uint64_t q = factors.back();
+        if (q < p / 4)
+            continue;
+        uint64_t cof = count / q;
+        // Find a generator of the order-q subgroup.
+        for (uint64_t x = 0; x < p; ++x) {
+            uint64_t rhs = (x * x % p * x + static_cast<uint64_t>(a) * x
+                            + b) % p;
+            if (!is_qr(rhs) || rhs == 0)
+                continue;
+            uint64_t y = 0;
+            // p chosen == 3 (mod 4): sqrt via exponentiation.
+            if (p % 4 == 3) {
+                y = modpow(rhs, (p + 1) / 4);
+            } else {
+                for (uint64_t cand = 1; cand < p; ++cand) {
+                    if (cand * cand % p == rhs) {
+                        y = cand;
+                        break;
+                    }
+                }
+            }
+            if (y * y % p != rhs)
+                continue;
+            auto curve = std::make_unique<PrimeCurve>(
+                "toy-p" + std::to_string(p), MpUint(p), MpUint(a),
+                MpUint(b), AffinePoint(MpUint(x), MpUint(y)),
+                MpUint(q));
+            if (cof != 1) {
+                // Project into the order-q subgroup.
+                AffinePoint g = AffinePoint(MpUint(x), MpUint(y));
+                AffinePoint h = AffinePoint::makeInfinity();
+                for (uint64_t i = 0; i < cof; ++i)
+                    h = curve->addAffine(h, g);
+                if (h.infinity)
+                    continue;
+                curve = std::make_unique<PrimeCurve>(
+                    "toy-p" + std::to_string(p), MpUint(p), MpUint(a),
+                    MpUint(b), h, MpUint(q));
+            }
+            if (curve->orderVerified())
+                return curve;
+        }
+    }
+    throw std::runtime_error("makeToyPrimeCurve: no curve found");
+}
+
+std::unique_ptr<BinaryCurve>
+makeToyBinaryCurve()
+{
+    // GF(2^13), f = x^13 + x^4 + x^3 + x + 1.
+    MpUint f;
+    for (int e : {13, 4, 3, 1, 0})
+        f.setBit(e);
+    BinaryField gf(f);
+    const int m = gf.degree();
+    const uint32_t size = 1u << m;
+
+    auto trace = [&](const MpUint &v) {
+        // Tr(v) = sum v^(2^i), i in [0, m).
+        MpUint t = v;
+        MpUint acc = v;
+        for (int i = 1; i < m; ++i) {
+            t = gf.sqr(t);
+            acc = gf.add(acc, t);
+        }
+        assert(acc.isZero() || acc == MpUint(1));
+        return !acc.isZero();
+    };
+
+    const MpUint a(1);
+    for (uint32_t bval = 1; bval < 64; ++bval) {
+        MpUint b(bval);
+        // Count points: x == 0 contributes 1 (y = sqrt(b)); x != 0
+        // contributes 2 iff Tr(x + a + b/x^2) == 0.
+        uint64_t count = 2; // infinity + the x = 0 point
+        for (uint32_t xv = 1; xv < size; ++xv) {
+            MpUint x(xv);
+            MpUint rhs = gf.add(gf.add(x, a),
+                                gf.mul(b, gf.inv(gf.sqr(x))));
+            if (!trace(rhs))
+                count += 2;
+        }
+        std::vector<uint64_t> factors = primeFactors(count);
+        uint64_t q = factors.back();
+        if (q < size / 8)
+            continue;
+        uint64_t cof = count / q;
+        // Find a point: solve y^2 + xy = x^3 + ax^2 + b by brute force
+        // in y for successive x.
+        for (uint32_t xv = 1; xv < size; ++xv) {
+            MpUint x(xv);
+            MpUint x2 = gf.sqr(x);
+            MpUint rhs = gf.add(gf.add(gf.mul(x2, x), gf.mul(a, x2)), b);
+            bool found = false;
+            MpUint y;
+            for (uint32_t yv = 0; yv < size && !found; ++yv) {
+                MpUint cand(yv);
+                if (gf.add(gf.sqr(cand), gf.mul(x, cand)) == rhs) {
+                    y = cand;
+                    found = true;
+                }
+            }
+            if (!found)
+                continue;
+            auto curve = std::make_unique<BinaryCurve>(
+                "toy-b13", f, a, b, AffinePoint(x, y), MpUint(q));
+            AffinePoint g(x, y);
+            if (cof != 1) {
+                AffinePoint h = AffinePoint::makeInfinity();
+                for (uint64_t i = 0; i < cof; ++i)
+                    h = curve->addAffine(h, g);
+                if (h.infinity)
+                    continue;
+                curve = std::make_unique<BinaryCurve>(
+                    "toy-b13", f, a, b, h, MpUint(q));
+            }
+            if (curve->orderVerified())
+                return curve;
+        }
+    }
+    throw std::runtime_error("makeToyBinaryCurve: no curve found");
+}
+
+} // namespace ulecc

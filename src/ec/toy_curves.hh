@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Brute-force-constructed toy curves over tiny fields.
+ *
+ * These give the test suite curves whose group orders are computed
+ * exhaustively in-tree (no trusted constants), so the full protocol
+ * stack -- group laws, scalar multiplication, ECDSA -- is verified
+ * end-to-end independent of any embedded standard-curve parameters.
+ */
+
+#ifndef ULECC_EC_TOY_CURVES_HH
+#define ULECC_EC_TOY_CURVES_HH
+
+#include <memory>
+
+#include "ec/curve.hh"
+
+namespace ulecc
+{
+
+/**
+ * Builds a toy prime curve over GF(p) for a small prime @p p
+ * (p < 2^20): counts all points exhaustively, factors the group
+ * order, and returns a curve whose generator has verified prime
+ * order q (the largest prime factor).
+ */
+std::unique_ptr<PrimeCurve> makeToyPrimeCurve(uint32_t p = 1019);
+
+/**
+ * Builds a toy binary curve over GF(2^m) for a small irreducible
+ * @p poly (degree < 20), with an exhaustively verified prime-order
+ * generator.  Default: GF(2^13), f = x^13 + x^4 + x^3 + x + 1.
+ */
+std::unique_ptr<BinaryCurve> makeToyBinaryCurve();
+
+} // namespace ulecc
+
+#endif // ULECC_EC_TOY_CURVES_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ECDH implementation.
+ */
+
+#include "ecdsa/ecdh.hh"
+
+#include "ec/scalar_mult.hh"
+#include "ecdsa/ecdsa.hh" // toBytesBe
+
+namespace ulecc
+{
+
+AffinePoint
+Ecdh::publicPoint(const MpUint &d) const
+{
+    return scalarMul(curve_, d, curve_.generator());
+}
+
+bool
+Ecdh::validatePeer(const AffinePoint &peer) const
+{
+    if (peer.infinity)
+        return false;
+    if (!curve_.onCurve(peer))
+        return false;
+    // Full order check: n * P == infinity (rules out small-subgroup
+    // points on cofactor > 1 curves).
+    return scalarMul(curve_, curve_.order(), peer).infinity;
+}
+
+EcdhShared
+Ecdh::agree(const MpUint &d, const AffinePoint &peer) const
+{
+    EcdhShared out;
+    if (d.isZero() || d >= curve_.order() || !validatePeer(peer))
+        return out;
+    AffinePoint shared = scalarMul(curve_, d, peer);
+    if (shared.infinity)
+        return out;
+    out.sharedX = shared.x;
+    int len = (curve_.fieldBits() + 7) / 8;
+    std::vector<uint8_t> octets = toBytesBe(out.sharedX, len);
+    out.sessionKey = sha256(octets.data(), octets.size());
+    out.valid = true;
+    return out;
+}
+
+} // namespace ulecc

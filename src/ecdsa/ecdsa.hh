@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The Elliptic Curve Digital Signature Algorithm (paper Section 4.1).
+ *
+ * ECDSA is the study's benchmark: a signature is one single scalar
+ * point multiplication (X = kG) plus arithmetic modulo the group
+ * order; a verification is one twin scalar multiplication
+ * (X = u1*G + u2*Q) plus modular arithmetic.  Nonces are deterministic
+ * (RFC 6979 style HMAC-DRBG) so every run is reproducible.
+ */
+
+#ifndef ULECC_ECDSA_ECDSA_HH
+#define ULECC_ECDSA_ECDSA_HH
+
+#include <optional>
+#include <vector>
+
+#include "ec/curve.hh"
+#include "ecdsa/sha256.hh"
+
+namespace ulecc
+{
+
+/** An ECDSA signature pair. */
+struct Signature
+{
+    MpUint r;
+    MpUint s;
+};
+
+/** An ECDSA key pair. */
+struct KeyPair
+{
+    MpUint d;      ///< private scalar, 1 <= d < n
+    AffinePoint q; ///< public point, Q = d*G
+};
+
+/** Big-endian octet-string encoding of @p v, left-padded to @p len. */
+std::vector<uint8_t> toBytesBe(const MpUint &v, int len);
+
+/** Decodes a big-endian octet string. */
+MpUint fromBytesBe(const uint8_t *data, size_t len);
+
+/**
+ * Deterministic nonce generation per RFC 6979 (HMAC-SHA256 DRBG):
+ * k = drbg(private key, message digest) with 1 <= k < n.
+ */
+MpUint rfc6979Nonce(const MpUint &d, const Sha256Digest &digest,
+                    const MpUint &n);
+
+/** ECDSA engine bound to one curve. */
+class Ecdsa
+{
+  public:
+    explicit Ecdsa(const Curve &curve);
+
+    const Curve &curve() const { return curve_; }
+
+    /** Derives the key pair for private scalar @p d. */
+    KeyPair keyFromPrivate(const MpUint &d) const;
+
+    /**
+     * Signs a 32-byte digest.  If @p nonce is not provided the RFC 6979
+     * deterministic nonce is used.
+     */
+    Signature signDigest(const MpUint &d, const Sha256Digest &digest,
+                         const std::optional<MpUint> &nonce = {}) const;
+
+    /** Verifies a signature over a 32-byte digest. */
+    bool verifyDigest(const AffinePoint &pub, const Sha256Digest &digest,
+                      const Signature &sig) const;
+
+    /** Hashes @p message with SHA-256 and signs. */
+    Signature sign(const MpUint &d, std::string_view message) const;
+
+    /** Hashes @p message with SHA-256 and verifies. */
+    bool verify(const AffinePoint &pub, std::string_view message,
+                const Signature &sig) const;
+
+    /** Truncates a digest to the order's bit length (bits2int). */
+    MpUint digestToScalar(const Sha256Digest &digest) const;
+
+  private:
+    const Curve &curve_;
+    /**
+     * Arithmetic modulo the group order.  Kept as a field object so the
+     * op observer sees protocol-level work in the OrderField domain --
+     * this is the part of ECDSA that never maps onto an accelerator
+     * (paper Sections 4.1 and 7.2).
+     */
+    PrimeField orderField_;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_ECDSA_ECDSA_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * PowerModel implementation.
+ */
+
+#include "energy/power_model.hh"
+
+#include <algorithm>
+
+#include "energy/sram_model.hh"
+
+namespace ulecc
+{
+
+EventCounts &
+EventCounts::operator+=(const EventCounts &o)
+{
+    cycles += o.cycles;
+    instructions += o.instructions;
+    multActiveCycles += o.multActiveCycles;
+    romNarrowReads += o.romNarrowReads;
+    romWideReads += o.romWideReads;
+    ramReads += o.ramReads;
+    ramWrites += o.ramWrites;
+    hasIcache = hasIcache || o.hasIcache;
+    idealIcache = idealIcache || o.idealIcache;
+    icacheBytes = std::max(icacheBytes, o.icacheBytes);
+    icAccesses += o.icAccesses;
+    icFills += o.icFills;
+    hasMonte = hasMonte || o.hasMonte;
+    monteFfauCycles += o.monteFfauCycles;
+    monteDmaCycles += o.monteDmaCycles;
+    monteBufAccesses += o.monteBufAccesses;
+    hasBillie = hasBillie || o.hasBillie;
+    billieBits = std::max(billieBits, o.billieBits);
+    billieActiveCycles += o.billieActiveCycles;
+    return *this;
+}
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &o)
+{
+    peteUj += o.peteUj;
+    ramUj += o.ramUj;
+    romUj += o.romUj;
+    uncoreUj += o.uncoreUj;
+    monteUj += o.monteUj;
+    billieUj += o.billieUj;
+    staticUj += o.staticUj;
+    return *this;
+}
+
+EnergyBreakdown
+PowerModel::evaluate(const EventCounts &ev) const
+{
+    const PowerParams &p = params_;
+    const double t_us = ev.cycles * p.clockNs * 1e-3; // microseconds
+    EnergyBreakdown out;
+
+    // --- Pete ---------------------------------------------------------
+    // Clock network burns whether stalled or not (the Section 7.1
+    // observation: Pete dominates even while idle next to Monte).
+    double util = ev.cycles
+        ? static_cast<double>(ev.instructions) / ev.cycles : 0.0;
+    double mult_util = ev.cycles
+        ? static_cast<double>(ev.multActiveCycles) / ev.cycles : 0.0;
+    double pete_mw = p.peteClockMw + p.peteInstMw * util
+        + p.peteMultMw * mult_util + p.peteLeakMw;
+    out.peteUj = pete_mw * t_us * 1e-3; // mW * us = nJ; /1e3 -> uJ
+    // Only leakage counts as static (the clock network is dynamic
+    // power even when stalled -- Section 7.4).
+    out.staticUj += p.peteLeakMw * t_us * 1e-3;
+
+    // --- ROM (dynamic only for mask ROM, Chapter 6; the flash
+    //     future-work study adds a read scale and leakage) ------------
+    SramEnergy rom = romMacro();
+    SramEnergy rom_wide = romWideMacro();
+    out.romUj = (ev.romNarrowReads * rom.readPj
+                 + ev.romWideReads * rom_wide.readPj) * 1e-6
+        * p.romReadScale;
+    double rom_leak_uj = p.romLeakMw * t_us * 1e-3;
+    out.romUj += rom_leak_uj;
+    out.staticUj += rom_leak_uj;
+
+    // --- RAM -----------------------------------------------------------
+    SramEnergy ram = ramMacro(ev.hasMonte || ev.hasBillie);
+    double ram_leak_uj = ram.leakageUw * t_us * 1e-6;
+    out.ramUj = (ev.ramReads * ram.readPj + ev.ramWrites * ram.writePj)
+        * 1e-6 + ram_leak_uj;
+    out.staticUj += ram_leak_uj;
+
+    // --- Uncore (cache + ROM controller + width buffers) ---------------
+    if (ev.hasIcache) {
+        SramEnergy data = icacheDataMacro(ev.icacheBytes);
+        SramEnergy tag = icacheTagMacro(ev.icacheBytes);
+        if (ev.idealIcache) {
+            // The paper's ideal-cache model "only considers reads from
+            // the cache" (Section 5.3): data array reads, nothing else.
+            out.uncoreUj = ev.icAccesses * data.readPj * 1e-6;
+        } else {
+            double access_uj = ev.icAccesses
+                * (data.readPj + tag.readPj + p.uncoreAccessPj) * 1e-6;
+            double fill_uj = ev.icFills
+                * (4 * data.writePj + tag.writePj + p.uncoreMissPj)
+                * 1e-6;
+            double leak_mw = p.uncoreLeakBaseMw
+                + p.uncoreLeakMwPerKb * (ev.icacheBytes / 1024.0)
+                + (data.leakageUw + tag.leakageUw) * 1e-3;
+            double leak_uj = leak_mw * t_us * 1e-3;
+            out.uncoreUj = access_uj + fill_uj + leak_uj;
+            out.staticUj += leak_uj;
+        }
+    }
+
+    // --- Monte ----------------------------------------------------------
+    if (ev.hasMonte) {
+        double dyn_uj = (ev.monteFfauCycles * p.monteFfauPjPerCycle
+                         + ev.monteDmaCycles * p.monteDmaPjPerCycle
+                         + ev.monteBufAccesses * p.monteBufPjPerAccess)
+            * 1e-6;
+        double leak_uj = p.monteLeakMw * p.accelGatingFactor * t_us
+            * 1e-3;
+        out.monteUj = dyn_uj + leak_uj;
+        out.staticUj += leak_uj;
+    }
+
+    // --- Billie ----------------------------------------------------------
+    if (ev.hasBillie) {
+        double leak_mw = p.billieLeakBaseMw
+            + p.billieLeakMwPerBit * ev.billieBits;
+        // The synthesised (flip-flop) register file keeps much of the
+        // clock tree toggling even when idle: charge an idle floor
+        // across all cycles (the Section 7.4 "Billie idle but still
+        // consuming" effect).
+        double pj_active = p.billiePjPerCycleBase
+            + p.billiePjPerCyclePerBit * ev.billieBits;
+        double dyn_uj = (ev.billieActiveCycles * pj_active
+                         + (ev.cycles - std::min(ev.cycles,
+                                                 ev.billieActiveCycles))
+                             * pj_active * p.billieIdleFloor
+                             * p.accelGatingFactor) * 1e-6;
+        double leak_uj = leak_mw * p.accelGatingFactor * t_us * 1e-3;
+        out.billieUj = dyn_uj + leak_uj;
+        out.staticUj += leak_uj;
+    }
+
+    return out;
+}
+
+double
+PowerModel::averagePowerMw(const EventCounts &ev) const
+{
+    if (ev.cycles == 0)
+        return 0.0;
+    double t_us = ev.cycles * params_.clockNs * 1e-3;
+    return evaluate(ev).totalUj() / t_us * 1e3; // uJ / us = W; -> mW
+}
+
+double
+PowerModel::staticPowerMw(const EventCounts &ev) const
+{
+    if (ev.cycles == 0)
+        return 0.0;
+    double t_us = ev.cycles * params_.clockNs * 1e-3;
+    return evaluate(ev).staticUj / t_us * 1e3;
+}
+
+} // namespace ulecc

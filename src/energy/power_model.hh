@@ -1,0 +1,159 @@
+/**
+ * @file
+ * System power/energy accounting (paper Chapter 6 and Section 7.4).
+ *
+ * Energy = static power x time + sum(events x energy-per-event).
+ * Component coefficients play the role of the paper's post-synthesis
+ * PrimeTime numbers: they are calibrated so the model lands on the
+ * paper's reported component powers and ratios (45 nm, 333 MHz, 3 ns
+ * cycle):
+ *
+ *  - baseline and ISA-extended system power differ by < 1 %;
+ *  - the 4 KB I-cache configuration draws ~14.5 % less power;
+ *  - the Monte configuration draws ~18.6 % less power (Pete mostly
+ *    stalled, ROM mostly idle, clock network still active);
+ *  - Billie systems draw the most power, growing ~linearly with field
+ *    size (flip-flop register file);
+ *  - static power is a small share (~8.5 %) of the total.
+ */
+
+#ifndef ULECC_ENERGY_POWER_MODEL_HH
+#define ULECC_ENERGY_POWER_MODEL_HH
+
+#include <cstdint>
+
+namespace ulecc
+{
+
+/** Aggregated activity of one simulated operation (sign or verify). */
+struct EventCounts
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;       ///< Pete retirements
+    uint64_t multActiveCycles = 0;   ///< Karatsuba unit busy cycles
+    // Program ROM.
+    uint64_t romNarrowReads = 0;     ///< 32-bit fetch/data reads
+    uint64_t romWideReads = 0;       ///< 128-bit line fills
+    // Data RAM.
+    uint64_t ramReads = 0;
+    uint64_t ramWrites = 0;
+    // Uncore (cache, ROM controller, buffers).
+    bool hasIcache = false;
+    bool idealIcache = false; ///< Fig 7.11: count only cache reads
+    uint32_t icacheBytes = 0;
+    uint64_t icAccesses = 0;
+    uint64_t icFills = 0;
+    // Monte.
+    bool hasMonte = false;
+    uint64_t monteFfauCycles = 0;
+    uint64_t monteDmaCycles = 0;
+    uint64_t monteBufAccesses = 0;
+    // Billie.
+    bool hasBillie = false;
+    int billieBits = 0;
+    uint64_t billieActiveCycles = 0;
+
+    EventCounts &operator+=(const EventCounts &other);
+};
+
+/** Energy split by sub-component (the Fig 7.2/7.9 stacks), in uJ. */
+struct EnergyBreakdown
+{
+    double peteUj = 0;
+    double ramUj = 0;
+    double romUj = 0;
+    double uncoreUj = 0;
+    double monteUj = 0;
+    double billieUj = 0;
+    double staticUj = 0; ///< portion of the total that is leakage
+
+    double
+    totalUj() const
+    {
+        return peteUj + ramUj + romUj + uncoreUj + monteUj + billieUj;
+    }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &other);
+};
+
+/** Calibration coefficients (defaults reproduce the paper's ratios). */
+struct PowerParams
+{
+    double clockNs = 3.0;        ///< 333 MHz system clock
+
+    // Pete core (mW): clock network + per-retired-instruction activity
+    // + multiplier-array activity.
+    double peteClockMw = 0.62;
+    double peteInstMw = 0.58;
+    double peteMultMw = 0.18;
+    double peteLeakMw = 0.075;
+
+    // Uncore logic leakage (cache controller, buffers) per KB of cache
+    // plus a per-fetch controller/buffer/mux toggle energy.
+    double uncoreLeakMwPerKb = 0.004;
+    double uncoreLeakBaseMw = 0.010;
+    double uncoreAccessPj = 2.6;
+    double uncoreMissPj = 8.0; ///< miss FSM + line-buffer handling
+
+    // Monte: FFAU dynamic energy per active cycle (pJ, arithmetic core
+    // only -- the scratchpads are charged per buffer access), DMA per
+    // cycle, and leakage (32-bit datapath; from the Table 7.3 FFAU
+    // characterisation scaled to the system node).
+    double monteFfauPjPerCycle = 2.8;
+    double monteDmaPjPerCycle = 1.2;
+    double monteBufPjPerAccess = 0.25;
+    double monteLeakMw = 0.10;
+
+    // Billie: leakage and active energy grow ~linearly with the field
+    // size (synthesised flip-flop register file, Section 7.4); a large
+    // idle floor models the register-file clock tree that keeps
+    // toggling while Billie waits (Section 7.4).
+    double billieLeakMwPerBit = 0.004;
+    double billieLeakBaseMw = 0.05;
+    double billiePjPerCycleBase = 4.0;
+    double billiePjPerCyclePerBit = 0.065;
+    double billieIdleFloor = 0.50;
+
+    // --- Future-work knobs (paper Chapter 8) -------------------------
+    /**
+     * Accelerator clock/power gating while idle: scales the Billie
+     * idle floor and the accelerator leakage (1.0 = no gating; the
+     * paper proposes "turning off Billie when she is not in use").
+     */
+    double accelGatingFactor = 1.0;
+    /**
+     * Non-volatile program store technology: 1.0 models mask ROM (the
+     * paper's baseline assumption); flash EEPROM reads cost more and
+     * leak (the paper's proposed follow-on study for reprogrammable
+     * IMDs).
+     */
+    double romReadScale = 1.0;
+    double romLeakMw = 0.0;
+};
+
+/** Evaluates energy for one operation's event counts. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PowerParams &params = {})
+        : params_(params)
+    {}
+
+    const PowerParams &params() const { return params_; }
+
+    /** Full breakdown for the given activity. */
+    EnergyBreakdown evaluate(const EventCounts &events) const;
+
+    /** Average power in mW over the operation. */
+    double averagePowerMw(const EventCounts &events) const;
+
+    /** Static (leakage + clock network) power in mW. */
+    double staticPowerMw(const EventCounts &events) const;
+
+  private:
+    PowerParams params_;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_ENERGY_POWER_MODEL_HH

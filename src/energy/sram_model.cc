@@ -1,0 +1,74 @@
+/**
+ * @file
+ * SRAM model implementation.
+ */
+
+#include "energy/sram_model.hh"
+
+#include <cmath>
+
+namespace ulecc
+{
+
+SramEnergy
+sramEnergy(const SramParams &params)
+{
+    // First-order Cacti-like scaling at 45 nm:
+    //   access energy ~ c0 + c1*sqrt(bytes) + c2*bytes
+    //     (decode + bitline, then wire/H-tree for large macros; small
+    //      arrays differ only slightly, as Cacti reports)
+    //   width scaling ~ (wordBits/32)^0.9       (more sense amps/IO)
+    //   dual porting  ~ x1.25 energy, x1.35 leakage (8T cells)
+    //   leakage       ~ c3 * bytes^0.95
+    const double bytes = static_cast<double>(params.capacityBytes);
+    const double sqrt_b = std::sqrt(bytes);
+    double read = 0.18 + 0.0028 * sqrt_b + 0.0000122 * bytes;
+    read *= std::pow(params.wordBits / 32.0, 0.9);
+    if (params.ports > 1)
+        read *= 1.25;
+    double write = read * 1.10;
+    double leak = 0.0;
+    if (!params.isRom) {
+        leak = 0.0011 * std::pow(bytes, 0.95);
+        if (params.ports > 1)
+            leak *= 1.35;
+    }
+    return {read, write, leak};
+}
+
+SramEnergy
+romMacro()
+{
+    return sramEnergy({256 * 1024, 32, 2, true});
+}
+
+SramEnergy
+romWideMacro()
+{
+    // The cache-enabled system narrows the ROM to a single 128-bit port
+    // (Section 5.3.2).
+    return sramEnergy({256 * 1024, 128, 1, true});
+}
+
+SramEnergy
+ramMacro(bool dual_port)
+{
+    return sramEnergy({16 * 1024, 32, dual_port ? 2 : 1, false});
+}
+
+SramEnergy
+icacheDataMacro(uint32_t capacity_bytes)
+{
+    return sramEnergy({capacity_bytes, 32, 1, false});
+}
+
+SramEnergy
+icacheTagMacro(uint32_t capacity_bytes)
+{
+    // One tag of ~20 bits plus valid per 16-byte line.
+    uint32_t lines = capacity_bytes / 16;
+    uint32_t tag_bytes = lines * 3;
+    return sramEnergy({tag_bytes, 24, 1, false});
+}
+
+} // namespace ulecc

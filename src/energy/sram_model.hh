@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Cacti-like SRAM energy model (paper Chapter 6).
+ *
+ * The paper extracts per-read/per-write energies and leakage power
+ * from Cacti 6.0 for every memory in the system, and assumes ROM
+ * dynamic energy equals a comparably sized RAM with zero static power.
+ * This analytical stand-in follows the same first-order physics Cacti
+ * captures at 45 nm: access energy grows with the square root of
+ * capacity (bitline/wordline length), scales sub-linearly with port
+ * width, and leakage grows nearly linearly with capacity.
+ */
+
+#ifndef ULECC_ENERGY_SRAM_MODEL_HH
+#define ULECC_ENERGY_SRAM_MODEL_HH
+
+#include <cstdint>
+
+namespace ulecc
+{
+
+/** Parameters of one SRAM/ROM macro. */
+struct SramParams
+{
+    uint32_t capacityBytes = 0;
+    uint32_t wordBits = 32;
+    int ports = 1;   ///< dual-port arrays burn more energy and leakage
+    bool isRom = true; ///< ROM: no leakage modelled (paper assumption)
+};
+
+/** Derived energy figures. */
+struct SramEnergy
+{
+    double readPj = 0;    ///< energy per read access
+    double writePj = 0;   ///< energy per write access
+    double leakageUw = 0; ///< static power
+};
+
+/** Evaluates the model for one macro. */
+SramEnergy sramEnergy(const SramParams &params);
+
+/** @name Pre-configured system memories */
+/** @{ */
+SramEnergy romMacro();                 ///< 256 KB program ROM, 32-bit port
+SramEnergy romWideMacro();             ///< same ROM via the 128-bit port
+SramEnergy ramMacro(bool dualPort);    ///< 16 KB data RAM
+SramEnergy icacheDataMacro(uint32_t capacityBytes); ///< I$ data array
+SramEnergy icacheTagMacro(uint32_t capacityBytes);  ///< I$ tag array
+/** @} */
+
+} // namespace ulecc
+
+#endif // ULECC_ENERGY_SRAM_MODEL_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Global field-operation observer storage.
+ */
+
+#include "mpint/op_observer.hh"
+
+namespace ulecc
+{
+
+namespace
+{
+OpObserver *g_observer = nullptr;
+OpDomain g_domain = OpDomain::CurveField;
+} // namespace
+
+void
+setOpObserver(OpObserver *obs)
+{
+    g_observer = obs;
+}
+
+OpObserver *
+opObserver()
+{
+    return g_observer;
+}
+
+void
+setOpDomain(OpDomain d)
+{
+    g_domain = d;
+}
+
+OpDomain
+opDomain()
+{
+    return g_domain;
+}
+
+} // namespace ulecc

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Field-operation observer hooks.
+ *
+ * The design-space evaluation composes whole-ECDSA latency/energy from
+ * exact field-operation counts gathered during a functional run.  Field
+ * objects notify the installed observer on every public operation; the
+ * workload module installs a counter, everything else leaves the hook
+ * null (zero overhead beyond one branch).
+ */
+
+#ifndef ULECC_MPINT_OP_OBSERVER_HH
+#define ULECC_MPINT_OP_OBSERVER_HH
+
+namespace ulecc
+{
+
+/** Kinds of finite-field operations the observer can see. */
+enum class FieldOp
+{
+    Add,    ///< modular / carry-less addition
+    Sub,    ///< modular subtraction (== Add for binary fields)
+    Mul,    ///< field multiplication (including reduction)
+    Sqr,    ///< field squaring (including reduction)
+    Inv,    ///< field inversion
+    Reduce, ///< standalone reduction of a double-width value
+};
+
+/**
+ * Whether an operation belongs to the curve field (scalar-point
+ * multiplication work, mappable to an accelerator) or to arithmetic
+ * modulo the group order (ECDSA protocol work that always stays on
+ * Pete -- the Amdahl's-law tail of Section 7.2/7.8).
+ */
+enum class OpDomain
+{
+    CurveField,
+    OrderField,
+};
+
+/** Sets the current operation domain (default CurveField). */
+void setOpDomain(OpDomain d);
+
+/** Returns the current operation domain. */
+OpDomain opDomain();
+
+/** RAII scope that switches the domain and restores it. */
+class OpDomainScope
+{
+  public:
+    explicit OpDomainScope(OpDomain d) : prev_(opDomain())
+    {
+        setOpDomain(d);
+    }
+
+    ~OpDomainScope() { setOpDomain(prev_); }
+
+    OpDomainScope(const OpDomainScope &) = delete;
+    OpDomainScope &operator=(const OpDomainScope &) = delete;
+
+  private:
+    OpDomain prev_;
+};
+
+/** Interface notified on every field operation. */
+class OpObserver
+{
+  public:
+    virtual ~OpObserver() = default;
+
+    /**
+     * Called once per field operation.
+     *
+     * @param op      The operation kind.
+     * @param bits    The field size in bits (e.g. 192, 163).
+     * @param binary  True for GF(2^m), false for GF(p).
+     */
+    virtual void onFieldOp(FieldOp op, int bits, bool binary) = 0;
+};
+
+/** Installs @p obs as the global observer (nullptr to disable). */
+void setOpObserver(OpObserver *obs);
+
+/** Returns the installed observer, or nullptr. */
+OpObserver *opObserver();
+
+/** Notifies the installed observer, if any. */
+inline void
+notifyFieldOp(FieldOp op, int bits, bool binary)
+{
+    if (OpObserver *obs = opObserver())
+        obs->onFieldOp(op, bits, binary);
+}
+
+/** RAII scope that installs an observer and restores the previous one. */
+class OpObserverScope
+{
+  public:
+    explicit OpObserverScope(OpObserver *obs)
+        : prev_(opObserver())
+    {
+        setOpObserver(obs);
+    }
+
+    ~OpObserverScope() { setOpObserver(prev_); }
+
+    OpObserverScope(const OpObserverScope &) = delete;
+    OpObserverScope &operator=(const OpObserverScope &) = delete;
+
+  private:
+    OpObserver *prev_;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_MPINT_OP_OBSERVER_HH

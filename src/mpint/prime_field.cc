@@ -1,0 +1,426 @@
+/**
+ * @file
+ * PrimeField implementation.
+ */
+
+#include "mpint/prime_field.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "mpint/op_observer.hh"
+
+namespace ulecc
+{
+
+MpUint
+nistPrimeValue(NistPrime which)
+{
+    // Paper Eq. 4.3 - 4.7.
+    switch (which) {
+      case NistPrime::P192:
+        return MpUint::powerOfTwo(192).sub(MpUint::powerOfTwo(64))
+            .sub(MpUint(1));
+      case NistPrime::P224:
+        return MpUint::powerOfTwo(224).sub(MpUint::powerOfTwo(96))
+            .add(MpUint(1));
+      case NistPrime::P256:
+        return MpUint::powerOfTwo(256).sub(MpUint::powerOfTwo(224))
+            .add(MpUint::powerOfTwo(192)).add(MpUint::powerOfTwo(96))
+            .sub(MpUint(1));
+      case NistPrime::P384:
+        return MpUint::powerOfTwo(384).sub(MpUint::powerOfTwo(128))
+            .sub(MpUint::powerOfTwo(96)).add(MpUint::powerOfTwo(32))
+            .sub(MpUint(1));
+      case NistPrime::P521:
+        return MpUint::powerOfTwo(521).sub(MpUint(1));
+      default:
+        throw std::invalid_argument("nistPrimeValue: not a NIST prime");
+    }
+}
+
+namespace
+{
+
+std::vector<PrimeField::SolinasTerm>
+solinasTermsFor(NistPrime kind)
+{
+    using T = PrimeField::SolinasTerm;
+    switch (kind) {
+      case NistPrime::P192: // 2^192 == 2^64 + 1
+        return {T{+1, 64}, T{+1, 0}};
+      case NistPrime::P224: // 2^224 == 2^96 - 1
+        return {T{+1, 96}, T{-1, 0}};
+      case NistPrime::P256: // 2^256 == 2^224 - 2^192 - 2^96 + 1
+        return {T{+1, 224}, T{-1, 192}, T{-1, 96}, T{+1, 0}};
+      case NistPrime::P384: // 2^384 == 2^128 + 2^96 - 2^32 + 1
+        return {T{+1, 128}, T{+1, 96}, T{-1, 32}, T{+1, 0}};
+      case NistPrime::P521: // 2^521 == 1
+        return {T{+1, 0}};
+      default:
+        return {};
+    }
+}
+
+NistPrime
+detectKind(const MpUint &p)
+{
+    for (NistPrime k : {NistPrime::P192, NistPrime::P224, NistPrime::P256,
+                        NistPrime::P384, NistPrime::P521}) {
+        if (p == nistPrimeValue(k))
+            return k;
+    }
+    return NistPrime::Generic;
+}
+
+} // namespace
+
+PrimeField::PrimeField(const MpUint &p)
+    : p_(p),
+      bits_(p.bitLength()),
+      words_((p.bitLength() + 31) / 32),
+      kind_(detectKind(p)),
+      terms_(solinasTermsFor(kind_))
+{
+    assert(p_.isOdd() && "PrimeField modulus must be odd");
+    // n0' = -p^-1 mod 2^32 via Newton iteration on the low word.
+    uint32_t p0 = p_.limb(0);
+    uint32_t inv = p0; // correct to 3 bits
+    for (int i = 0; i < 4; ++i)
+        inv *= 2u - p0 * inv;
+    n0prime_ = static_cast<uint32_t>(0u - inv);
+    // R = 2^(32*words).
+    MpUint r = MpUint::powerOfTwo(32 * words_);
+    rModP_ = r.mod(p_);
+    r2ModP_ = rModP_.mul(rModP_).mod(p_);
+    mask_ = MpUint::powerOfTwo(bits_).sub(MpUint(1));
+}
+
+PrimeField::PrimeField(NistPrime which)
+    : PrimeField(nistPrimeValue(which))
+{
+}
+
+MpUint
+PrimeField::add(const MpUint &a, const MpUint &b) const
+{
+    notifyFieldOp(FieldOp::Add, bits_, false);
+    return a.addMod(b, p_);
+}
+
+MpUint
+PrimeField::sub(const MpUint &a, const MpUint &b) const
+{
+    notifyFieldOp(FieldOp::Sub, bits_, false);
+    return a.subMod(b, p_);
+}
+
+MpUint
+PrimeField::neg(const MpUint &a) const
+{
+    notifyFieldOp(FieldOp::Sub, bits_, false);
+    if (a.isZero())
+        return a;
+    return p_.sub(a);
+}
+
+MpUint
+PrimeField::mul(const MpUint &a, const MpUint &b) const
+{
+    notifyFieldOp(FieldOp::Mul, bits_, false);
+    return reduce(a.mulOperandScan(b));
+}
+
+MpUint
+PrimeField::mulProductScan(const MpUint &a, const MpUint &b) const
+{
+    notifyFieldOp(FieldOp::Mul, bits_, false);
+    return reduce(a.mulProductScan(b));
+}
+
+MpUint
+PrimeField::sqr(const MpUint &a) const
+{
+    notifyFieldOp(FieldOp::Sqr, bits_, false);
+    return reduce(a.sqr());
+}
+
+MpUint
+PrimeField::inv(const MpUint &a) const
+{
+    notifyFieldOp(FieldOp::Inv, bits_, false);
+    return a.modInverseOdd(p_);
+}
+
+MpUint
+PrimeField::invFermat(const MpUint &a) const
+{
+    notifyFieldOp(FieldOp::Inv, bits_, false);
+    return pow(a, p_.sub(MpUint(2)));
+}
+
+MpUint
+PrimeField::pow(const MpUint &a, const MpUint &e) const
+{
+    // Left-to-right binary exponentiation in the Montgomery domain.
+    if (e.isZero())
+        return MpUint(1);
+    MpUint base = toMont(a.mod(p_));
+    MpUint acc = base;
+    for (int i = e.bitLength() - 2; i >= 0; --i) {
+        acc = montMulCios(acc, acc);
+        if (e.bit(i))
+            acc = montMulCios(acc, base);
+    }
+    return fromMont(acc);
+}
+
+MpUint
+PrimeField::reduce(const MpUint &wide) const
+{
+    if (hasSolinas())
+        return reduceSolinas(wide);
+    return reduceGeneric(wide);
+}
+
+MpUint
+PrimeField::reduceGeneric(const MpUint &wide) const
+{
+    return wide.mod(p_);
+}
+
+MpUint
+PrimeField::reduceSolinas(const MpUint &wide) const
+{
+    // Fold the bits above position `bits_` back down using the identity
+    // 2^bits == sum_j sign_j * 2^shift_j (mod p).  Positive and negative
+    // contributions accumulate separately; the difference is normalised
+    // into [0, p) at the end.
+    MpUint pos = wide;
+    MpUint neg;
+    for (int iter = 0; ; ++iter) {
+        assert(iter < 16 && "reduceSolinas failed to converge");
+        bool high = false;
+        if (pos.bitLength() > bits_) {
+            high = true;
+            MpUint h = pos.shiftRight(bits_);
+            pos = pos.bitAnd(mask_);
+            for (const auto &t : terms_) {
+                MpUint c = h.shiftLeft(t.shift);
+                if (t.sign > 0)
+                    pos = pos.add(c);
+                else
+                    neg = neg.add(c);
+            }
+        }
+        if (neg.bitLength() > bits_) {
+            high = true;
+            MpUint h = neg.shiftRight(bits_);
+            neg = neg.bitAnd(mask_);
+            for (const auto &t : terms_) {
+                MpUint c = h.shiftLeft(t.shift);
+                if (t.sign > 0)
+                    neg = neg.add(c);
+                else
+                    pos = pos.add(c);
+            }
+        }
+        if (!high)
+            break;
+    }
+    // pos, neg < 2^bits < 2p.
+    while (pos < neg)
+        pos = pos.add(p_);
+    MpUint r = pos.sub(neg);
+    while (r >= p_)
+        r = r.sub(p_);
+    return r;
+}
+
+MpUint
+PrimeField::reduceP192Literal(const MpUint &wide) const
+{
+    assert(kind_ == NistPrime::P192);
+    // Paper Algorithm 4, on 64-bit chunks c5..c0 of the 384-bit input:
+    //   s1 = (c2,c1,c0)  s2 = (0,c3,c3)  s3 = (c4,c4,0)  s4 = (c5,c5,c5)
+    //   T = s1 + s2 + s3 + s4; subtract p until T < p.
+    auto chunk = [&](int j) {
+        MpUint c;
+        c.setLimb(0, wide.limb(2 * j));
+        c.setLimb(1, wide.limb(2 * j + 1));
+        return c;
+    };
+    auto compose = [](const MpUint &hi, const MpUint &mid, const MpUint &lo) {
+        return hi.shiftLeft(128).add(mid.shiftLeft(64)).add(lo);
+    };
+    MpUint c0 = chunk(0), c1 = chunk(1), c2 = chunk(2);
+    MpUint c3 = chunk(3), c4 = chunk(4), c5 = chunk(5);
+    MpUint s1 = compose(c2, c1, c0);
+    MpUint s2 = compose(MpUint(), c3, c3);
+    MpUint s3 = compose(c4, c4, MpUint());
+    MpUint s4 = compose(c5, c5, c5);
+    MpUint t = s1.add(s2).add(s3).add(s4);
+    while (t >= p_)
+        t = t.sub(p_);
+    return t;
+}
+
+MpUint
+PrimeField::toMont(const MpUint &a) const
+{
+    return montMulCios(a, r2ModP_);
+}
+
+MpUint
+PrimeField::fromMont(const MpUint &a) const
+{
+    return montMulCios(a, MpUint(1));
+}
+
+MpUint
+PrimeField::montMulCios(const MpUint &a, const MpUint &b) const
+{
+    // Paper Algorithm 5 (Koc et al. CIOS), word width w = 32.
+    const int k = words_;
+    uint32_t t[MpUint::maxLimbs + 2] = {0};
+    for (int i = 0; i < k; ++i) {
+        // Multiplication sweep: t += a * b[i].
+        uint64_t c = 0;
+        uint64_t bi = b.limb(i);
+        for (int j = 0; j < k; ++j) {
+            uint64_t s = static_cast<uint64_t>(a.limb(j)) * bi + t[j] + c;
+            t[j] = static_cast<uint32_t>(s);
+            c = s >> 32;
+        }
+        uint64_t s = static_cast<uint64_t>(t[k]) + c;
+        t[k] = static_cast<uint32_t>(s);
+        t[k + 1] = static_cast<uint32_t>(s >> 32);
+        // Reduction sweep: fold with m = t[0] * n0' mod 2^32.
+        uint32_t m = t[0] * n0prime_;
+        s = static_cast<uint64_t>(t[0])
+            + static_cast<uint64_t>(m) * p_.limb(0);
+        c = s >> 32;
+        for (int j = 1; j < k; ++j) {
+            s = static_cast<uint64_t>(t[j])
+                + static_cast<uint64_t>(m) * p_.limb(j) + c;
+            t[j - 1] = static_cast<uint32_t>(s);
+            c = s >> 32;
+        }
+        s = static_cast<uint64_t>(t[k]) + c;
+        t[k - 1] = static_cast<uint32_t>(s);
+        t[k] = t[k + 1] + static_cast<uint32_t>(s >> 32);
+    }
+    MpUint r;
+    for (int i = 0; i <= k; ++i)
+        r.setLimb(i, t[i]);
+    if (r >= p_)
+        r = r.sub(p_);
+    return r;
+}
+
+MpUint
+PrimeField::montMulFips(const MpUint &a, const MpUint &b) const
+{
+    // Finely Integrated Product Scanning Montgomery multiplication:
+    // column-wise accumulation interleaving a*b and m*n partial
+    // products (the form the MADDU/ADDAU/SHA extensions accelerate).
+    const int k = words_;
+    uint32_t m[MpUint::maxLimbs] = {0};
+    uint32_t x[MpUint::maxLimbs + 1] = {0};
+    uint64_t uv = 0;
+    uint32_t t = 0;
+    auto acc = [&](uint32_t p, uint32_t q) {
+        uint64_t prod = static_cast<uint64_t>(p) * q;
+        uint64_t prev = uv;
+        uv += prod;
+        if (uv < prev)
+            ++t;
+    };
+    auto shift = [&]() {
+        uv = (uv >> 32) | (static_cast<uint64_t>(t) << 32);
+        t = 0;
+    };
+    for (int i = 0; i < k; ++i) {
+        for (int j = 0; j < i; ++j) {
+            acc(a.limb(j), b.limb(i - j));
+            acc(m[j], p_.limb(i - j));
+        }
+        acc(a.limb(i), b.limb(0));
+        m[i] = static_cast<uint32_t>(uv) * n0prime_;
+        acc(m[i], p_.limb(0));
+        shift();
+    }
+    for (int i = k; i < 2 * k; ++i) {
+        for (int j = i - k + 1; j < k; ++j) {
+            acc(a.limb(j), b.limb(i - j));
+            acc(m[j], p_.limb(i - j));
+        }
+        x[i - k] = static_cast<uint32_t>(uv);
+        shift();
+    }
+    x[k] = static_cast<uint32_t>(uv);
+    MpUint r;
+    for (int i = 0; i <= k; ++i)
+        r.setLimb(i, x[i]);
+    if (r >= p_)
+        r = r.sub(p_);
+    return r;
+}
+
+bool
+PrimeField::sqrt(const MpUint &a, MpUint &root) const
+{
+    MpUint v = a.mod(p_);
+    if (v.isZero()) {
+        root = MpUint();
+        return true;
+    }
+    MpUint candidate;
+    if (p_.bits(0, 2) == 3) {
+        // p == 3 (mod 4): root = a^((p+1)/4).
+        candidate = pow(v, p_.add(MpUint(1)).shiftRight(2));
+    } else {
+        // Tonelli-Shanks.  Write p-1 = q * 2^s with q odd.
+        MpUint q = p_.sub(MpUint(1));
+        int s = 0;
+        while (!q.isOdd()) {
+            q = q.shiftRight(1);
+            ++s;
+        }
+        // Find a quadratic non-residue z.
+        MpUint half = p_.sub(MpUint(1)).shiftRight(1);
+        MpUint z(2);
+        while (pow(z, half) == MpUint(1))
+            z = z.add(MpUint(1));
+        MpUint c = pow(z, q);
+        MpUint x = pow(v, q.add(MpUint(1)).shiftRight(1));
+        MpUint tt = pow(v, q);
+        int mexp = s;
+        const MpUint one(1);
+        while (tt != one) {
+            // Find least i with t^(2^i) == 1.
+            int i = 0;
+            MpUint t2 = tt;
+            while (t2 != one && i < mexp) {
+                t2 = t2.mul(t2).mod(p_);
+                ++i;
+            }
+            if (i == mexp)
+                return false; // non-residue
+            MpUint b = c;
+            for (int j = 0; j < mexp - i - 1; ++j)
+                b = b.mul(b).mod(p_);
+            x = x.mul(b).mod(p_);
+            c = b.mul(b).mod(p_);
+            tt = tt.mul(c).mod(p_);
+            mexp = i;
+        }
+        candidate = x;
+    }
+    if (candidate.mul(candidate).mod(p_) != v)
+        return false;
+    root = candidate;
+    return true;
+}
+
+} // namespace ulecc

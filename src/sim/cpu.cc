@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Pete implementation.
+ */
+
+#include "sim/cpu.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "mpint/binary_field.hh" // clmul32 for the GF(2) extensions
+#include "sim/karatsuba_unit.hh"
+
+namespace ulecc
+{
+
+Pete::Pete(const Program &program, const PeteConfig &config)
+    : config_(config)
+{
+    mem_.loadRom(program.words);
+    if (config_.icacheEnabled) {
+        icache_ = std::make_unique<ICache>(config_.icache);
+        icache_->invalidateAll();
+    }
+    predictor_.fill(1); // weakly not-taken
+    // Bare-metal convention: stack at the top of RAM.
+    regs_[29] = MemoryMap::ramBase + MemoryMap::ramSize - 16;
+}
+
+void
+Pete::setPc(uint32_t pc)
+{
+    pc_ = pc;
+    npc_ = pc + 4;
+}
+
+uint32_t
+Pete::fetch(uint32_t addr)
+{
+    if (!icache_)
+        return mem_.fetch(addr);
+    // With a cache, the word is served out of the cache data array;
+    // only line fills touch the ROM (through the 128-bit port).  The
+    // cache tracks its own fill count; mirror it into the ROM wide-read
+    // counter for the energy model and peek the word functionally.
+    uint32_t stall = icache_->access(addr);
+    stats_.icacheStalls += stall;
+    stats_.cycles += stall;
+    mem_.romFetchCounters().wideReads = icache_->romWideReads();
+    return mem_.peek32(addr);
+}
+
+bool
+Pete::predictTaken(uint32_t pc)
+{
+    return predictor_[(pc >> 2) % predictor_.size()] >= 2;
+}
+
+void
+Pete::trainPredictor(uint32_t pc, bool taken)
+{
+    uint8_t &ctr = predictor_[(pc >> 2) % predictor_.size()];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+}
+
+void
+Pete::waitMultUnit()
+{
+    if (multReadyCycle_ > stats_.cycles) {
+        stats_.multBusyStalls += multReadyCycle_ - stats_.cycles;
+        stats_.cycles = multReadyCycle_;
+    }
+}
+
+void
+Pete::doBranch(bool taken, int32_t disp)
+{
+    stats_.branches++;
+    bool predicted = predictTaken(pc_);
+    if (predicted != taken) {
+        stats_.branchMispredicts++;
+        stats_.cycles += 1; // flush the speculatively fetched slot
+    }
+    trainPredictor(pc_, taken);
+    if (taken)
+        npcAfter_ = pc_ + 4 + (static_cast<uint32_t>(disp) << 2);
+    // npcAfter_ redirects the instruction *after* the delay slot --
+    // the MIPS branch-delay-slot contract.
+}
+
+bool
+Pete::step()
+{
+    if (halted_)
+        return false;
+    if (stats_.cycles >= config_.maxCycles)
+        throw std::runtime_error("Pete: cycle budget exhausted");
+
+    uint32_t word = fetch(pc_);
+    DecodedInst inst = decode(word);
+    if (inst.op == Op::Invalid) {
+        throw std::runtime_error("Pete: illegal instruction at pc="
+                                 + std::to_string(pc_));
+    }
+
+    stats_.cycles += 1;
+    stats_.instructions += 1;
+
+    // Load-use interlock: a consumer immediately after a load slips one
+    // cycle (forwarding covers every other producer).
+    if (lastLoadDest_ != 0 && lastLoadInstr_ + 1 == stats_.instructions) {
+        int srcs[2];
+        int n = srcGprs(inst, srcs);
+        for (int i = 0; i < n; ++i) {
+            if (srcs[i] == lastLoadDest_) {
+                stats_.loadUseStalls++;
+                stats_.cycles += 1;
+                break;
+            }
+        }
+    }
+    int load_dest = 0;
+
+    execute(inst);
+
+    if (classOf(inst.op) == InstClass::Load)
+        load_dest = destGpr(inst);
+    lastLoadDest_ = load_dest;
+    lastLoadInstr_ = stats_.instructions;
+
+    uint32_t cur = npc_;
+    pc_ = cur;
+    npc_ = npcAfter_;
+    return !halted_;
+}
+
+bool
+Pete::run()
+{
+    while (!halted_) {
+        if (stats_.cycles >= config_.maxCycles)
+            return false;
+        step();
+    }
+    return true;
+}
+
+void
+Pete::execute(const DecodedInst &inst)
+{
+    // Default successor of the delay slot.
+    npcAfter_ = npc_ + 4;
+    auto rs = [&] { return regs_[inst.rs]; };
+    auto rt = [&] { return regs_[inst.rt]; };
+    auto wr = [&](int r, uint32_t v) { setReg(r, v); };
+
+    switch (inst.op) {
+      case Op::Sll:
+        wr(inst.rd, rt() << inst.shamt);
+        break;
+      case Op::Srl:
+        wr(inst.rd, rt() >> inst.shamt);
+        break;
+      case Op::Sra:
+        wr(inst.rd, static_cast<uint32_t>(
+               static_cast<int32_t>(rt()) >> inst.shamt));
+        break;
+      case Op::Sllv:
+        wr(inst.rd, rt() << (rs() & 31));
+        break;
+      case Op::Srlv:
+        wr(inst.rd, rt() >> (rs() & 31));
+        break;
+      case Op::Srav:
+        wr(inst.rd, static_cast<uint32_t>(
+               static_cast<int32_t>(rt()) >> (rs() & 31)));
+        break;
+      case Op::Add:
+      case Op::Addu:
+        wr(inst.rd, rs() + rt());
+        break;
+      case Op::Sub:
+      case Op::Subu:
+        wr(inst.rd, rs() - rt());
+        break;
+      case Op::And:
+        wr(inst.rd, rs() & rt());
+        break;
+      case Op::Or:
+        wr(inst.rd, rs() | rt());
+        break;
+      case Op::Xor:
+        wr(inst.rd, rs() ^ rt());
+        break;
+      case Op::Nor:
+        wr(inst.rd, ~(rs() | rt()));
+        break;
+      case Op::Slt:
+        wr(inst.rd, static_cast<int32_t>(rs()) < static_cast<int32_t>(rt())
+           ? 1 : 0);
+        break;
+      case Op::Sltu:
+        wr(inst.rd, rs() < rt() ? 1 : 0);
+        break;
+      case Op::Addi:
+      case Op::Addiu:
+        wr(inst.rt, rs() + static_cast<uint32_t>(inst.simm));
+        break;
+      case Op::Slti:
+        wr(inst.rt, static_cast<int32_t>(rs()) < inst.simm ? 1 : 0);
+        break;
+      case Op::Sltiu:
+        wr(inst.rt, rs() < static_cast<uint32_t>(inst.simm) ? 1 : 0);
+        break;
+      case Op::Andi:
+        wr(inst.rt, rs() & inst.uimm);
+        break;
+      case Op::Ori:
+        wr(inst.rt, rs() | inst.uimm);
+        break;
+      case Op::Xori:
+        wr(inst.rt, rs() ^ inst.uimm);
+        break;
+      case Op::Lui:
+        wr(inst.rt, inst.uimm << 16);
+        break;
+      case Op::Lb:
+        wr(inst.rt, static_cast<uint32_t>(static_cast<int32_t>(
+               static_cast<int8_t>(mem_.read8(rs() + inst.simm)))));
+        break;
+      case Op::Lbu:
+        wr(inst.rt, mem_.read8(rs() + inst.simm));
+        break;
+      case Op::Lh:
+        wr(inst.rt, static_cast<uint32_t>(static_cast<int32_t>(
+               static_cast<int16_t>(mem_.read16(rs() + inst.simm)))));
+        break;
+      case Op::Lhu:
+        wr(inst.rt, mem_.read16(rs() + inst.simm));
+        break;
+      case Op::Lw:
+        wr(inst.rt, mem_.read32(rs() + inst.simm));
+        break;
+      case Op::Sb:
+        mem_.write8(rs() + inst.simm, rt());
+        break;
+      case Op::Sh:
+        mem_.write16(rs() + inst.simm, rt());
+        break;
+      case Op::Sw:
+        mem_.write32(rs() + inst.simm, rt());
+        break;
+      case Op::Beq:
+        doBranch(rs() == rt(), inst.simm);
+        break;
+      case Op::Bne:
+        doBranch(rs() != rt(), inst.simm);
+        break;
+      case Op::Blez:
+        doBranch(static_cast<int32_t>(rs()) <= 0, inst.simm);
+        break;
+      case Op::Bgtz:
+        doBranch(static_cast<int32_t>(rs()) > 0, inst.simm);
+        break;
+      case Op::Bltz:
+        doBranch(static_cast<int32_t>(rs()) < 0, inst.simm);
+        break;
+      case Op::Bgez:
+        doBranch(static_cast<int32_t>(rs()) >= 0, inst.simm);
+        break;
+      case Op::J:
+        npcAfter_ = ((pc_ + 4) & 0xF0000000) | (inst.target << 2);
+        break;
+      case Op::Jal:
+        wr(31, pc_ + 8);
+        npcAfter_ = ((pc_ + 4) & 0xF0000000) | (inst.target << 2);
+        break;
+      case Op::Jr:
+        npcAfter_ = rs();
+        stats_.jumpStalls++;
+        stats_.cycles += 1;
+        break;
+      case Op::Jalr:
+        wr(inst.rd, pc_ + 8);
+        npcAfter_ = rs();
+        stats_.jumpStalls++;
+        stats_.cycles += 1;
+        break;
+      case Op::Mult:
+      case Op::Multu: {
+        // The multi-cycle Karatsuba unit (Section 5.1.2) performs the
+        // product with three half-width multiplications.
+        waitMultUnit();
+        stats_.multIssues++;
+        KaratsubaUnit unit;
+        unit.set(hi_, lo_, ovflo_);
+        unit.execute(inst.op == Op::Mult ? KaratsubaOp::Mult
+                                         : KaratsubaOp::Multu,
+                     rs(), rt());
+        hi_ = unit.hi();
+        lo_ = unit.lo();
+        multReadyCycle_ = stats_.cycles + config_.multLatency;
+        break;
+      }
+      case Op::Div: {
+        waitMultUnit();
+        stats_.divIssues++;
+        int32_t a = static_cast<int32_t>(rs());
+        int32_t b = static_cast<int32_t>(rt());
+        lo_ = b ? static_cast<uint32_t>(a / b) : 0;
+        hi_ = b ? static_cast<uint32_t>(a % b) : 0;
+        multReadyCycle_ = stats_.cycles + config_.divLatency;
+        break;
+      }
+      case Op::Divu: {
+        waitMultUnit();
+        stats_.divIssues++;
+        uint32_t a = rs(), b = rt();
+        lo_ = b ? a / b : 0;
+        hi_ = b ? a % b : 0;
+        multReadyCycle_ = stats_.cycles + config_.divLatency;
+        break;
+      }
+      case Op::Mfhi:
+        waitMultUnit();
+        wr(inst.rd, hi_);
+        break;
+      case Op::Mflo:
+        waitMultUnit();
+        wr(inst.rd, lo_);
+        break;
+      case Op::Mthi:
+        waitMultUnit();
+        hi_ = rs();
+        break;
+      case Op::Mtlo:
+        waitMultUnit();
+        lo_ = rs();
+        break;
+      case Op::Maddu:
+      case Op::M2addu: {
+        waitMultUnit();
+        stats_.multIssues++;
+        KaratsubaUnit unit;
+        unit.set(hi_, lo_, ovflo_);
+        unit.execute(inst.op == Op::Maddu ? KaratsubaOp::Maddu
+                                          : KaratsubaOp::M2addu,
+                     rs(), rt());
+        hi_ = unit.hi();
+        lo_ = unit.lo();
+        ovflo_ = unit.ovflo();
+        multReadyCycle_ = stats_.cycles + config_.macLatency;
+        break;
+      }
+      case Op::Addau: {
+        waitMultUnit();
+        uint64_t p = (static_cast<uint64_t>(rs()) << 32) | rt();
+        uint64_t old = (static_cast<uint64_t>(hi_) << 32) | lo_;
+        uint64_t sum = old + p;
+        if (sum < old)
+            ovflo_ += 1;
+        lo_ = static_cast<uint32_t>(sum);
+        hi_ = static_cast<uint32_t>(sum >> 32);
+        multReadyCycle_ = stats_.cycles + config_.addauLatency;
+        break;
+      }
+      case Op::Sha:
+        waitMultUnit();
+        lo_ = hi_;
+        hi_ = ovflo_;
+        ovflo_ = 0;
+        break;
+      case Op::Mulgf2:
+      case Op::Maddgf2: {
+        // The multiplexed 16x16 carry-less block (Fig 5.4).
+        waitMultUnit();
+        stats_.multIssues++;
+        KaratsubaUnit unit;
+        unit.set(hi_, lo_, ovflo_);
+        unit.execute(inst.op == Op::Mulgf2 ? KaratsubaOp::Mulgf2
+                                           : KaratsubaOp::Maddgf2,
+                     rs(), rt());
+        hi_ = unit.hi();
+        lo_ = unit.lo();
+        ovflo_ = unit.ovflo();
+        multReadyCycle_ = stats_.cycles + config_.macLatency;
+        break;
+      }
+      case Op::Ctc2:
+      case Op::Cop2sync:
+      case Op::Cop2lda:
+      case Op::Cop2ldb:
+      case Op::Cop2ldn:
+      case Op::Cop2mul:
+      case Op::Cop2add:
+      case Op::Cop2sub:
+      case Op::Cop2st:
+      case Op::Bld:
+      case Op::Bst:
+      case Op::Bmul:
+      case Op::Bsqr:
+      case Op::Badd: {
+        if (!cop2_)
+            throw std::runtime_error("Pete: COP2 with no coprocessor");
+        uint64_t stall = cop2_->execute(inst, *this);
+        stats_.cop2Stalls += stall;
+        stats_.cycles += stall;
+        break;
+      }
+      case Op::Syscall:
+      case Op::Break:
+        halted_ = true;
+        break;
+      default:
+        throw std::runtime_error("Pete: unimplemented op");
+    }
+}
+
+} // namespace ulecc

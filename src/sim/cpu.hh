@@ -1,0 +1,164 @@
+/**
+ * @file
+ * "Pete": the study's low-power RISC processor (paper Section 5.1).
+ *
+ * A classic five-stage in-order pipeline executing the MIPS-II subset
+ * plus the paper's ISA extensions.  The simulator is functional plus
+ * cycle-accounting: every instruction retires with a base cost of one
+ * cycle and the model charges the pipeline's real stall sources:
+ *
+ *  - load-use interlock (one slip when a load's consumer is adjacent);
+ *  - branch misprediction (one flushed fetch; a bimodal predictor
+ *    resolves in decode and verifies in execute, Section 2.2);
+ *  - register jumps (one bubble to read the target);
+ *  - the multi-cycle Karatsuba multiply unit behind Hi/Lo (Section
+ *    5.1.1): MULT and MAC extensions occupy the unit for four cycles,
+ *    divide for 34; MFHI/MFLO and new issues interlock on it;
+ *  - instruction-cache misses (three-cycle slip per line fill);
+ *  - coprocessor-2 interlocks (queue full / sync), charged by the
+ *    attached accelerator model.
+ */
+
+#ifndef ULECC_SIM_CPU_HH
+#define ULECC_SIM_CPU_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "asmkit/assembler.hh"
+#include "isa/isa.hh"
+#include "sim/icache.hh"
+#include "sim/memory.hh"
+
+namespace ulecc
+{
+
+class Pete;
+
+/** Interface for an attached coprocessor-2 device (Monte or Billie). */
+class Cop2
+{
+  public:
+    virtual ~Cop2() = default;
+
+    /**
+     * Executes a coprocessor instruction issued by Pete.
+     *
+     * @return Stall cycles Pete incurs (queue-full or sync waits).
+     */
+    virtual uint64_t execute(const DecodedInst &inst, Pete &cpu) = 0;
+};
+
+/** Pete configuration. */
+struct PeteConfig
+{
+    bool icacheEnabled = false;
+    ICacheConfig icache;
+    uint32_t multLatency = 4;  ///< Karatsuba multi-cycle multiplier
+    uint32_t macLatency = 4;   ///< MADDU/M2ADDU/MULGF2/MADDGF2
+    uint32_t addauLatency = 2; ///< ADDAU through the four-port adder
+    uint32_t divLatency = 34;  ///< binary restoring divider
+    uint64_t maxCycles = 500'000'000;
+};
+
+/** Retirement / event statistics. */
+struct PeteStats
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t loadUseStalls = 0;
+    uint64_t branches = 0;
+    uint64_t branchMispredicts = 0;
+    uint64_t jumpStalls = 0;
+    uint64_t multBusyStalls = 0;
+    uint64_t icacheStalls = 0;
+    uint64_t cop2Stalls = 0;
+    uint64_t multIssues = 0; ///< multiplier-unit activations
+    uint64_t divIssues = 0;
+};
+
+/** The processor model. */
+class Pete
+{
+  public:
+    Pete(const Program &program, const PeteConfig &config = {});
+
+    /** Runs until BREAK; returns false on cycle-budget exhaustion. */
+    bool run();
+
+    /** Executes one instruction; returns false once halted. */
+    bool step();
+
+    void attachCop2(Cop2 *cop2) { cop2_ = cop2; }
+
+    /** @name Architectural state */
+    /** @{ */
+    uint32_t reg(int index) const { return regs_[index]; }
+
+    void
+    setReg(int index, uint32_t value)
+    {
+        if (index != 0)
+            regs_[index] = value;
+    }
+
+    uint32_t pc() const { return pc_; }
+    void setPc(uint32_t pc);
+    uint32_t hi() const { return hi_; }
+    uint32_t lo() const { return lo_; }
+    uint32_t ovflo() const { return ovflo_; }
+    bool halted() const { return halted_; }
+    /** @} */
+
+    MemorySystem &mem() { return mem_; }
+    const MemorySystem &mem() const { return mem_; }
+
+    const PeteStats &stats() const { return stats_; }
+    const ICache *icache() const { return icache_.get(); }
+
+    /** Current cycle count (monotonic simulated time). */
+    uint64_t cycle() const { return stats_.cycles; }
+
+    /** Adds externally-imposed stall cycles (used by coprocessors). */
+    void
+    addStall(uint64_t cycles)
+    {
+        stats_.cycles += cycles;
+    }
+
+  private:
+    uint32_t fetch(uint32_t addr);
+    void waitMultUnit();
+    void execute(const DecodedInst &inst);
+    bool predictTaken(uint32_t pc);
+    void trainPredictor(uint32_t pc, bool taken);
+    void doBranch(bool taken, int32_t disp);
+
+    PeteConfig config_;
+    MemorySystem mem_;
+    std::unique_ptr<ICache> icache_;
+    Cop2 *cop2_ = nullptr;
+
+    std::array<uint32_t, 32> regs_{};
+    uint32_t pc_ = 0;
+    uint32_t npc_ = 4;
+    uint32_t npcAfter_ = 8; ///< successor of the delay slot
+    uint32_t hi_ = 0;
+    uint32_t lo_ = 0;
+    uint32_t ovflo_ = 0;
+    bool halted_ = false;
+
+    uint64_t multReadyCycle_ = 0; ///< cycle the mul/div unit frees up
+    int lastLoadDest_ = 0;        ///< for the load-use interlock
+    uint64_t lastLoadInstr_ = 0;  ///< instruction index of that load
+
+    std::array<uint8_t, 64> predictor_; ///< 2-bit bimodal counters
+
+    PeteStats stats_;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_SIM_CPU_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ICache implementation.
+ */
+
+#include "sim/icache.hh"
+
+#include <cassert>
+
+namespace ulecc
+{
+
+ICache::ICache(const ICacheConfig &config)
+    : config_(config), lines_(config.sizeBytes / config.lineBytes),
+      tags_(lines_, 0), valid_(lines_, false)
+{
+    assert(lines_ > 0 && (lines_ & (lines_ - 1)) == 0
+           && "line count must be a power of two");
+}
+
+void
+ICache::invalidateAll()
+{
+    valid_.assign(lines_, false);
+    bufValid_ = false;
+}
+
+uint32_t
+ICache::access(uint32_t addr)
+{
+    stats_.accesses++;
+    stats_.tagReads++;
+    stats_.dataReads++;
+    uint32_t idx = lineIndex(addr);
+    uint32_t tag = tagOf(addr);
+    if (valid_[idx] && tags_[idx] == tag) {
+        stats_.hits++;
+        return 0;
+    }
+    stats_.misses++;
+    uint32_t la = lineAddr(addr);
+    if (config_.prefetch && bufValid_ && bufLineAddr_ == la) {
+        // Stream-buffer hit: forward to the processor and write the
+        // line into the cache in the same cycle; start the next
+        // prefetch.
+        stats_.prefetchHits++;
+        valid_[idx] = true;
+        tags_[idx] = tag;
+        stats_.dataWrites++;
+        bufLineAddr_ = la + config_.lineBytes;
+        stats_.prefetchFills++;
+        return 0;
+    }
+    // Demand fill.
+    valid_[idx] = true;
+    tags_[idx] = tag;
+    stats_.lineFills++;
+    stats_.dataWrites++;
+    if (config_.prefetch) {
+        bufValid_ = true;
+        bufLineAddr_ = la + config_.lineBytes;
+        stats_.prefetchFills++;
+    }
+    return config_.missPenalty;
+}
+
+} // namespace ulecc

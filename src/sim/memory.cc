@@ -1,0 +1,129 @@
+/**
+ * @file
+ * MemorySystem implementation.
+ */
+
+#include "sim/memory.hh"
+
+#include <cassert>
+#include <cstring>
+
+namespace ulecc
+{
+
+void
+MemorySystem::loadRom(const std::vector<uint32_t> &words)
+{
+    if (words.size() * 4 > rom_.size())
+        throw std::out_of_range("program too large for 256KB ROM");
+    for (size_t i = 0; i < words.size(); ++i)
+        std::memcpy(&rom_[4 * i], &words[i], 4);
+}
+
+uint8_t *
+MemorySystem::locate(uint32_t addr, uint32_t size, bool write)
+{
+    if (inRom(addr)) {
+        if (write)
+            throw std::runtime_error("write to ROM at "
+                                     + std::to_string(addr));
+        if (addr + size > MemoryMap::romSize)
+            throw std::out_of_range("ROM access out of range");
+        return &rom_[addr];
+    }
+    if (inRam(addr)) {
+        uint32_t off = addr - MemoryMap::ramBase;
+        if (off + size > MemoryMap::ramSize)
+            throw std::out_of_range("RAM access out of range");
+        return &ram_[off];
+    }
+    throw std::out_of_range("unmapped address " + std::to_string(addr));
+}
+
+uint32_t
+MemorySystem::fetch(uint32_t addr)
+{
+    assert((addr & 3) == 0 && "unaligned fetch");
+    uint32_t v;
+    std::memcpy(&v, locate(addr, 4, false), 4);
+    romFetch_.reads++;
+    return v;
+}
+
+void
+MemorySystem::fetchLine(uint32_t addr, uint32_t out[4])
+{
+    assert((addr & 15) == 0 && "unaligned line fetch");
+    std::memcpy(out, locate(addr, 16, false), 16);
+    romFetch_.wideReads++;
+}
+
+uint32_t
+MemorySystem::peek32(uint32_t addr)
+{
+    assert((addr & 3) == 0 && "unaligned peek32");
+    uint32_t v;
+    std::memcpy(&v, locate(addr, 4, false), 4);
+    return v;
+}
+
+void
+MemorySystem::poke32(uint32_t addr, uint32_t value)
+{
+    assert((addr & 3) == 0 && "unaligned poke32");
+    std::memcpy(locate(addr, 4, true), &value, 4);
+}
+
+uint32_t
+MemorySystem::read32(uint32_t addr)
+{
+    assert((addr & 3) == 0 && "unaligned read32");
+    uint32_t v;
+    std::memcpy(&v, locate(addr, 4, false), 4);
+    (inRom(addr) ? romData_ : ramCnt_).reads++;
+    return v;
+}
+
+uint32_t
+MemorySystem::read8(uint32_t addr)
+{
+    uint8_t v = *locate(addr, 1, false);
+    (inRom(addr) ? romData_ : ramCnt_).reads++;
+    return v;
+}
+
+uint32_t
+MemorySystem::read16(uint32_t addr)
+{
+    assert((addr & 1) == 0 && "unaligned read16");
+    uint16_t v;
+    std::memcpy(&v, locate(addr, 2, false), 2);
+    (inRom(addr) ? romData_ : ramCnt_).reads++;
+    return v;
+}
+
+void
+MemorySystem::write32(uint32_t addr, uint32_t value)
+{
+    assert((addr & 3) == 0 && "unaligned write32");
+    std::memcpy(locate(addr, 4, true), &value, 4);
+    ramCnt_.writes++;
+}
+
+void
+MemorySystem::write8(uint32_t addr, uint32_t value)
+{
+    *locate(addr, 1, true) = static_cast<uint8_t>(value);
+    ramCnt_.writes++;
+}
+
+void
+MemorySystem::write16(uint32_t addr, uint32_t value)
+{
+    assert((addr & 1) == 0 && "unaligned write16");
+    uint16_t v = static_cast<uint16_t>(value);
+    std::memcpy(locate(addr, 2, true), &v, 2);
+    ramCnt_.writes++;
+}
+
+} // namespace ulecc

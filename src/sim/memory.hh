@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The simulated memory system: 256 KB program ROM and 16 KB RAM with
+ * single-cycle access (paper Section 5.1), plus access counters that
+ * feed the energy model (every ROM/RAM read and write carries a
+ * Cacti-derived energy cost, Chapter 6).
+ */
+
+#ifndef ULECC_SIM_MEMORY_HH
+#define ULECC_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace ulecc
+{
+
+/** Per-memory access counters consumed by the energy model. */
+struct MemCounters
+{
+    uint64_t reads = 0;      ///< narrow (32-bit) reads
+    uint64_t wideReads = 0;  ///< 128-bit cache-line reads (I$ fills)
+    uint64_t writes = 0;
+
+    void
+    reset()
+    {
+        reads = wideReads = writes = 0;
+    }
+};
+
+/** Simulated memory layout constants. */
+struct MemoryMap
+{
+    static constexpr uint32_t romBase = 0x00000000;
+    static constexpr uint32_t romSize = 256 * 1024;
+    static constexpr uint32_t ramBase = 0x10000000;
+    static constexpr uint32_t ramSize = 16 * 1024;
+};
+
+/** ROM + RAM with byte addressing and access accounting. */
+class MemorySystem
+{
+  public:
+    MemorySystem()
+        : rom_(MemoryMap::romSize, 0), ram_(MemoryMap::ramSize, 0)
+    {}
+
+    /** Loads a program image into ROM starting at address 0. */
+    void loadRom(const std::vector<uint32_t> &words);
+
+    /** Instruction fetch (counted separately from data reads). */
+    uint32_t fetch(uint32_t addr);
+
+    /** Wide 128-bit fetch for cache fills (counts one wide read). */
+    void fetchLine(uint32_t addr, uint32_t out[4]);
+
+    /** Data read (32-bit). */
+    uint32_t read32(uint32_t addr);
+
+    /** Functional peek (no access counting; cache-served fetches). */
+    uint32_t peek32(uint32_t addr);
+
+    /** Functional poke (no access counting; testbench data setup). */
+    void poke32(uint32_t addr, uint32_t value);
+
+    /** Data read (8-bit, zero-extended). */
+    uint32_t read8(uint32_t addr);
+
+    /** Data read (16-bit, zero-extended). */
+    uint32_t read16(uint32_t addr);
+
+    /** Data write (32-bit); ROM writes are rejected. */
+    void write32(uint32_t addr, uint32_t value);
+
+    void write8(uint32_t addr, uint32_t value);
+    void write16(uint32_t addr, uint32_t value);
+
+    /** True if @p addr lies in RAM. */
+    static bool
+    inRam(uint32_t addr)
+    {
+        return addr >= MemoryMap::ramBase
+            && addr < MemoryMap::ramBase + MemoryMap::ramSize;
+    }
+
+    /** True if @p addr lies in ROM. */
+    static bool
+    inRom(uint32_t addr)
+    {
+        return addr < MemoryMap::romSize;
+    }
+
+    MemCounters &romFetchCounters() { return romFetch_; }
+    MemCounters &romDataCounters() { return romData_; }
+    MemCounters &ramCounters() { return ramCnt_; }
+    const MemCounters &romFetchCounters() const { return romFetch_; }
+    const MemCounters &romDataCounters() const { return romData_; }
+    const MemCounters &ramCounters() const { return ramCnt_; }
+
+  private:
+    uint8_t *locate(uint32_t addr, uint32_t size, bool write);
+
+    std::vector<uint8_t> rom_;
+    std::vector<uint8_t> ram_;
+    MemCounters romFetch_;
+    MemCounters romData_;
+    MemCounters ramCnt_;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_SIM_MEMORY_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Umbrella header: the library's public API surface.
+ *
+ * Layers (bottom up):
+ *  - mpint:    multi-precision + finite-field arithmetic
+ *  - ec:       elliptic curves and scalar multiplication
+ *  - ecdsa:    SHA-256, ECDSA, ECDH
+ *  - isa/asmkit/sim: the simulated embedded platform ("Pete")
+ *  - accel:    the Monte and Billie accelerators
+ *  - energy:   the power/energy models
+ *  - workload: kernels, traces and cost models
+ *  - core:     the design-space evaluator and reporting
+ */
+
+#ifndef ULECC_ULECC_HH
+#define ULECC_ULECC_HH
+
+#include "mpint/mpuint.hh"
+#include "mpint/prime_field.hh"
+#include "mpint/binary_field.hh"
+#include "mpint/op_observer.hh"
+
+#include "ec/curve.hh"
+#include "ec/scalar_mult.hh"
+#include "ec/toy_curves.hh"
+
+#include "ecdsa/sha256.hh"
+#include "ecdsa/ecdsa.hh"
+#include "ecdsa/ecdh.hh"
+
+#include "isa/isa.hh"
+#include "asmkit/assembler.hh"
+#include "sim/memory.hh"
+#include "sim/icache.hh"
+#include "sim/cpu.hh"
+
+#include "accel/monte.hh"
+#include "accel/billie.hh"
+#include "accel/ffau_study.hh"
+#include "accel/ffau_microcode.hh"
+#include "accel/bit_squarer.hh"
+
+#include "energy/sram_model.hh"
+#include "energy/power_model.hh"
+
+#include "workload/asm_kernels.hh"
+#include "workload/op_trace.hh"
+#include "workload/kernel_model.hh"
+#include "workload/fetch_trace.hh"
+
+#include "core/evaluator.hh"
+#include "core/report.hh"
+
+#endif // ULECC_ULECC_HH

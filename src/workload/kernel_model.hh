@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Per-operation cost model for every evaluated microarchitecture.
+ *
+ * For each (microarchitecture, curve) pair this model supplies the
+ * cycle count and activity events of one finite-field operation.  The
+ * multiplication and addition kernels of the processor configurations
+ * are *measured* by running the hand-written assembly kernels on the
+ * Pete cycle simulator (workload/asm_kernels); reduction, squaring and
+ * inversion use analytic forms anchored to the paper's stated kernel
+ * costs (374/97 cycles for the P192 ISA-extended multiply/reduce,
+ * 376/100 for B163 -- Section 4.2.2).  The accelerator configurations
+ * use the Monte timeline (Eq. 5.2 + DMA overlap) and Billie unit
+ * latencies (digit-serial multiplier, single-cycle squarer).
+ */
+
+#ifndef ULECC_WORKLOAD_KERNEL_MODEL_HH
+#define ULECC_WORKLOAD_KERNEL_MODEL_HH
+
+#include <array>
+
+#include "ec/curve.hh"
+#include "energy/power_model.hh"
+#include "mpint/op_observer.hh"
+
+namespace ulecc
+{
+
+/** The hardware/software configurations of the study (Fig 1.1). */
+enum class MicroArch
+{
+    Baseline,     ///< Pete + ROM + RAM, pure software
+    IsaExt,       ///< + MADDU/M2ADDU/ADDAU/SHA (+ MULGF2/MADDGF2)
+    IsaExtIcache, ///< ISA extensions + instruction cache
+    Monte,        ///< + the microcoded prime-field accelerator
+    Billie,       ///< + the fixed binary-field accelerator
+};
+
+/** Human-readable configuration name. */
+const char *microArchName(MicroArch arch);
+
+/** Per-operation cost: cycles plus the activity the op generates. */
+struct OpCost
+{
+    double cycles = 0;
+    double instructions = 0;      ///< Pete retirements
+    double multActiveCycles = 0;  ///< Karatsuba unit busy
+    double ramReads = 0;
+    double ramWrites = 0;
+    double monteFfauCycles = 0;
+    double monteDmaCycles = 0;
+    double monteBufAccesses = 0;
+    double billieActiveCycles = 0;
+};
+
+/** Options that refine a configuration. */
+struct KernelModelOptions
+{
+    uint32_t icacheBytes = 4096;
+    bool icachePrefetch = false;
+    bool monteDoubleBuffer = true;
+    int billieDigit = 3;
+};
+
+/** The cost model for one (arch, curve) pair. */
+class KernelModel
+{
+  public:
+    KernelModel(MicroArch arch, CurveId curve,
+                const KernelModelOptions &options = {});
+
+    MicroArch arch() const { return arch_; }
+    CurveId curve() const { return curve_; }
+    const KernelModelOptions &options() const { return options_; }
+
+    /** Cost of one field operation. */
+    const OpCost &cost(OpDomain domain, FieldOp op) const;
+
+    /** Fixed per-operation overhead (hash, nonce, recoding, setup). */
+    OpCost fixedOverhead(bool sign) const;
+
+    /** Field word count k for the curve field. */
+    int fieldWords() const { return k_; }
+
+    /** Word count for the group order. */
+    int orderWords() const { return kn_; }
+
+  private:
+    void build();
+    OpCost peteOp(double kernel_cycles, double ram_reads,
+                  double ram_writes, double mult_cycles,
+                  double glue) const;
+    OpCost monteFieldOp(bool isMul) const;
+    OpCost billieFieldOp(FieldOp op) const;
+
+    MicroArch arch_;
+    CurveId curve_;
+    KernelModelOptions options_;
+    int k_;       ///< curve-field words
+    int kn_;      ///< order words
+    int bits_;    ///< curve-field bits
+    bool binary_;
+    std::array<std::array<OpCost, 6>, 2> table_;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_WORKLOAD_KERNEL_MODEL_HH

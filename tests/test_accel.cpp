@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Accelerator tests: Monte driven end-to-end from simulated assembly
+ * (functional CIOS results + queue/double-buffer timing), Billie's
+ * register-file coprocessor, and the FFAU width study against the
+ * paper's Table 7.3/7.4 anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/billie.hh"
+#include "accel/ffau_study.hh"
+#include "accel/monte.hh"
+#include "test_util.hh"
+
+using namespace ulecc;
+using ulecc::test::Rng;
+
+namespace
+{
+
+constexpr uint32_t kA = 0x10000400;
+constexpr uint32_t kB = 0x10000500;
+constexpr uint32_t kN = 0x10000600;
+constexpr uint32_t kR = 0x10000700;
+
+void
+pokeValue(Pete &cpu, uint32_t addr, const MpUint &v, int k)
+{
+    for (int i = 0; i < k; ++i)
+        cpu.mem().poke32(addr + 4 * i, v.limb(i));
+}
+
+MpUint
+peekValue(Pete &cpu, uint32_t addr, int k)
+{
+    MpUint v;
+    for (int i = 0; i < k; ++i)
+        v.setLimb(i, cpu.mem().peek32(addr + 4 * i));
+    return v;
+}
+
+std::string
+monteProgram(int k)
+{
+    return "    li $t0, " + std::to_string(k) + "\n" + R"(
+    ctc2 $t0, 0
+    li $a0, 0x10000600
+    cop2ldn $a0
+    li $a0, 0x10000400
+    cop2lda $a0
+    li $a0, 0x10000500
+    cop2ldb $a0
+    cop2mul
+    li $a0, 0x10000700
+    cop2st $a0
+    cop2sync
+    break
+)";
+}
+
+} // namespace
+
+class MonteFields : public ::testing::TestWithParam<NistPrime>
+{
+};
+
+TEST_P(MonteFields, CiosResultMatchesField)
+{
+    PrimeField f(GetParam());
+    int k = f.words();
+    Rng rng(0x305 + static_cast<int>(GetParam()));
+    for (int i = 0; i < 5; ++i) {
+        MpUint a = rng.mpBelow(f.modulus());
+        MpUint b = rng.mpBelow(f.modulus());
+        MonteConfig mc;
+        Monte monte(mc);
+        Pete cpu(assemble(monteProgram(k)));
+        cpu.attachCop2(&monte);
+        pokeValue(cpu, kA, a, k);
+        pokeValue(cpu, kB, b, k);
+        pokeValue(cpu, kN, f.modulus(), k);
+        ASSERT_TRUE(cpu.run());
+        MpUint result = peekValue(cpu, kR, k);
+        EXPECT_EQ(result, f.montMulCios(a, b))
+            << "a=" << a.toHex() << " b=" << b.toHex();
+        EXPECT_EQ(monte.stats().mulOps, 1u);
+        EXPECT_EQ(monte.stats().ffauActiveCycles, ffauCiosCycles(k));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, MonteFields,
+    ::testing::Values(NistPrime::P192, NistPrime::P256, NistPrime::P384,
+                      NistPrime::P521));
+
+TEST(Monte, AddSubFunctional)
+{
+    PrimeField f(NistPrime::P192);
+    Rng rng(0xadd);
+    MpUint a = rng.mpBelow(f.modulus());
+    MpUint b = rng.mpBelow(f.modulus());
+    std::string prog = "    li $t0, 6\n" + std::string(R"(
+    ctc2 $t0, 0
+    li $a0, 0x10000600
+    cop2ldn $a0
+    li $a0, 0x10000400
+    cop2lda $a0
+    li $a0, 0x10000500
+    cop2ldb $a0
+    cop2add
+    li $a0, 0x10000700
+    cop2st $a0
+    cop2sub
+    li $a0, 0x10000740
+    cop2st $a0
+    cop2sync
+    break
+)");
+    Monte monte;
+    Pete cpu(assemble(prog));
+    cpu.attachCop2(&monte);
+    pokeValue(cpu, kA, a, 6);
+    pokeValue(cpu, kB, b, 6);
+    pokeValue(cpu, kN, f.modulus(), 6);
+    ASSERT_TRUE(cpu.run());
+    EXPECT_EQ(peekValue(cpu, kR, 6), f.add(a, b));
+    EXPECT_EQ(peekValue(cpu, 0x10000740, 6), f.sub(a, b));
+}
+
+TEST(Monte, DoubleBufferOverlapsDmaWithCompute)
+{
+    // A chain of multiplications: with double buffering the next
+    // operands load while the FFAU computes, so the run is faster
+    // (paper Section 7.7).
+    PrimeField f(NistPrime::P384);
+    Rng rng(0xdb);
+    MpUint a = rng.mpBelow(f.modulus());
+    MpUint b = rng.mpBelow(f.modulus());
+    std::string prog = "    li $t0, 12\n" + std::string(R"(
+    ctc2 $t0, 0
+    li $a0, 0x10000600
+    cop2ldn $a0
+    li $t9, 8
+loop:
+    li $a0, 0x10000400
+    cop2lda $a0
+    li $a0, 0x10000500
+    cop2ldb $a0
+    cop2mul
+    li $a0, 0x10000700
+    cop2st $a0
+    addiu $t9, $t9, -1
+    bne $t9, $zero, loop
+    nop
+    cop2sync
+    break
+)");
+    auto run = [&](bool double_buffer) {
+        MonteConfig mc;
+        mc.doubleBuffer = double_buffer;
+        Monte monte(mc);
+        Pete cpu(assemble(prog));
+        cpu.attachCop2(&monte);
+        pokeValue(cpu, kA, a, 12);
+        pokeValue(cpu, kB, b, 12);
+        pokeValue(cpu, kN, f.modulus(), 12);
+        EXPECT_TRUE(cpu.run());
+        EXPECT_EQ(peekValue(cpu, kR, 12), f.montMulCios(a, b));
+        return cpu.stats().cycles;
+    };
+    uint64_t with_db = run(true);
+    uint64_t without_db = run(false);
+    EXPECT_LT(with_db, without_db);
+}
+
+TEST(Monte, SyncStallsUntilDrained)
+{
+    Monte monte;
+    Pete cpu(assemble(monteProgram(6)));
+    cpu.attachCop2(&monte);
+    PrimeField f(NistPrime::P192);
+    pokeValue(cpu, kA, MpUint(5), 6);
+    pokeValue(cpu, kB, MpUint(7), 6);
+    pokeValue(cpu, kN, f.modulus(), 6);
+    ASSERT_TRUE(cpu.run());
+    // The sync at the end forces Pete to absorb the remaining latency.
+    EXPECT_GT(cpu.stats().cop2Stalls, 0u);
+}
+
+TEST(Monte, RejectsBadConfiguration)
+{
+    Monte monte;
+    Pete cpu(assemble(R"(
+        li $t0, 99
+        ctc2 $t0, 0
+        break
+    )"));
+    cpu.attachCop2(&monte);
+    EXPECT_THROW(cpu.run(), std::runtime_error);
+}
+
+TEST(Billie, FunctionalOpsMatchField)
+{
+    BinaryField f(NistBinary::B163);
+    Rng rng(0xb111e);
+    MpUint x = rng.mp(163);
+    MpUint y = rng.mp(160);
+    BillieConfig bc;
+    Billie billie(bc);
+    Pete cpu(assemble(R"(
+        li $a0, 0x10000400
+        cop2ld $a0, 0
+        li $a0, 0x10000500
+        cop2ld $a0, 1
+        cop2mulb 2, 0, 1
+        cop2sqr 3, 0
+        cop2addb 4, 2, 3
+        li $a0, 0x10000700
+        cop2stb $a0, 4
+        cop2sync
+        break
+    )"));
+    cpu.attachCop2(&billie);
+    pokeValue(cpu, kA, x, 6);
+    pokeValue(cpu, kB, y, 6);
+    ASSERT_TRUE(cpu.run());
+    MpUint expect = f.add(f.mul(x, y), f.sqr(x));
+    EXPECT_EQ(peekValue(cpu, kR, 6), expect);
+    EXPECT_EQ(billie.stats().mulOps, 1u);
+    EXPECT_EQ(billie.stats().sqrOps, 1u);
+    EXPECT_EQ(billie.stats().addOps, 1u);
+    // Register-file values visible for inspection.
+    EXPECT_EQ(billie.regValue(2), f.mul(x, y));
+}
+
+TEST(Billie, DigitWidthScalesMultiplierLatency)
+{
+    EXPECT_EQ(billieMulCycles(163, 1), 165u);
+    EXPECT_EQ(billieMulCycles(163, 3), 57u);
+    EXPECT_EQ(billieMulCycles(163, 8), 23u);
+    EXPECT_EQ(billieMulCycles(571, 3), 193u);
+    // Bigger digits, fewer cycles.
+    for (int d = 1; d < 16; ++d)
+        EXPECT_GE(billieMulCycles(163, d), billieMulCycles(163, d + 1));
+}
+
+TEST(Billie, ScoreboardSerialisesDependentOps)
+{
+    // mul writes r2; the dependent add must wait for it, so the total
+    // exceeds the sum of issue cycles.
+    BinaryField f(NistBinary::B163);
+    Billie billie;
+    Pete cpu(assemble(R"(
+        li $a0, 0x10000400
+        cop2ld $a0, 0
+        li $a0, 0x10000500
+        cop2ld $a0, 1
+        cop2mulb 2, 0, 1
+        cop2addb 3, 2, 0
+        li $a0, 0x10000700
+        cop2stb $a0, 3
+        cop2sync
+        break
+    )"));
+    cpu.attachCop2(&billie);
+    Rng rng(0x5c0);
+    MpUint x = rng.mp(150), y = rng.mp(163);
+    pokeValue(cpu, kA, x, 6);
+    pokeValue(cpu, kB, y, 6);
+    ASSERT_TRUE(cpu.run());
+    EXPECT_EQ(peekValue(cpu, kR, 6), f.add(f.mul(x, y), x));
+    // The final sync absorbed the dependent chain.
+    EXPECT_GT(cpu.stats().cop2Stalls,
+              billieMulCycles(163, 3) / 2);
+}
+
+TEST(FfauStudy, CyclesMatchEq52)
+{
+    // Paper Table 7.4 execution times at 100 MHz (plus/minus a cycle
+    // of measurement noise in the paper's own numbers).
+    EXPECT_EQ(ffauDesignPoint(8, 192).cycles, 1393u);   // paper 1392
+    EXPECT_EQ(ffauDesignPoint(16, 192).cycles, 421u);   // paper 422
+    EXPECT_EQ(ffauDesignPoint(32, 192).cycles, 151u);   // paper 152
+    EXPECT_EQ(ffauDesignPoint(64, 192).cycles, 70u);    // paper 71
+    EXPECT_EQ(ffauDesignPoint(32, 256).cycles, 225u);   // paper 215 ns*
+    EXPECT_EQ(ffauDesignPoint(32, 384).cycles, 421u);   // paper 411 ns*
+}
+
+TEST(FfauStudy, AreaAndPowerTrackPaperTable73)
+{
+    struct Anchor { int w; double area, stat, dyn; };
+    // Paper Table 7.3, 192-bit rows.
+    const Anchor anchors[] = {
+        {8, 2091, 32.3, 166.2},
+        {16, 4244, 59.3, 311.9},
+        {32, 11329, 159.1, 659.9},
+        {64, 36582, 530.6, 1472.7},
+    };
+    for (const Anchor &a : anchors) {
+        FfauDesignPoint pt = ffauDesignPoint(a.w, 192);
+        EXPECT_NEAR(pt.areaCells, a.area, 0.18 * a.area) << a.w;
+        EXPECT_NEAR(pt.staticPowerUw, a.stat, 0.18 * a.stat) << a.w;
+        EXPECT_NEAR(pt.dynamicPowerUw, a.dyn, 0.18 * a.dyn) << a.w;
+    }
+}
+
+TEST(FfauStudy, EnergyOptimalWidthMatchesFig715)
+{
+    // 192-bit: energy decreases to 32-bit then rises at 64-bit.
+    double e8 = ffauDesignPoint(8, 192).energyNj;
+    double e16 = ffauDesignPoint(16, 192).energyNj;
+    double e32 = ffauDesignPoint(32, 192).energyNj;
+    double e64 = ffauDesignPoint(64, 192).energyNj;
+    EXPECT_GT(e8, e16);
+    EXPECT_GT(e16, e32);
+    EXPECT_LT(e32, e64); // 32-bit is the 192-bit optimum
+    // 384-bit: the optimum moves to >= 64 bits.
+    EXPECT_GT(ffauDesignPoint(32, 384).energyNj,
+              ffauDesignPoint(64, 384).energyNj);
+    // Every FFAU point beats the ARM Cortex-M3 by a wide margin.
+    for (const ArmM3Reference &ref : armM3References()) {
+        for (int w : ffauStudyWidths()) {
+            if (ref.keyBits % w)
+                continue;
+            EXPECT_LT(ffauDesignPoint(w, ref.keyBits).energyNj * 5,
+                      ref.energyNj);
+        }
+    }
+}

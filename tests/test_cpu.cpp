@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Pete pipeline simulator tests: functional semantics (including delay
+ * slots, Hi/Lo, ISA extensions) and cycle-accounting behaviour
+ * (load-use stalls, branch prediction, multiplier interlocks, I-cache).
+ */
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hh"
+#include "sim/cpu.hh"
+
+using namespace ulecc;
+
+namespace
+{
+
+Pete
+runProgram(const std::string &src, PeteConfig cfg = {})
+{
+    Pete cpu(assemble(src), cfg);
+    EXPECT_TRUE(cpu.run());
+    return cpu;
+}
+
+} // namespace
+
+TEST(Pete, ArithmeticBasics)
+{
+    Pete cpu = runProgram(R"(
+        addiu $t0, $zero, 5
+        addiu $t1, $zero, 7
+        addu  $t2, $t0, $t1
+        subu  $t3, $t1, $t0
+        sll   $t4, $t1, 2
+        sltu  $t5, $t0, $t1
+        break
+    )");
+    EXPECT_EQ(cpu.reg(10), 12u);
+    EXPECT_EQ(cpu.reg(11), 2u);
+    EXPECT_EQ(cpu.reg(12), 28u);
+    EXPECT_EQ(cpu.reg(13), 1u);
+}
+
+TEST(Pete, ZeroRegisterIsImmutable)
+{
+    Pete cpu = runProgram(R"(
+        addiu $zero, $zero, 55
+        addu $t0, $zero, $zero
+        break
+    )");
+    EXPECT_EQ(cpu.reg(0), 0u);
+    EXPECT_EQ(cpu.reg(8), 0u);
+}
+
+TEST(Pete, MemoryLoadsAndStores)
+{
+    Pete cpu = runProgram(R"(
+        li  $t0, 0x10000000     # RAM base
+        li  $t1, 0xcafebabe
+        sw  $t1, 0($t0)
+        lw  $t2, 0($t0)
+        lbu $t3, 0($t0)         # little-endian low byte
+        lb  $t4, 1($t0)         # 0xba sign-extended
+        lhu $t5, 2($t0)
+        sh  $t5, 8($t0)
+        lw  $t6, 8($t0)
+        break
+    )");
+    EXPECT_EQ(cpu.reg(10), 0xcafebabeu);
+    EXPECT_EQ(cpu.reg(11), 0xbeu);
+    EXPECT_EQ(cpu.reg(12), 0xffffffbau);
+    EXPECT_EQ(cpu.reg(13), 0xcafeu);
+    EXPECT_EQ(cpu.reg(14), 0xcafeu);
+    EXPECT_GE(cpu.mem().ramCounters().reads, 4u);
+    EXPECT_GE(cpu.mem().ramCounters().writes, 2u);
+}
+
+TEST(Pete, BranchDelaySlotExecutes)
+{
+    Pete cpu = runProgram(R"(
+        addiu $t0, $zero, 1
+        beq   $zero, $zero, skip
+        addiu $t1, $zero, 99   # delay slot: always executes
+        addiu $t2, $zero, 55   # skipped
+    skip:
+        break
+    )");
+    EXPECT_EQ(cpu.reg(9), 99u);
+    EXPECT_EQ(cpu.reg(10), 0u);
+}
+
+TEST(Pete, LoopCountsCorrectly)
+{
+    Pete cpu = runProgram(R"(
+        addiu $t0, $zero, 10
+        addiu $t1, $zero, 0
+    loop:
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        addiu $t1, $t1, 1      # delay slot: runs every iteration
+        break
+    )");
+    EXPECT_EQ(cpu.reg(8), 0u);
+    EXPECT_EQ(cpu.reg(9), 10u);
+}
+
+TEST(Pete, JalAndJrFunctionCall)
+{
+    Pete cpu = runProgram(R"(
+            jal func
+            nop
+            addu $t1, $v0, $v0
+            break
+            nop
+        func:
+            addiu $v0, $zero, 21
+            jr $ra
+            nop
+    )");
+    EXPECT_EQ(cpu.reg(2), 21u);
+    EXPECT_EQ(cpu.reg(9), 42u);
+    EXPECT_GE(cpu.stats().jumpStalls, 1u);
+}
+
+TEST(Pete, Fibonacci)
+{
+    Pete cpu = runProgram(R"(
+        addiu $t0, $zero, 0
+        addiu $t1, $zero, 1
+        addiu $t2, $zero, 12   # compute fib(12) = 144
+    loop:
+        addu  $t3, $t0, $t1
+        move  $t0, $t1
+        move  $t1, $t3
+        addiu $t2, $t2, -1
+        bne   $t2, $zero, loop
+        nop
+        break
+    )");
+    EXPECT_EQ(cpu.reg(8), 144u);
+}
+
+TEST(Pete, MultHiLo)
+{
+    Pete cpu = runProgram(R"(
+        li    $t0, 0x12345678
+        li    $t1, 0x9abcdef0
+        multu $t0, $t1
+        mflo  $t2
+        mfhi  $t3
+        break
+    )");
+    uint64_t p = 0x12345678ull * 0x9abcdef0ull;
+    EXPECT_EQ(cpu.reg(10), static_cast<uint32_t>(p));
+    EXPECT_EQ(cpu.reg(11), static_cast<uint32_t>(p >> 32));
+    EXPECT_GE(cpu.stats().multBusyStalls, 1u);
+}
+
+TEST(Pete, MultSigned)
+{
+    Pete cpu = runProgram(R"(
+        addiu $t0, $zero, -3
+        addiu $t1, $zero, 7
+        mult  $t0, $t1
+        mflo  $t2
+        mfhi  $t3
+        break
+    )");
+    EXPECT_EQ(static_cast<int32_t>(cpu.reg(10)), -21);
+    EXPECT_EQ(cpu.reg(11), 0xffffffffu);
+}
+
+TEST(Pete, StaticSchedulingHidesMultLatency)
+{
+    // The paper's Section 5.1.1 example: independent instructions
+    // between mult and mflo absorb the 4-cycle latency.
+    Pete hidden = runProgram(R"(
+        li    $t0, 1000
+        li    $t1, 2000
+        multu $t0, $t1
+        addiu $t4, $zero, 1
+        addiu $t5, $zero, 2
+        addiu $t6, $zero, 3
+        mflo  $t2
+        break
+    )");
+    Pete exposed = runProgram(R"(
+        li    $t0, 1000
+        li    $t1, 2000
+        multu $t0, $t1
+        mflo  $t2
+        addiu $t4, $zero, 1
+        addiu $t5, $zero, 2
+        addiu $t6, $zero, 3
+        break
+    )");
+    EXPECT_EQ(hidden.reg(10), 2000000u);
+    EXPECT_EQ(exposed.reg(10), 2000000u);
+    EXPECT_EQ(hidden.stats().multBusyStalls, 0u);
+    EXPECT_GT(exposed.stats().multBusyStalls, 0u);
+    EXPECT_LT(hidden.stats().cycles, exposed.stats().cycles);
+}
+
+TEST(Pete, DivRestoring)
+{
+    Pete cpu = runProgram(R"(
+        addiu $t0, $zero, 100
+        addiu $t1, $zero, 7
+        divu  $t0, $t1
+        mflo  $t2
+        mfhi  $t3
+        break
+    )");
+    EXPECT_EQ(cpu.reg(10), 14u);
+    EXPECT_EQ(cpu.reg(11), 2u);
+    // Divide occupies the unit for its full latency.
+    EXPECT_GE(cpu.stats().multBusyStalls, 30u);
+}
+
+TEST(Pete, MadduAccumulatesWithOvflo)
+{
+    // Accumulate 3 large products; the 96-bit (OvFlo,Hi,Lo) must not
+    // lose carries (the paper's Table 5.1 semantics).
+    Pete cpu = runProgram(R"(
+        li    $t0, 0xffffffff
+        mthi  $zero
+        mtlo  $zero
+        maddu $t0, $t0
+        maddu $t0, $t0
+        maddu $t0, $t0
+        sha                  # (OvFlo,Hi,Lo) >>= 32
+        mflo  $t2            # middle word
+        mfhi  $t3            # former OvFlo
+        break
+    )");
+    // 3 * 0xffffffff^2 = 0x2_fffffffa_00000003
+    EXPECT_EQ(cpu.reg(10), 0xfffffffau);
+    EXPECT_EQ(cpu.reg(11), 0x2u);
+}
+
+TEST(Pete, M2adduDoubles)
+{
+    Pete cpu = runProgram(R"(
+        li     $t0, 0xffffffff
+        mthi   $zero
+        mtlo   $zero
+        m2addu $t0, $t0
+        mflo   $t2
+        mfhi   $t3
+        break
+    )");
+    // 2 * 0xffffffff^2 = 0x1_fffffffc_00000002 overflows 64 bits.
+    unsigned __int128 p2 =
+        static_cast<unsigned __int128>(0xffffffffull * 0xffffffffull) * 2;
+    EXPECT_EQ(cpu.reg(10), static_cast<uint32_t>(p2));
+    EXPECT_EQ(cpu.reg(11), static_cast<uint32_t>(p2 >> 32));
+    EXPECT_EQ(cpu.ovflo(), 1u); // 2*p overflows 64 bits
+}
+
+TEST(Pete, AddauAddsShiftedOperand)
+{
+    Pete cpu = runProgram(R"(
+        li    $t0, 5
+        li    $t1, 0xffffffff
+        mthi  $zero
+        mtlo  $zero
+        addau $t0, $t1       # acc += (5 << 32) + 0xffffffff
+        mflo  $t2
+        mfhi  $t3
+        break
+    )");
+    EXPECT_EQ(cpu.reg(10), 0xffffffffu);
+    EXPECT_EQ(cpu.reg(11), 5u);
+}
+
+TEST(Pete, CarrylessExtensions)
+{
+    Pete cpu = runProgram(R"(
+        li      $t0, 0xffffffff
+        li      $t1, 0x80000000
+        mulgf2  $t0, $t1
+        mflo    $t2
+        mfhi    $t3
+        li      $t4, 3
+        li      $t5, 3
+        maddgf2 $t4, $t5     # acc ^= clmul(3,3) = 5
+        mflo    $t6
+        break
+    )");
+    // clmul(0xffffffff, 0x80000000) = 0xffffffff << 31.
+    uint64_t p = 0xffffffffull << 31;
+    EXPECT_EQ(cpu.reg(10), static_cast<uint32_t>(p));
+    EXPECT_EQ(cpu.reg(11), static_cast<uint32_t>(p >> 32));
+    EXPECT_EQ(cpu.reg(14), static_cast<uint32_t>(p ^ 5));
+}
+
+TEST(Pete, LoadUseStallCharged)
+{
+    Pete stalled = runProgram(R"(
+        li  $t0, 0x10000000
+        li  $t1, 77
+        sw  $t1, 0($t0)
+        lw  $t2, 0($t0)
+        addu $t3, $t2, $t2   # immediate use: one slip
+        break
+    )");
+    Pete scheduled = runProgram(R"(
+        li  $t0, 0x10000000
+        li  $t1, 77
+        sw  $t1, 0($t0)
+        lw  $t2, 0($t0)
+        addiu $t5, $zero, 0  # filler breaks the dependence
+        addu $t3, $t2, $t2
+        break
+    )");
+    EXPECT_EQ(stalled.reg(11), 154u);
+    EXPECT_EQ(stalled.stats().loadUseStalls, 1u);
+    EXPECT_EQ(scheduled.stats().loadUseStalls, 0u);
+}
+
+TEST(Pete, BranchPredictorLearnsLoop)
+{
+    // A long loop: the 2-bit predictor mispredicts only a handful of
+    // times (cold + exit), not once per iteration.
+    Pete cpu = runProgram(R"(
+        addiu $t0, $zero, 100
+    loop:
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )");
+    EXPECT_EQ(cpu.stats().branches, 100u);
+    EXPECT_LE(cpu.stats().branchMispredicts, 4u);
+}
+
+TEST(Pete, ICacheLoopHitsAfterWarmup)
+{
+    PeteConfig cfg;
+    cfg.icacheEnabled = true;
+    cfg.icache.sizeBytes = 1024;
+    Pete cpu = runProgram(R"(
+        addiu $t0, $zero, 200
+    loop:
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )", cfg);
+    const ICacheStats &ic = cpu.icache()->stats();
+    EXPECT_GT(ic.accesses, 600u);
+    EXPECT_LE(ic.misses, 3u); // tiny loop: everything fits in one line+
+    EXPECT_EQ(cpu.mem().romFetchCounters().reads, 0u);
+    EXPECT_EQ(cpu.mem().romFetchCounters().wideReads, ic.lineFills);
+}
+
+TEST(Pete, ICacheMissPenaltyCharged)
+{
+    PeteConfig base;
+    Pete nocache = runProgram(R"(
+        addiu $t0, $zero, 50
+    loop:
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )", base);
+    PeteConfig cfg;
+    cfg.icacheEnabled = true;
+    cfg.icache.sizeBytes = 1024;
+    Pete cached = runProgram(R"(
+        addiu $t0, $zero, 50
+    loop:
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )", cfg);
+    // Same instruction count; the cached run pays a few fill slips.
+    EXPECT_EQ(nocache.stats().instructions, cached.stats().instructions);
+    EXPECT_EQ(cached.stats().cycles,
+              nocache.stats().cycles + cached.stats().icacheStalls);
+}
+
+TEST(Pete, HaltsOnBreakAndSyscall)
+{
+    Pete a = runProgram("break\n");
+    EXPECT_TRUE(a.halted());
+    Pete b = runProgram("syscall\n");
+    EXPECT_TRUE(b.halted());
+}
+
+TEST(Pete, IllegalInstructionThrows)
+{
+    Program p;
+    p.words = {0xFFFFFFFFu};
+    Pete cpu(p);
+    EXPECT_THROW(cpu.run(), std::runtime_error);
+}
+
+TEST(Pete, Cop2WithoutCoprocessorThrows)
+{
+    Pete cpu(assemble("cop2sync\nbreak\n"));
+    EXPECT_THROW(cpu.run(), std::runtime_error);
+}

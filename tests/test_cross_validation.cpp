@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Cross-validation between the analytical composition model (the
+ * thing that generates the paper's figures) and the operational
+ * coprocessor models running real instruction streams on Pete.
+ *
+ * If these diverge, the figures are fiction; each test drives a long
+ * chain of accelerator operations through the functional simulator
+ * and demands the per-operation cycle cost land near the KernelModel
+ * entry used by the evaluator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "accel/billie.hh"
+#include "accel/monte.hh"
+#include "workload/kernel_model.hh"
+#include "test_util.hh"
+
+using namespace ulecc;
+using ulecc::test::Rng;
+
+namespace
+{
+
+/** Runs a chain of @p n Monte multiplications, returns cycles/op. */
+double
+monteChainCyclesPerOp(int k, int n, bool double_buffer,
+                      const PrimeField &f)
+{
+    std::ostringstream prog;
+    prog << "    li $t4, " << k << "\n"
+         << "    ctc2 $t4, 0\n"
+         << "    li $a3, 0x10000600\n"
+         << "    cop2ldn $a3\n"
+         << "    li $t9, " << n << "\n"
+         << "    li $a1, 0x10000400\n"
+         << "    li $a2, 0x10000500\n"
+         << "    li $a0, 0x10000700\n"
+         << R"(
+loop:
+    cop2lda $a1
+    cop2ldb $a2
+    cop2mul
+    cop2st $a0
+    addiu $t9, $t9, -1
+    bne $t9, $zero, loop
+    nop
+    cop2sync
+    break
+)";
+    MonteConfig mc;
+    mc.doubleBuffer = double_buffer;
+    Monte monte(mc);
+    Pete cpu(assemble(prog.str()));
+    cpu.attachCop2(&monte);
+    Rng rng(0xc4a1 + k);
+    MpUint a = rng.mpBelow(f.modulus());
+    MpUint b = rng.mpBelow(f.modulus());
+    for (int i = 0; i < k; ++i) {
+        cpu.mem().poke32(0x10000400 + 4 * i, a.limb(i));
+        cpu.mem().poke32(0x10000500 + 4 * i, b.limb(i));
+        cpu.mem().poke32(0x10000600 + 4 * i, f.modulus().limb(i));
+    }
+    EXPECT_TRUE(cpu.run());
+    return static_cast<double>(cpu.stats().cycles) / n;
+}
+
+} // namespace
+
+TEST(CrossValidation, MonteMulModelMatchesFunctionalTimeline)
+{
+    for (auto [prime, curve] :
+         {std::pair{NistPrime::P192, CurveId::P192},
+          std::pair{NistPrime::P256, CurveId::P256},
+          std::pair{NistPrime::P384, CurveId::P384}}) {
+        PrimeField f(prime);
+        KernelModel model(MicroArch::Monte, curve);
+        double modeled =
+            model.cost(OpDomain::CurveField, FieldOp::Mul).cycles;
+        double simulated =
+            monteChainCyclesPerOp(f.words(), 64, true, f);
+        EXPECT_NEAR(simulated, modeled, 0.30 * modeled)
+            << f.bits() << "-bit: simulated " << simulated
+            << " vs modeled " << modeled;
+    }
+}
+
+TEST(CrossValidation, MonteDoubleBufferGainMatchesModelDirection)
+{
+    PrimeField f(NistPrime::P384);
+    double with_db = monteChainCyclesPerOp(12, 64, true, f);
+    double without = monteChainCyclesPerOp(12, 64, false, f);
+    EXPECT_LT(with_db, without);
+    KernelModel on(MicroArch::Monte, CurveId::P384, {});
+    KernelModelOptions off_opt;
+    off_opt.monteDoubleBuffer = false;
+    KernelModel off(MicroArch::Monte, CurveId::P384, off_opt);
+    double modeled_gain =
+        off.cost(OpDomain::CurveField, FieldOp::Mul).cycles
+        - on.cost(OpDomain::CurveField, FieldOp::Mul).cycles;
+    double simulated_gain = without - with_db;
+    EXPECT_NEAR(simulated_gain, modeled_gain, 0.6 * modeled_gain + 6);
+}
+
+TEST(CrossValidation, BillieMulModelMatchesFunctionalTimeline)
+{
+    // A chain of register-resident multiplications: the scoreboarded
+    // issue should sustain one multiply per multiplier latency.
+    const int n = 64;
+    std::ostringstream prog;
+    prog << "    li $a1, 0x10000400\n"
+         << "    cop2ld $a1, 0\n"
+         << "    li $a2, 0x10000500\n"
+         << "    cop2ld $a2, 1\n"
+         << "    li $t9, " << n << "\n"
+         << R"(
+loop:
+    cop2mulb 2, 0, 1
+    addiu $t9, $t9, -1
+    bne $t9, $zero, loop
+    nop
+    cop2sync
+    break
+)";
+    BillieConfig bc;
+    Billie billie(bc);
+    Pete cpu(assemble(prog.str()));
+    cpu.attachCop2(&billie);
+    Rng rng(0xb1c4);
+    MpUint x = rng.mp(163), y = rng.mp(162);
+    for (int i = 0; i < 6; ++i) {
+        cpu.mem().poke32(0x10000400 + 4 * i, x.limb(i));
+        cpu.mem().poke32(0x10000500 + 4 * i, y.limb(i));
+    }
+    ASSERT_TRUE(cpu.run());
+    double per_op = static_cast<double>(cpu.stats().cycles) / n;
+    KernelModel model(MicroArch::Billie, CurveId::B163);
+    double modeled =
+        model.cost(OpDomain::CurveField, FieldOp::Mul).cycles;
+    EXPECT_NEAR(per_op, modeled, 0.30 * modeled)
+        << "simulated " << per_op << " vs modeled " << modeled;
+    // And the chain result is still correct: x * y^n? No -- repeated
+    // r2 = r0 * r1 is idempotent; check it.
+    EXPECT_EQ(billie.regValue(2),
+              BinaryField(NistBinary::B163).mul(x, y));
+}
+
+TEST(CrossValidation, BaselineMulKernelFeedsTheModelVerbatim)
+{
+    // The model's baseline multiply cost must literally be the
+    // simulated kernel plus reduction plus glue -- no drift allowed.
+    KernelModel model(MicroArch::Baseline, CurveId::P192);
+    double mul = model.cost(OpDomain::CurveField, FieldOp::Mul).cycles;
+    // Simulated kernel (682 at k=6) + anchored reduction (97) + glue.
+    EXPECT_NEAR(mul, 682 + 97 + 16, 1.0);
+}

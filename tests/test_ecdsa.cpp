@@ -1,0 +1,228 @@
+/**
+ * @file
+ * SHA-256, HMAC, RFC 6979, and ECDSA protocol tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ec/toy_curves.hh"
+#include "ecdsa/ecdsa.hh"
+#include "test_util.hh"
+
+using namespace ulecc;
+using ulecc::test::Rng;
+
+TEST(Sha256, FipsVectors)
+{
+    EXPECT_EQ(digestHex(sha256("")),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(digestHex(sha256("abc")),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(digestHex(sha256(
+                  "abcdbcdecdefdefgefghfghighijhijk"
+                  "ijkljklmklmnlmnomnopnopq")),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, LongInputAndChunking)
+{
+    // One million 'a's, fed in irregular chunks.
+    Sha256 ctx;
+    std::string chunk(997, 'a');
+    size_t fed = 0;
+    while (fed + chunk.size() <= 1000000) {
+        ctx.update(chunk);
+        fed += chunk.size();
+    }
+    ctx.update(std::string(1000000 - fed, 'a'));
+    EXPECT_EQ(digestHex(ctx.final()),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, BoundaryLengths)
+{
+    // 55/56/64-byte messages cross the padding boundaries.
+    for (size_t len : {55u, 56u, 63u, 64u, 65u}) {
+        std::string m(len, 'x');
+        Sha256 a;
+        a.update(m);
+        // Byte-at-a-time must agree with bulk.
+        Sha256 b;
+        for (char ch : m)
+            b.update(std::string_view(&ch, 1));
+        EXPECT_EQ(digestHex(a.final()), digestHex(b.final())) << len;
+    }
+}
+
+TEST(Hmac, Rfc4231Vector1)
+{
+    std::vector<uint8_t> key(20, 0x0b);
+    std::string data = "Hi There";
+    Sha256Digest mac = hmacSha256(
+        key.data(), key.size(),
+        reinterpret_cast<const uint8_t *>(data.data()), data.size());
+    EXPECT_EQ(digestHex(mac),
+              "b0344c61d8db38535ca8afceaf0bf12b"
+              "881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Vector2)
+{
+    std::string key = "Jefe";
+    std::string data = "what do ya want for nothing?";
+    Sha256Digest mac = hmacSha256(
+        reinterpret_cast<const uint8_t *>(key.data()), key.size(),
+        reinterpret_cast<const uint8_t *>(data.data()), data.size());
+    EXPECT_EQ(digestHex(mac),
+              "5bdcc146bf60754e6a042426089575c7"
+              "5a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Bytes, RoundTrip)
+{
+    Rng rng(0xb1e5);
+    for (int i = 0; i < 50; ++i) {
+        MpUint v = rng.mp(1 + static_cast<int>(rng.below(250)));
+        int len = (v.bitLength() + 7) / 8 + static_cast<int>(rng.below(4));
+        auto bytes = toBytesBe(v, len);
+        EXPECT_EQ(fromBytesBe(bytes.data(), bytes.size()), v);
+    }
+}
+
+TEST(Rfc6979, P256SampleVector)
+{
+    // RFC 6979 A.2.5, P-256 + SHA-256, message "sample".
+    const Curve &c = standardCurve(CurveId::P256);
+    MpUint x = MpUint::fromHex(
+        "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721");
+    Sha256Digest h = sha256("sample");
+    MpUint k = rfc6979Nonce(x, h, c.order());
+    EXPECT_EQ(k.toHex(),
+              "a6e3c57dd01abe90086538398355dd4c"
+              "3b17aa873382b0f24d6129493d8aad60");
+    Ecdsa ecdsa(c);
+    Signature sig = ecdsa.signDigest(x, h);
+    EXPECT_EQ(sig.r.toHex(),
+              "efd48b2aacb6a8fd1140dd9cd45e81d6"
+              "9d2c877b56aaf991c34d0ea84eaf3716");
+    EXPECT_EQ(sig.s.toHex(),
+              "f7cb1c942d657c41d436c7a1b6e29f65"
+              "f3e900dbb9aff4064dc4ab2f843acda8");
+    // And it verifies.
+    KeyPair kp = ecdsa.keyFromPrivate(x);
+    EXPECT_TRUE(ecdsa.verifyDigest(kp.q, h, sig));
+}
+
+namespace
+{
+
+class EcdsaCurves : public ::testing::TestWithParam<CurveId>
+{
+};
+
+} // namespace
+
+TEST_P(EcdsaCurves, SignVerifyRoundTrip)
+{
+    const Curve &c = standardCurve(GetParam());
+    if (!c.orderVerified())
+        GTEST_SKIP() << "unverified parameters";
+    Ecdsa ecdsa(c);
+    Rng rng(0xec05a + static_cast<int>(GetParam()));
+    MpUint d = rng.mpBelow(c.order());
+    if (d.isZero())
+        d = MpUint(1);
+    KeyPair kp = ecdsa.keyFromPrivate(d);
+    EXPECT_TRUE(c.onCurve(kp.q));
+
+    Signature sig = ecdsa.sign(d, "the paper's benchmark message");
+    EXPECT_TRUE(ecdsa.verify(kp.q, "the paper's benchmark message", sig));
+    // Wrong message rejected.
+    EXPECT_FALSE(ecdsa.verify(kp.q, "a different message", sig));
+}
+
+TEST_P(EcdsaCurves, TamperedSignatureRejected)
+{
+    const Curve &c = standardCurve(GetParam());
+    if (!c.orderVerified())
+        GTEST_SKIP() << "unverified parameters";
+    Ecdsa ecdsa(c);
+    Rng rng(0x7a3 + static_cast<int>(GetParam()));
+    MpUint d = rng.mpBelow(c.order());
+    if (d.isZero())
+        d = MpUint(2);
+    KeyPair kp = ecdsa.keyFromPrivate(d);
+    Sha256Digest h = sha256("message");
+    Signature sig = ecdsa.signDigest(d, h);
+    ASSERT_TRUE(ecdsa.verifyDigest(kp.q, h, sig));
+
+    Signature bad = sig;
+    bad.r = bad.r.bitXor(MpUint(1));
+    EXPECT_FALSE(ecdsa.verifyDigest(kp.q, h, bad));
+    bad = sig;
+    bad.s = bad.s.bitXor(MpUint(4));
+    EXPECT_FALSE(ecdsa.verifyDigest(kp.q, h, bad));
+    // Out-of-range components rejected.
+    bad = sig;
+    bad.r = c.order();
+    EXPECT_FALSE(ecdsa.verifyDigest(kp.q, h, bad));
+    bad.r = MpUint(0);
+    EXPECT_FALSE(ecdsa.verifyDigest(kp.q, h, bad));
+    // Wrong public key rejected.
+    KeyPair other = ecdsa.keyFromPrivate(d.add(MpUint(1)));
+    EXPECT_FALSE(ecdsa.verifyDigest(other.q, h, sig));
+}
+
+TEST_P(EcdsaCurves, DeterministicNonceIsStable)
+{
+    const Curve &c = standardCurve(GetParam());
+    if (!c.orderVerified())
+        GTEST_SKIP() << "unverified parameters";
+    Ecdsa ecdsa(c);
+    MpUint d(0x1234567);
+    Sha256Digest h = sha256("stable");
+    Signature s1 = ecdsa.signDigest(d, h);
+    Signature s2 = ecdsa.signDigest(d, h);
+    EXPECT_EQ(s1.r, s2.r);
+    EXPECT_EQ(s1.s, s2.s);
+    // Different message -> different nonce -> different r.
+    Signature s3 = ecdsa.signDigest(d, sha256("other"));
+    EXPECT_NE(s1.r, s3.r);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, EcdsaCurves,
+    ::testing::Values(CurveId::P192, CurveId::P224, CurveId::P256,
+                      CurveId::P384, CurveId::P521, CurveId::B163,
+                      CurveId::B233, CurveId::B283),
+    [](const ::testing::TestParamInfo<CurveId> &info) {
+        std::string n = curveIdName(info.param);
+        n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+        return n;
+    });
+
+TEST(EcdsaToy, FullProtocolOnExhaustivelyVerifiedCurves)
+{
+    // End-to-end ECDSA on curves whose group order was computed by
+    // exhaustive point counting -- no trusted constants anywhere.
+    auto prime = makeToyPrimeCurve();
+    auto binary = makeToyBinaryCurve();
+    for (const Curve *c : {static_cast<const Curve *>(prime.get()),
+                           static_cast<const Curve *>(binary.get())}) {
+        Ecdsa ecdsa(*c);
+        Rng rng(0x70f);
+        for (int i = 0; i < 10; ++i) {
+            MpUint d = rng.mpBelow(c->order());
+            if (d.isZero())
+                continue;
+            KeyPair kp = ecdsa.keyFromPrivate(d);
+            std::string msg = "toy message " + std::to_string(i);
+            Signature sig = ecdsa.sign(d, msg);
+            EXPECT_TRUE(ecdsa.verify(kp.q, msg, sig)) << c->name();
+            EXPECT_FALSE(ecdsa.verify(kp.q, msg + "!", sig)) << c->name();
+        }
+    }
+}

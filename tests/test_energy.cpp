@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Energy model tests: SRAM scaling laws and system power accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/power_model.hh"
+#include "energy/sram_model.hh"
+
+using namespace ulecc;
+
+TEST(SramModel, AccessEnergyGrowsWithCapacity)
+{
+    double prev = 0;
+    for (uint32_t cap : {1024u, 4096u, 16384u, 65536u, 262144u}) {
+        SramEnergy e = sramEnergy({cap, 32, 1, false});
+        EXPECT_GT(e.readPj, prev) << cap;
+        EXPECT_GT(e.writePj, e.readPj) << cap;
+        prev = e.readPj;
+    }
+}
+
+TEST(SramModel, LeakageGrowsWithCapacityRomHasNone)
+{
+    SramEnergy small = sramEnergy({4096, 32, 1, false});
+    SramEnergy big = sramEnergy({65536, 32, 1, false});
+    EXPECT_GT(big.leakageUw, small.leakageUw);
+    SramEnergy rom = sramEnergy({262144, 32, 1, true});
+    EXPECT_EQ(rom.leakageUw, 0.0); // paper's ROM assumption
+}
+
+TEST(SramModel, WidePortCheaperPerByteThanFourNarrowReads)
+{
+    // The 128-bit ROM port motivates the cache fill design (S5.3.2).
+    double narrow4 = 4 * romMacro().readPj;
+    double wide = romWideMacro().readPj;
+    EXPECT_LT(wide, narrow4);
+}
+
+TEST(SramModel, SystemMemoryOrdering)
+{
+    // ROM (256 KB) must cost far more per access than RAM (16 KB),
+    // which costs more than a 4 KB cache array -- the entire I-cache
+    // story rests on this ordering.
+    EXPECT_GT(romMacro().readPj, 2 * ramMacro(false).readPj);
+    EXPECT_GT(ramMacro(false).readPj, icacheDataMacro(4096).readPj);
+    EXPECT_GT(icacheDataMacro(8192).readPj,
+              icacheDataMacro(1024).readPj);
+}
+
+namespace
+{
+
+/** Baseline-like activity: fetch every cycle, some RAM traffic. */
+EventCounts
+baselineEvents(uint64_t cycles = 1'000'000)
+{
+    EventCounts ev;
+    ev.cycles = cycles;
+    ev.instructions = static_cast<uint64_t>(0.9 * cycles);
+    ev.romNarrowReads = ev.instructions;
+    ev.ramReads = cycles / 6;
+    ev.ramWrites = cycles / 12;
+    ev.multActiveCycles = cycles / 5;
+    return ev;
+}
+
+} // namespace
+
+TEST(PowerModel, BaselinePowerInCalibratedRange)
+{
+    PowerModel pm;
+    double mw = pm.averagePowerMw(baselineEvents());
+    // The calibrated system draws a few mW at 333 MHz (45 nm class).
+    EXPECT_GT(mw, 2.0);
+    EXPECT_LT(mw, 5.0);
+}
+
+TEST(PowerModel, StaticShareIsSmall)
+{
+    // Paper Section 7.4: static power is ~8.5 % of the total.
+    PowerModel pm;
+    EventCounts ev = baselineEvents();
+    double share = pm.staticPowerMw(ev) / pm.averagePowerMw(ev);
+    EXPECT_LT(share, 0.15);
+    EXPECT_GT(share, 0.005);
+}
+
+TEST(PowerModel, RomDominatesBaselineBreakdown)
+{
+    // Section 7.1: instruction fetch from the 256 KB ROM is the
+    // single largest consumer in the baseline.
+    PowerModel pm;
+    EnergyBreakdown e = pm.evaluate(baselineEvents());
+    EXPECT_GT(e.romUj, e.ramUj);
+    EXPECT_GT(e.romUj, 0.25 * e.totalUj());
+    EXPECT_EQ(e.monteUj, 0.0);
+    EXPECT_EQ(e.billieUj, 0.0);
+}
+
+TEST(PowerModel, IdleCyclesStillBurnClockPower)
+{
+    // Pete stalled (Monte active) still burns clock-network power.
+    PowerModel pm;
+    EventCounts busy = baselineEvents();
+    EventCounts idle = busy;
+    idle.instructions = busy.instructions / 10;
+    idle.romNarrowReads = idle.instructions;
+    EnergyBreakdown eb = pm.evaluate(busy);
+    EnergyBreakdown ei = pm.evaluate(idle);
+    EXPECT_LT(ei.peteUj, eb.peteUj);
+    EXPECT_GT(ei.peteUj, 0.4 * eb.peteUj); // clock floor
+}
+
+TEST(PowerModel, EnergyScalesLinearlyWithTime)
+{
+    PowerModel pm;
+    EnergyBreakdown e1 = pm.evaluate(baselineEvents(1'000'000));
+    EventCounts ev2 = baselineEvents(2'000'000);
+    ev2.instructions *= 1;
+    EnergyBreakdown e2 = pm.evaluate(ev2);
+    EXPECT_NEAR(e2.totalUj() / e1.totalUj(), 2.0, 0.25);
+}
+
+TEST(PowerModel, IcacheTradesRomForUncore)
+{
+    PowerModel pm;
+    EventCounts plain = baselineEvents();
+    EventCounts cached = plain;
+    cached.romNarrowReads = 0;
+    cached.hasIcache = true;
+    cached.icacheBytes = 4096;
+    cached.icAccesses = cached.instructions;
+    cached.icFills = cached.instructions / 300;
+    cached.romWideReads = cached.icFills;
+    EnergyBreakdown ep = pm.evaluate(plain);
+    EnergyBreakdown ec = pm.evaluate(cached);
+    EXPECT_LT(ec.romUj, 0.1 * ep.romUj);
+    EXPECT_GT(ec.uncoreUj, 0.0);
+    // Net win: the whole point of Section 7.5.
+    EXPECT_LT(ec.totalUj(), ep.totalUj());
+}
+
+TEST(PowerModel, IdealIcacheCountsOnlyCacheReads)
+{
+    PowerModel pm;
+    EventCounts ev = baselineEvents();
+    ev.romNarrowReads = 0;
+    ev.hasIcache = true;
+    ev.icacheBytes = 4096;
+    ev.icAccesses = ev.instructions;
+    EventCounts ideal = ev;
+    ideal.idealIcache = true;
+    EXPECT_LT(pm.evaluate(ideal).uncoreUj, pm.evaluate(ev).uncoreUj);
+}
+
+TEST(PowerModel, BillieEnergyGrowsWithFieldSize)
+{
+    PowerModel pm;
+    EventCounts ev = baselineEvents();
+    ev.hasBillie = true;
+    ev.billieActiveCycles = ev.cycles / 2;
+    ev.billieBits = 163;
+    double e163 = pm.evaluate(ev).billieUj;
+    ev.billieBits = 571;
+    double e571 = pm.evaluate(ev).billieUj;
+    EXPECT_GT(e571, 2.0 * e163);
+}
+
+TEST(PowerModel, FutureWorkKnobs)
+{
+    // Flash ROM costs more; gating cuts accelerator idle energy.
+    EventCounts ev = baselineEvents();
+    PowerParams flash;
+    flash.romReadScale = 2.6;
+    flash.romLeakMw = 0.05;
+    EXPECT_GT(PowerModel(flash).evaluate(ev).romUj,
+              2.0 * PowerModel().evaluate(ev).romUj);
+
+    EventCounts bev = baselineEvents();
+    bev.hasBillie = true;
+    bev.billieBits = 571;
+    bev.billieActiveCycles = bev.cycles / 3;
+    PowerParams gated;
+    gated.accelGatingFactor = 0.08;
+    EXPECT_LT(PowerModel(gated).evaluate(bev).billieUj,
+              PowerModel().evaluate(bev).billieUj);
+}
+
+TEST(PowerModel, MonteChargesFfauActivity)
+{
+    PowerModel pm;
+    EventCounts ev = baselineEvents();
+    ev.hasMonte = true;
+    ev.monteFfauCycles = ev.cycles / 2;
+    ev.monteDmaCycles = ev.cycles / 10;
+    ev.monteBufAccesses = ev.cycles;
+    double with = pm.evaluate(ev).monteUj;
+    ev.monteFfauCycles = 0;
+    ev.monteBufAccesses = 0;
+    double idle = pm.evaluate(ev).monteUj;
+    EXPECT_GT(with, 2.0 * idle);
+    EXPECT_GT(idle, 0.0); // leakage never sleeps
+}

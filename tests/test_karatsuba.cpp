@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Karatsuba multiply-accumulate unit tests: the three-half-product
+ * datapath must be functionally identical to full multiplication in
+ * every mode (the Section 7.8 validation, at the unit level).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mpint/binary_field.hh"
+#include "sim/karatsuba_unit.hh"
+#include "test_util.hh"
+
+using namespace ulecc;
+using ulecc::test::Rng;
+
+TEST(Karatsuba, UnsignedMultiplyMatchesFullProduct)
+{
+    KaratsubaUnit unit;
+    Rng rng(0xca7a);
+    for (int i = 0; i < 3000; ++i) {
+        uint32_t a = rng.next32(), b = rng.next32();
+        KaratsubaTrace t = unit.execute(KaratsubaOp::Multu, a, b);
+        uint64_t expect = static_cast<uint64_t>(a) * b;
+        ASSERT_EQ(unit.lo(), static_cast<uint32_t>(expect)) << a << b;
+        ASSERT_EQ(unit.hi(), static_cast<uint32_t>(expect >> 32));
+        EXPECT_EQ(t.cycles, 4);
+        EXPECT_EQ(t.halfMultiplies, 3); // the whole point of Karatsuba
+        EXPECT_EQ(t.clmulBlocks, 0);
+    }
+}
+
+TEST(Karatsuba, UnsignedEdgeCases)
+{
+    KaratsubaUnit unit;
+    const uint32_t cases[] = {0, 1, 2, 0xFFFF, 0x10000, 0xFFFFFFFF,
+                              0x80000000, 0x7FFFFFFF, 0x0001FFFF};
+    for (uint32_t a : cases) {
+        for (uint32_t b : cases) {
+            unit.execute(KaratsubaOp::Multu, a, b);
+            uint64_t expect = static_cast<uint64_t>(a) * b;
+            ASSERT_EQ(unit.lo(), static_cast<uint32_t>(expect))
+                << a << " * " << b;
+            ASSERT_EQ(unit.hi(), static_cast<uint32_t>(expect >> 32));
+        }
+    }
+}
+
+TEST(Karatsuba, SignedMultiplyMatches)
+{
+    KaratsubaUnit unit;
+    Rng rng(0x5163ed);
+    for (int i = 0; i < 2000; ++i) {
+        int32_t a = static_cast<int32_t>(rng.next32());
+        int32_t b = static_cast<int32_t>(rng.next32());
+        unit.execute(KaratsubaOp::Mult, static_cast<uint32_t>(a),
+                     static_cast<uint32_t>(b));
+        int64_t expect = static_cast<int64_t>(a) * b;
+        ASSERT_EQ(unit.lo(), static_cast<uint32_t>(expect)) << a << b;
+        ASSERT_EQ(unit.hi(),
+                  static_cast<uint32_t>(static_cast<uint64_t>(expect)
+                                        >> 32));
+    }
+    // INT_MIN corner.
+    unit.execute(KaratsubaOp::Mult, 0x80000000u, 0x80000000u);
+    EXPECT_EQ(unit.hi(), 0x40000000u);
+    EXPECT_EQ(unit.lo(), 0u);
+}
+
+TEST(Karatsuba, AccumulateTracksOvflo)
+{
+    KaratsubaUnit unit;
+    unit.set(0, 0, 0);
+    // Accumulate 5 maximal products: acc = 5 * (2^32-1)^2.
+    for (int i = 0; i < 5; ++i)
+        unit.execute(KaratsubaOp::Maddu, 0xFFFFFFFFu, 0xFFFFFFFFu);
+    unsigned __int128 expect =
+        static_cast<unsigned __int128>(0xFFFFFFFFull * 0xFFFFFFFFull)
+        * 5;
+    EXPECT_EQ(unit.lo(), static_cast<uint32_t>(expect));
+    EXPECT_EQ(unit.hi(), static_cast<uint32_t>(expect >> 32));
+    EXPECT_EQ(unit.ovflo(), static_cast<uint32_t>(expect >> 64));
+}
+
+TEST(Karatsuba, M2adduDoubles)
+{
+    KaratsubaUnit a, b;
+    a.set(5, 6, 0);
+    b.set(5, 6, 0);
+    a.execute(KaratsubaOp::M2addu, 0x12345678u, 0x9ABCDEF0u);
+    b.execute(KaratsubaOp::Maddu, 0x12345678u, 0x9ABCDEF0u);
+    b.execute(KaratsubaOp::Maddu, 0x12345678u, 0x9ABCDEF0u);
+    EXPECT_EQ(a.lo(), b.lo());
+    EXPECT_EQ(a.hi(), b.hi());
+    EXPECT_EQ(a.ovflo(), b.ovflo());
+}
+
+TEST(Karatsuba, CarrylessMatchesClmul)
+{
+    // The GF(2) Karatsuba identity: three 16x16 carry-less blocks
+    // reproduce the full 32x32 carry-less product.
+    KaratsubaUnit unit;
+    Rng rng(0x6f2ca7);
+    for (int i = 0; i < 3000; ++i) {
+        uint32_t a = rng.next32(), b = rng.next32();
+        KaratsubaTrace t = unit.execute(KaratsubaOp::Mulgf2, a, b);
+        uint64_t expect = clmul32(a, b);
+        ASSERT_EQ(unit.lo(), static_cast<uint32_t>(expect)) << a << b;
+        ASSERT_EQ(unit.hi(), static_cast<uint32_t>(expect >> 32));
+        EXPECT_EQ(unit.ovflo(), 0u);
+        EXPECT_EQ(t.clmulBlocks, 3);
+        EXPECT_EQ(t.halfMultiplies, 0); // the multiplexed block design
+    }
+}
+
+TEST(Karatsuba, CarrylessAccumulateXors)
+{
+    KaratsubaUnit unit;
+    unit.set(0xAAAAAAAA, 0x55555555, 0);
+    unit.execute(KaratsubaOp::Maddgf2, 0xDEADBEEFu, 0xCAFEBABEu);
+    uint64_t p = clmul32(0xDEADBEEFu, 0xCAFEBABEu);
+    EXPECT_EQ(unit.lo(), 0x55555555u ^ static_cast<uint32_t>(p));
+    EXPECT_EQ(unit.hi(), 0xAAAAAAAAu ^ static_cast<uint32_t>(p >> 32));
+    // XOR accumulation is an involution.
+    unit.execute(KaratsubaOp::Maddgf2, 0xDEADBEEFu, 0xCAFEBABEu);
+    EXPECT_EQ(unit.lo(), 0x55555555u);
+    EXPECT_EQ(unit.hi(), 0xAAAAAAAAu);
+}
+
+TEST(Karatsuba, MiddleTermStaysWithin17Bits)
+{
+    // The signed middle product must fit the 17x17 block: extremes.
+    KaratsubaUnit unit;
+    KaratsubaTrace t =
+        unit.execute(KaratsubaOp::Multu, 0xFFFF0000u, 0x0000FFFFu);
+    // (AH-AL) = 0xFFFF, (BL-BH) = 0xFFFF -> product fits in 33 bits.
+    EXPECT_LE(t.subProducts[2], (1ll << 32));
+    EXPECT_GE(t.subProducts[2], -(1ll << 32));
+    uint64_t expect = 0xFFFF0000ull * 0x0000FFFFull;
+    EXPECT_EQ(unit.lo(), static_cast<uint32_t>(expect));
+    EXPECT_EQ(unit.hi(), static_cast<uint32_t>(expect >> 32));
+}

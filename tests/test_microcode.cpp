@@ -1,0 +1,170 @@
+/**
+ * @file
+ * FFAU microcode engine and hardwired squarer tests: the operational
+ * hardware definitions must agree with the mathematical ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/bit_squarer.hh"
+#include "accel/ffau_microcode.hh"
+#include "accel/monte.hh"
+#include "mpint/prime_field.hh"
+#include "test_util.hh"
+
+using namespace ulecc;
+using ulecc::test::Rng;
+
+namespace
+{
+
+class MicrocodeFields : public ::testing::TestWithParam<NistPrime>
+{
+};
+
+} // namespace
+
+TEST(FfauMicrocode, ProgramFitsTheControlStore)
+{
+    FfauMicroEngine engine;
+    EXPECT_LE(engine.program().size(),
+              static_cast<size_t>(FfauMicroEngine::microStoreSize));
+    // The paper: 64 entries were "more than enough" for CIOS.
+    EXPECT_LE(engine.program().size(), 16u);
+}
+
+TEST_P(MicrocodeFields, CiosMicroprogramIsBitExact)
+{
+    PrimeField f(GetParam());
+    int k = f.words();
+    Rng rng(0x0c0de + static_cast<int>(GetParam()));
+    FfauMicroEngine engine;
+    engine.configure(k, f.n0Prime());
+    for (int i = 0; i < 20; ++i) {
+        MpUint a = rng.mpBelow(f.modulus());
+        MpUint b = rng.mpBelow(f.modulus());
+        engine.loadOperands(a, b, f.modulus());
+        MpUint result = engine.run();
+        ASSERT_EQ(result, f.montMulCios(a, b))
+            << f.bits() << " a=" << a.toHex() << " b=" << b.toHex();
+    }
+}
+
+TEST_P(MicrocodeFields, MicroInstructionCountMatchesEq52Structure)
+{
+    // Retired microinstructions per CIOS = 2k^2 + 6k (the loop body);
+    // Eq. 5.2 adds the pipeline-fill term (k+1)*p and fixed overhead.
+    PrimeField f(GetParam());
+    int k = f.words();
+    FfauMicroEngine engine;
+    engine.configure(k, f.n0Prime());
+    engine.loadOperands(MpUint(3), MpUint(5), f.modulus());
+    engine.run();
+    uint64_t uops = engine.stats().microInstructions;
+    EXPECT_EQ(uops, 2ull * k * k + 6ull * k) << k;
+    uint64_t eq52 = ffauCiosCycles(k, 3);
+    EXPECT_EQ(eq52 - uops, 3ull * (k + 1) + 22) << k;
+}
+
+TEST_P(MicrocodeFields, ActivityCountsAreConsistent)
+{
+    PrimeField f(GetParam());
+    int k = f.words();
+    FfauMicroEngine engine;
+    engine.configure(k, f.n0Prime());
+    engine.loadOperands(MpUint(7), MpUint(11), f.modulus());
+    engine.run();
+    const FfauMicroStats &s = engine.stats();
+    // One multiplication per MulAdd/CalcM uop: 2k^2 per CIOS run
+    // (k^2 multiply-sweep + k^2 reduction-sweep incl. the k CalcMs).
+    EXPECT_EQ(s.multOps, 2ull * k * k + k);
+    EXPECT_GT(s.tWrites, 2ull * k * k);
+    EXPECT_GT(s.tReads, s.tWrites);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, MicrocodeFields,
+    ::testing::Values(NistPrime::P192, NistPrime::P224, NistPrime::P256,
+                      NistPrime::P384, NistPrime::P521));
+
+TEST(FfauMicrocode, GenericPrimeWorksToo)
+{
+    // Run-time reconfigurability: any odd modulus, not just NIST.
+    PrimeField f(MpUint::fromHex("f7f7f7f7f7f7f7f7f7f7f7f7f7f7f7ef"));
+    FfauMicroEngine engine;
+    engine.configure(f.words(), f.n0Prime());
+    Rng rng(0x6e6e);
+    for (int i = 0; i < 10; ++i) {
+        MpUint a = rng.mpBelow(f.modulus());
+        MpUint b = rng.mpBelow(f.modulus());
+        engine.loadOperands(a, b, f.modulus());
+        EXPECT_EQ(engine.run(), f.montMulCios(a, b));
+    }
+}
+
+TEST(FfauMicrocode, RejectsUnconfigured)
+{
+    FfauMicroEngine engine;
+    EXPECT_THROW(engine.configure(0, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Hardwired squaring unit (Fig 5.13).
+// ---------------------------------------------------------------------
+
+TEST(BitSquarer, PaperExampleGF2_7)
+{
+    // Fig 5.13: f = x^7 + x + 1.
+    MpUint f;
+    for (int e : {7, 1, 0})
+        f.setBit(e);
+    BinaryField gf(f);
+    BitSquarer sq(gf);
+    // Exhaustive check over the whole field.
+    for (uint32_t v = 0; v < (1u << 7); ++v) {
+        MpUint a(v);
+        EXPECT_EQ(sq.square(a), gf.sqr(a)) << v;
+    }
+    // A handful of XOR gates, shallow tree (the paper's point).
+    EXPECT_LT(sq.xorGateCount(), 12);
+    EXPECT_LE(sq.maxDepth(), 2);
+}
+
+namespace
+{
+
+class SquarerFields : public ::testing::TestWithParam<NistBinary>
+{
+};
+
+} // namespace
+
+TEST_P(SquarerFields, NetworkMatchesFieldSquaring)
+{
+    BinaryField f(GetParam());
+    BitSquarer sq(f);
+    Rng rng(0x5b5b + static_cast<int>(GetParam()));
+    for (int i = 0; i < 30; ++i) {
+        MpUint a = rng.mp(1 + static_cast<int>(rng.below(f.degree())));
+        EXPECT_EQ(sq.square(a), f.sqr(a)) << a.toHex();
+    }
+    // Linear-size network: a fixed-field squarer stays cheap even at
+    // 571 bits (digit-serial multipliers need thousands of gates).
+    EXPECT_LT(sq.xorGateCount(), 4 * f.degree());
+    EXPECT_LE(sq.maxDepth(), 3);
+}
+
+TEST_P(SquarerFields, FrobeniusLinearityThroughTheNetwork)
+{
+    BinaryField f(GetParam());
+    BitSquarer sq(f);
+    Rng rng(0xf0b + static_cast<int>(GetParam()));
+    MpUint a = rng.mp(f.degree());
+    MpUint b = rng.mp(f.degree() - 1);
+    EXPECT_EQ(sq.square(a.bitXor(b)),
+              sq.square(a).bitXor(sq.square(b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, SquarerFields,
+    ::testing::Values(NistBinary::B163, NistBinary::B233,
+                      NistBinary::B283, NistBinary::B409,
+                      NistBinary::B571));

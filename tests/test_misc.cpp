@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Coverage for the supporting pieces: disassembler, report tables,
+ * observer domains, the umbrella header, and accelerator queue
+ * behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ulecc.hh"
+#include "test_util.hh"
+
+using namespace ulecc;
+using ulecc::test::Rng;
+
+TEST(Disassembler, RendersCommonForms)
+{
+    Program p = assemble(R"(
+        lw $t0, 8($sp)
+        sw $t0, -4($sp)
+        beq $t0, $t1, next
+        nop
+    next:
+        jal next
+        addu $t2, $t0, $t1
+        break
+    )");
+    EXPECT_EQ(disassemble(decode(p.words[0]), 0), "lw $t0, 8($sp)");
+    EXPECT_EQ(disassemble(decode(p.words[1]), 4), "sw $t0, -4($sp)");
+    std::string b = disassemble(decode(p.words[2]), 8);
+    EXPECT_NE(b.find("beq $t0, $t1"), std::string::npos);
+    EXPECT_NE(b.find("0x10"), std::string::npos); // target address
+    std::string j = disassemble(decode(p.words[4]), 16);
+    EXPECT_NE(j.find("jal"), std::string::npos);
+    std::string a = disassemble(decode(p.words[5]), 20);
+    EXPECT_EQ(a, "addu $t2, $t0, $t1");
+}
+
+TEST(Report, TableAlignsAndFormats)
+{
+    Table t({"A", "Longer header", "C"});
+    t.addRow({"x", "1", "22"});
+    t.addRow({"longer cell", "2", "3"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("Longer header"), std::string::npos);
+    EXPECT_NE(out.find("longer cell"), std::string::npos);
+    // Every line has equal length (alignment).
+    size_t first_nl = out.find('\n');
+    ASSERT_NE(first_nl, std::string::npos);
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(fmtVsPaper(1.5, 2.0, 1), "1.5 (paper 2.0)");
+}
+
+TEST(OpObserver, DomainScopingNestsAndRestores)
+{
+    EXPECT_EQ(opDomain(), OpDomain::CurveField);
+    {
+        OpDomainScope outer(OpDomain::OrderField);
+        EXPECT_EQ(opDomain(), OpDomain::OrderField);
+        {
+            OpDomainScope inner(OpDomain::CurveField);
+            EXPECT_EQ(opDomain(), OpDomain::CurveField);
+        }
+        EXPECT_EQ(opDomain(), OpDomain::OrderField);
+    }
+    EXPECT_EQ(opDomain(), OpDomain::CurveField);
+}
+
+TEST(OpObserver, RecorderSeesDomains)
+{
+    PrimeField f(NistPrime::P192);
+    OpRecorder rec;
+    OpObserverScope scope(&rec);
+    MpUint a(7), b(9);
+    f.mul(a, b);
+    {
+        OpDomainScope order(OpDomain::OrderField);
+        f.add(a, b);
+    }
+    EXPECT_EQ(rec.counts.get(OpDomain::CurveField, FieldOp::Mul), 1u);
+    EXPECT_EQ(rec.counts.get(OpDomain::OrderField, FieldOp::Add), 1u);
+    EXPECT_EQ(rec.counts.get(OpDomain::CurveField, FieldOp::Add), 0u);
+}
+
+TEST(Monte, QueueBackpressureStallsPete)
+{
+    // Issue far more coprocessor work than the 4-entry queue holds:
+    // Pete must absorb stalls, and the results stay correct.
+    PrimeField f(NistPrime::P192);
+    std::string prog = R"(
+        li $t4, 6
+        ctc2 $t4, 0
+        li $a3, 0x10000600
+        cop2ldn $a3
+        li $a1, 0x10000400
+        li $a2, 0x10000500
+        li $a0, 0x10000700
+        li $t9, 12
+    loop:
+        cop2lda $a1
+        cop2ldb $a2
+        cop2mul
+        cop2st $a0
+        addiu $t9, $t9, -1
+        bne $t9, $zero, loop
+        nop
+        cop2sync
+        break
+    )";
+    Monte monte;
+    Pete cpu(assemble(prog));
+    cpu.attachCop2(&monte);
+    Rng rng(0x466);
+    MpUint a = rng.mpBelow(f.modulus());
+    MpUint b = rng.mpBelow(f.modulus());
+    for (int i = 0; i < 6; ++i) {
+        cpu.mem().poke32(0x10000400 + 4 * i, a.limb(i));
+        cpu.mem().poke32(0x10000500 + 4 * i, b.limb(i));
+        cpu.mem().poke32(0x10000600 + 4 * i, f.modulus().limb(i));
+    }
+    ASSERT_TRUE(cpu.run());
+    EXPECT_GT(cpu.stats().cop2Stalls, 12u * 50);
+    MpUint result;
+    for (int i = 0; i < 6; ++i)
+        result.setLimb(i, cpu.mem().peek32(0x10000700 + 4 * i));
+    EXPECT_EQ(result, f.montMulCios(a, b));
+}
+
+TEST(Billie, RegisterIndexBoundsChecked)
+{
+    Billie billie;
+    Pete cpu(assemble(R"(
+        li $a0, 0x10000400
+        cop2ld $a0, 17
+        break
+    )"));
+    cpu.attachCop2(&billie);
+    EXPECT_THROW(cpu.run(), std::out_of_range);
+}
+
+TEST(Sram, DualPortCostsMore)
+{
+    SramEnergy single = ramMacro(false);
+    SramEnergy dual = ramMacro(true);
+    EXPECT_GT(dual.readPj, single.readPj);
+    EXPECT_GT(dual.leakageUw, single.leakageUw);
+}
+
+TEST(KernelModel, OrderDomainAlwaysOnPete)
+{
+    // Even with accelerators, order-field work carries no accelerator
+    // activity (the Amdahl tail of Sections 7.2/7.8).
+    for (auto [arch, curve] :
+         {std::pair{MicroArch::Monte, CurveId::P256},
+          std::pair{MicroArch::Billie, CurveId::B163}}) {
+        KernelModel model(arch, curve);
+        OpCost c = model.cost(OpDomain::OrderField, FieldOp::Mul);
+        EXPECT_EQ(c.monteFfauCycles, 0.0);
+        EXPECT_EQ(c.billieActiveCycles, 0.0);
+        EXPECT_GT(c.cycles, 100.0);
+    }
+}
+
+TEST(KernelModel, NamesCoverAllArchs)
+{
+    EXPECT_STREQ(microArchName(MicroArch::Baseline), "Baseline");
+    EXPECT_STREQ(microArchName(MicroArch::IsaExt), "ISA Ext");
+    EXPECT_STREQ(microArchName(MicroArch::IsaExtIcache), "ISA Ext + I$");
+    EXPECT_STREQ(microArchName(MicroArch::Monte), "W/ Monte");
+    EXPECT_STREQ(microArchName(MicroArch::Billie), "W/ Billie");
+}

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit and property tests for MpUint.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mpint/mpuint.hh"
+#include "test_util.hh"
+
+using namespace ulecc;
+using ulecc::test::Rng;
+
+TEST(MpUint, ZeroDefault)
+{
+    MpUint z;
+    EXPECT_TRUE(z.isZero());
+    EXPECT_EQ(z.size(), 0);
+    EXPECT_EQ(z.toHex(), "0");
+    EXPECT_EQ(z.bitLength(), 0);
+}
+
+TEST(MpUint, FromUint64)
+{
+    EXPECT_EQ(MpUint(0x123456789ABCDEFull).toHex(), "123456789abcdef");
+    EXPECT_EQ(MpUint(1).toHex(), "1");
+    EXPECT_EQ(MpUint(0xFFFFFFFFull).size(), 1);
+    EXPECT_EQ(MpUint(0x100000000ull).size(), 2);
+}
+
+TEST(MpUint, HexRoundTrip)
+{
+    const char *cases[] = {
+        "1", "deadbeef", "ffffffffffffffff",
+        "123456789abcdef0123456789abcdef0123456789abcdef",
+        "8000000000000000000000000000000000000000000000000000000000001",
+    };
+    for (const char *c : cases)
+        EXPECT_EQ(MpUint::fromHex(c).toHex(), c);
+    EXPECT_EQ(MpUint::fromHex("0xDEAD_BEEF").toHex(), "deadbeef");
+    EXPECT_EQ(MpUint::fromHex("00001").toHex(), "1");
+}
+
+TEST(MpUint, PowerOfTwo)
+{
+    EXPECT_EQ(MpUint::powerOfTwo(0).toHex(), "1");
+    EXPECT_EQ(MpUint::powerOfTwo(33).toHex(), "200000000");
+    EXPECT_EQ(MpUint::powerOfTwo(192).bitLength(), 193);
+}
+
+TEST(MpUint, CompareOrdering)
+{
+    MpUint a = MpUint::fromHex("ffffffff");
+    MpUint b = MpUint::fromHex("100000000");
+    EXPECT_LT(a.compare(b), 0);
+    EXPECT_GT(b.compare(a), 0);
+    EXPECT_EQ(a.compare(a), 0);
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(b > a);
+    EXPECT_TRUE(a <= a && a >= a);
+}
+
+TEST(MpUint, AddCarryChain)
+{
+    MpUint a = MpUint::fromHex("ffffffffffffffffffffffff");
+    MpUint r = a.add(MpUint(1));
+    EXPECT_EQ(r.toHex(), "1000000000000000000000000");
+}
+
+TEST(MpUint, SubBorrowChain)
+{
+    MpUint a = MpUint::fromHex("1000000000000000000000000");
+    MpUint r = a.sub(MpUint(1));
+    EXPECT_EQ(r.toHex(), "ffffffffffffffffffffffff");
+}
+
+TEST(MpUint, AddSubInverse)
+{
+    Rng rng(42);
+    for (int i = 0; i < 200; ++i) {
+        MpUint a = rng.mp(1 + static_cast<int>(rng.below(500)));
+        MpUint b = rng.mp(1 + static_cast<int>(rng.below(500)));
+        MpUint s = a.add(b);
+        EXPECT_EQ(s.sub(b), a);
+        EXPECT_EQ(s.sub(a), b);
+    }
+}
+
+TEST(MpUint, ShiftRoundTrip)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+        MpUint a = rng.mp(1 + static_cast<int>(rng.below(400)));
+        int sh = static_cast<int>(rng.below(200));
+        EXPECT_EQ(a.shiftLeft(sh).shiftRight(sh), a);
+    }
+}
+
+TEST(MpUint, ShiftLeftSmall)
+{
+    EXPECT_EQ(MpUint(1).shiftLeft(4).toHex(), "10");
+    EXPECT_EQ(MpUint::fromHex("ffffffff").shiftLeft(1).toHex(),
+              "1fffffffe");
+    EXPECT_EQ(MpUint::fromHex("12345678").shiftRight(8).toHex(), "123456");
+}
+
+TEST(MpUint, BitsExtraction)
+{
+    MpUint a = MpUint::fromHex("fedcba9876543210");
+    EXPECT_EQ(a.bits(0, 4), 0x0u);
+    EXPECT_EQ(a.bits(4, 4), 0x1u);
+    EXPECT_EQ(a.bits(28, 8), 0x87u);
+    EXPECT_EQ(a.bits(32, 32), 0xfedcba98u);
+}
+
+TEST(MpUint, MulKnownValues)
+{
+    MpUint a = MpUint::fromHex("ffffffffffffffff");
+    MpUint b = MpUint::fromHex("ffffffffffffffff");
+    EXPECT_EQ(a.mulOperandScan(b).toHex(),
+              "fffffffffffffffe0000000000000001");
+    EXPECT_EQ(MpUint(0).mulOperandScan(a).toHex(), "0");
+    EXPECT_EQ(a.mulOperandScan(MpUint(1)), a);
+}
+
+TEST(MpUint, OperandVsProductScan)
+{
+    Rng rng(11);
+    for (int i = 0; i < 300; ++i) {
+        MpUint a = rng.mp(1 + static_cast<int>(rng.below(600)));
+        MpUint b = rng.mp(1 + static_cast<int>(rng.below(600)));
+        EXPECT_EQ(a.mulOperandScan(b), a.mulProductScan(b))
+            << "a=" << a.toHex() << " b=" << b.toHex();
+    }
+}
+
+TEST(MpUint, SquareMatchesMul)
+{
+    Rng rng(13);
+    for (int i = 0; i < 300; ++i) {
+        MpUint a = rng.mp(1 + static_cast<int>(rng.below(600)));
+        EXPECT_EQ(a.sqr(), a.mulOperandScan(a)) << "a=" << a.toHex();
+    }
+}
+
+TEST(MpUint, MulWord)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        MpUint a = rng.mp(1 + static_cast<int>(rng.below(500)));
+        uint32_t w = rng.next32();
+        EXPECT_EQ(a.mulWord(w), a.mulOperandScan(MpUint(w)));
+    }
+}
+
+TEST(MpUint, MulCommutativeAssociative)
+{
+    Rng rng(19);
+    for (int i = 0; i < 50; ++i) {
+        MpUint a = rng.mp(100), b = rng.mp(150), c = rng.mp(120);
+        EXPECT_EQ(a.mul(b), b.mul(a));
+        EXPECT_EQ(a.mul(b).mul(c), a.mul(b.mul(c)));
+    }
+}
+
+TEST(MpUint, DivmodKnown)
+{
+    MpUint a = MpUint::fromHex("deadbeefcafebabe");
+    MpUint d = MpUint::fromHex("12345");
+    auto r = a.divmod(d);
+    // Verify a == q*d + r, r < d.
+    EXPECT_EQ(r.quotient.mul(d).add(r.remainder), a);
+    EXPECT_LT(r.remainder.compare(d), 0);
+}
+
+TEST(MpUint, DivmodProperty)
+{
+    Rng rng(23);
+    for (int i = 0; i < 200; ++i) {
+        MpUint a = rng.mp(1 + static_cast<int>(rng.below(700)));
+        MpUint d = rng.mp(1 + static_cast<int>(rng.below(400)));
+        auto r = a.divmod(d);
+        EXPECT_EQ(r.quotient.mul(d).add(r.remainder), a);
+        EXPECT_LT(r.remainder.compare(d), 0);
+    }
+}
+
+TEST(MpUint, DivmodEdgeCases)
+{
+    MpUint a = MpUint::fromHex("1000");
+    EXPECT_EQ(a.divmod(a).quotient.toHex(), "1");
+    EXPECT_TRUE(a.divmod(a).remainder.isZero());
+    EXPECT_TRUE(MpUint(5).divmod(a).quotient.isZero());
+    EXPECT_EQ(MpUint(5).divmod(a).remainder.toHex(), "5");
+    EXPECT_EQ(a.divmod(MpUint(1)).quotient, a);
+}
+
+TEST(MpUint, AddModSubMod)
+{
+    Rng rng(29);
+    MpUint m = MpUint::fromHex("fffffffffffffffffffffffffffffffeffffffff"
+                               "ffffffff"); // P-192
+    for (int i = 0; i < 100; ++i) {
+        MpUint a = rng.mpBelow(m);
+        MpUint b = rng.mpBelow(m);
+        MpUint s = a.addMod(b, m);
+        EXPECT_LT(s.compare(m), 0);
+        EXPECT_EQ(s, a.add(b).mod(m));
+        MpUint d = a.subMod(b, m);
+        EXPECT_LT(d.compare(m), 0);
+        EXPECT_EQ(d.addMod(b, m), a);
+    }
+}
+
+TEST(MpUint, ModInverseOdd)
+{
+    Rng rng(31);
+    MpUint m = MpUint::fromHex("fffffffffffffffffffffffffffffffeffffffff"
+                               "ffffffff");
+    for (int i = 0; i < 50; ++i) {
+        MpUint a = rng.mpBelow(m);
+        if (a.isZero())
+            continue;
+        MpUint ai = a.modInverseOdd(m);
+        EXPECT_EQ(a.mul(ai).mod(m).toHex(), "1")
+            << "a=" << a.toHex();
+    }
+}
+
+TEST(MpUint, ModInverseSmall)
+{
+    // 3 * 5 = 15 == 1 (mod 7)
+    EXPECT_EQ(MpUint(3).modInverseOdd(MpUint(7)).toHex(), "5");
+    EXPECT_EQ(MpUint(1).modInverseOdd(MpUint(7)).toHex(), "1");
+}
+
+TEST(MpUint, XorAndProperties)
+{
+    Rng rng(37);
+    for (int i = 0; i < 100; ++i) {
+        MpUint a = rng.mp(200), b = rng.mp(150);
+        EXPECT_EQ(a.bitXor(b).bitXor(b), a);
+        EXPECT_EQ(a.bitAnd(a), a);
+        EXPECT_TRUE(a.bitXor(a).isZero());
+    }
+}

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Property tests on the simulator substrate: the I-cache model against
+ * an independent reference implementation on random address streams,
+ * functional equivalence of Pete with and without a cache on random
+ * straight-line programs, and the paper's Section 5.4.1 instruction-
+ * reordering worked example on Monte.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "accel/monte.hh"
+#include "mpint/prime_field.hh"
+#include "sim/cpu.hh"
+#include "test_util.hh"
+
+using namespace ulecc;
+using ulecc::test::Rng;
+
+namespace
+{
+
+/** Independent direct-mapped cache oracle (map-based, no bit tricks). */
+class RefCache
+{
+  public:
+    RefCache(uint32_t size_bytes, uint32_t line_bytes)
+        : lines_(size_bytes / line_bytes), lineBytes_(line_bytes)
+    {}
+
+    bool
+    access(uint32_t addr)
+    {
+        uint64_t line = addr / lineBytes_;
+        uint32_t index = line % lines_;
+        auto it = content_.find(index);
+        bool hit = it != content_.end() && it->second == line;
+        content_[index] = line;
+        return hit;
+    }
+
+  private:
+    uint32_t lines_;
+    uint32_t lineBytes_;
+    std::map<uint32_t, uint64_t> content_;
+};
+
+} // namespace
+
+TEST(ICacheProperty, MatchesReferenceOnRandomStreams)
+{
+    Rng rng(0x1cac4e);
+    for (uint32_t size : {1024u, 2048u, 4096u}) {
+        ICacheConfig cfg;
+        cfg.sizeBytes = size;
+        ICache cache(cfg);
+        cache.invalidateAll();
+        RefCache ref(size, cfg.lineBytes);
+        uint64_t hits = 0, ref_hits = 0;
+        for (int i = 0; i < 20000; ++i) {
+            // Mixture of streaming and looping access.
+            uint32_t addr;
+            if (rng.below(4) == 0)
+                addr = static_cast<uint32_t>(rng.below(64 * 1024)) & ~3u;
+            else
+                addr = static_cast<uint32_t>(rng.below(2048)) & ~3u;
+            bool ref_hit = ref.access(addr);
+            uint32_t stall = cache.access(addr);
+            EXPECT_EQ(stall == 0, ref_hit) << "addr=" << addr;
+            hits += (stall == 0);
+            ref_hits += ref_hit;
+        }
+        EXPECT_EQ(hits, ref_hits) << size;
+        EXPECT_EQ(cache.stats().hits, ref_hits);
+    }
+}
+
+TEST(ICacheProperty, PrefetchNeverChangesVisibleContents)
+{
+    // With prefetching, every access still returns the right data
+    // (stall or not); only the stall pattern changes.  Sequential
+    // streams must be fully absorbed by the stream buffer.
+    ICacheConfig pf;
+    pf.sizeBytes = 1024;
+    pf.prefetch = true;
+    ICache cache(pf);
+    cache.invalidateAll();
+    // Stream 8 KB sequentially: after the first miss, every new line
+    // hits the prefetch buffer.
+    uint64_t stalls = 0;
+    for (uint32_t addr = 0; addr < 8192; addr += 4)
+        stalls += cache.access(addr);
+    EXPECT_EQ(stalls, pf.missPenalty); // exactly one demand fill
+    EXPECT_EQ(cache.stats().prefetchHits, 8192 / 16 - 1);
+}
+
+TEST(PeteProperty, CacheNeverChangesArchitecturalState)
+{
+    // Random straight-line ALU/memory programs must produce identical
+    // register/memory results with and without an instruction cache.
+    Rng rng(0x9e7e);
+    for (int trial = 0; trial < 25; ++trial) {
+        std::string prog = "    li $s0, 0x10000800\n";
+        for (int i = 0; i < 60; ++i) {
+            int rd = 8 + static_cast<int>(rng.below(8)); // $t0..$t7
+            int rs = 8 + static_cast<int>(rng.below(8));
+            int rt = 8 + static_cast<int>(rng.below(8));
+            switch (rng.below(6)) {
+              case 0:
+                prog += "    addu " + std::string(regName(rd)) + ", "
+                    + regName(rs) + ", " + regName(rt) + "\n";
+                break;
+              case 1:
+                prog += "    xor " + std::string(regName(rd)) + ", "
+                    + regName(rs) + ", " + regName(rt) + "\n";
+                break;
+              case 2:
+                prog += "    addiu " + std::string(regName(rd)) + ", "
+                    + regName(rs) + ", "
+                    + std::to_string(rng.below(1000)) + "\n";
+                break;
+              case 3:
+                prog += "    sll " + std::string(regName(rd)) + ", "
+                    + regName(rt) + ", "
+                    + std::to_string(rng.below(31)) + "\n";
+                break;
+              case 4:
+                prog += "    sw " + std::string(regName(rt)) + ", "
+                    + std::to_string(4 * rng.below(16)) + "($s0)\n";
+                break;
+              default:
+                prog += "    lw " + std::string(regName(rd)) + ", "
+                    + std::to_string(4 * rng.below(16)) + "($s0)\n";
+                break;
+            }
+        }
+        prog += "    break\n";
+        Program image = assemble(prog);
+        Pete plain(image);
+        ASSERT_TRUE(plain.run());
+        PeteConfig cfg;
+        cfg.icacheEnabled = true;
+        cfg.icache.sizeBytes = 1024;
+        Pete cached(image, cfg);
+        ASSERT_TRUE(cached.run());
+        for (int r = 0; r < 32; ++r)
+            ASSERT_EQ(plain.reg(r), cached.reg(r)) << "trial " << trial;
+        for (int w = 0; w < 16; ++w) {
+            ASSERT_EQ(plain.mem().peek32(0x10000800 + 4 * w),
+                      cached.mem().peek32(0x10000800 + 4 * w));
+        }
+        // Same instruction count; cycles differ only by cache slips.
+        EXPECT_EQ(plain.stats().instructions,
+                  cached.stats().instructions);
+    }
+}
+
+TEST(MonteProperty, Section541WorkedExample)
+{
+    // The paper's Section 5.4.1 listing: a multiply followed by an
+    // independent add whose loads "run ahead of the store", then a
+    // subtract whose operand is forwarded from the pending store.
+    PrimeField f(NistPrime::P192);
+    Rng rng(0x541);
+    MpUint a = rng.mpBelow(f.modulus());
+    MpUint b = rng.mpBelow(f.modulus());
+    MpUint c = rng.mpBelow(f.modulus());
+    MpUint d = rng.mpBelow(f.modulus());
+    MpUint e = rng.mpBelow(f.modulus());
+
+    // a1=A, a2=B, a3=N, a0=mul result; t0=C, t1=D, t3=add result,
+    // s0=E.
+    std::string prog = R"(
+        li $t4, 6
+        ctc2 $t4, 0
+        li $a3, 0x10000600
+        cop2ldn $a3
+        li $a1, 0x10000400
+        cop2lda $a1          # load A
+        li $a2, 0x10000480
+        cop2ldb $a2          # load B
+        cop2mul              # A*B mod N (Montgomery)
+        li $a0, 0x10000900
+        cop2st $a0           # waits for the multiply
+        li $t0, 0x10000500
+        cop2lda $t0          # C: runs ahead of the store!
+        li $t1, 0x10000580
+        cop2ldb $t1          # D
+        cop2add              # C+D mod N
+        li $t3, 0x10000980
+        cop2st $t3
+        cop2lda $t3          # forwarded from the pending store
+        li $s0, 0x10000680
+        cop2ldb $s0          # E
+        cop2sub              # (C+D) - E mod N
+        li $t5, 0x10000a00
+        cop2st $t5
+        cop2sync
+        break
+    )";
+    Monte monte;
+    Pete cpu(assemble(prog));
+    cpu.attachCop2(&monte);
+    auto poke = [&](uint32_t addr, const MpUint &v) {
+        for (int i = 0; i < 6; ++i)
+            cpu.mem().poke32(addr + 4 * i, v.limb(i));
+    };
+    poke(0x10000400, a);
+    poke(0x10000480, b);
+    poke(0x10000600, f.modulus());
+    poke(0x10000500, c);
+    poke(0x10000580, d);
+    poke(0x10000680, e);
+    ASSERT_TRUE(cpu.run());
+    auto peek = [&](uint32_t addr) {
+        MpUint v;
+        for (int i = 0; i < 6; ++i)
+            v.setLimb(i, cpu.mem().peek32(addr + 4 * i));
+        return v;
+    };
+    EXPECT_EQ(peek(0x10000900), f.montMulCios(a, b));
+    MpUint cd = f.add(c, d);
+    EXPECT_EQ(peek(0x10000980), cd);
+    EXPECT_EQ(peek(0x10000a00), f.sub(cd, e));
+    // The forwarding path fired for the re-load of the add result.
+    EXPECT_GE(monte.stats().forwardedLoads, 1u);
+}
+
+TEST(MonteProperty, RandomOpSequencesStayFunctional)
+{
+    // Random load/compute/store programs against the PrimeField oracle.
+    PrimeField f(NistPrime::P224);
+    Rng rng(0x5eed);
+    for (int trial = 0; trial < 10; ++trial) {
+        MpUint x = rng.mpBelow(f.modulus());
+        MpUint y = rng.mpBelow(f.modulus());
+        bool do_add = rng.below(2) == 0;
+        std::string prog = std::string(R"(
+            li $t4, 7
+            ctc2 $t4, 0
+            li $a3, 0x10000600
+            cop2ldn $a3
+            li $a1, 0x10000400
+            cop2lda $a1
+            li $a2, 0x10000480
+            cop2ldb $a2
+        )") + (do_add ? "cop2add\n" : "cop2sub\n") + R"(
+            li $a0, 0x10000900
+            cop2st $a0
+            cop2sync
+            break
+        )";
+        Monte monte;
+        Pete cpu(assemble(prog));
+        cpu.attachCop2(&monte);
+        for (int i = 0; i < 7; ++i) {
+            cpu.mem().poke32(0x10000400 + 4 * i, x.limb(i));
+            cpu.mem().poke32(0x10000480 + 4 * i, y.limb(i));
+            cpu.mem().poke32(0x10000600 + 4 * i, f.modulus().limb(i));
+        }
+        ASSERT_TRUE(cpu.run());
+        MpUint result;
+        for (int i = 0; i < 7; ++i)
+            result.setLimb(i, cpu.mem().peek32(0x10000900 + 4 * i));
+        EXPECT_EQ(result, do_add ? f.add(x, y) : f.sub(x, y));
+    }
+}

@@ -1,0 +1,21 @@
+# Sample: binary GCD of two constants, result stored to RAM.
+# Run: ulecc-run --energy --dump 0x10000100 4 sample_gcd.s
+        li   $t0, 3528          # a
+        li   $t1, 3780          # b
+loop:
+        beq  $t0, $t1, done
+        nop
+        sltu $t2, $t0, $t1
+        bne  $t2, $zero, bless
+        nop
+        subu $t0, $t0, $t1      # a > b
+        b    loop
+        nop
+bless:
+        subu $t1, $t1, $t0      # b > a
+        b    loop
+        nop
+done:
+        li   $t3, 0x10000100
+        sw   $t0, 0($t3)        # gcd = 252
+        break

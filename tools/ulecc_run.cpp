@@ -1,0 +1,204 @@
+/**
+ * @file
+ * ulecc-run: assemble and execute a program on the simulated platform.
+ *
+ * Usage:
+ *   ulecc-run [options] program.s
+ *     --icache N     attach an N-KB direct-mapped instruction cache
+ *     --prefetch     enable the stream-buffer prefetcher
+ *     --monte        attach the Monte coprocessor
+ *     --billie       attach the Billie coprocessor (B-163, D = 3)
+ *     --max-cycles N cycle budget (default 500M)
+ *     --dump A N     after halt, hex-dump N words from address A
+ *     --energy       print the energy estimate for the run
+ *
+ * The program sees the paper's memory map: 256 KB ROM at 0x0,
+ * 16 KB RAM at 0x10000000; execution ends at `break`.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "accel/billie.hh"
+#include "accel/monte.hh"
+#include "asmkit/assembler.hh"
+#include "energy/power_model.hh"
+#include "sim/cpu.hh"
+
+using namespace ulecc;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: ulecc-run [--icache KB] [--prefetch] [--monte] "
+                 "[--billie]\n"
+                 "                 [--max-cycles N] [--dump ADDR WORDS] "
+                 "[--energy] program.s\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    PeteConfig config;
+    bool use_monte = false, use_billie = false, energy = false;
+    uint32_t dump_addr = 0, dump_words = 0;
+    const char *path = nullptr;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--icache") && i + 1 < argc) {
+            config.icacheEnabled = true;
+            config.icache.sizeBytes = 1024u * std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--prefetch")) {
+            config.icache.prefetch = true;
+        } else if (!std::strcmp(argv[i], "--monte")) {
+            use_monte = true;
+        } else if (!std::strcmp(argv[i], "--billie")) {
+            use_billie = true;
+        } else if (!std::strcmp(argv[i], "--max-cycles")
+                   && i + 1 < argc) {
+            config.maxCycles = std::strtoull(argv[++i], nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--dump") && i + 2 < argc) {
+            dump_addr = std::strtoul(argv[++i], nullptr, 0);
+            dump_words = std::strtoul(argv[++i], nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--energy")) {
+            energy = true;
+        } else if (argv[i][0] == '-') {
+            usage();
+            return 2;
+        } else {
+            path = argv[i];
+        }
+    }
+    if (!path) {
+        usage();
+        return 2;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "ulecc-run: cannot open %s\n", path);
+        return 1;
+    }
+    std::ostringstream src;
+    src << in.rdbuf();
+
+    try {
+        Program prog = assemble(src.str());
+        std::printf("assembled %s: %u bytes, %zu labels\n", path,
+                    prog.sizeBytes(), prog.labels.size());
+
+        Pete cpu(prog, config);
+        Monte monte;
+        Billie billie;
+        if (use_monte)
+            cpu.attachCop2(&monte);
+        else if (use_billie)
+            cpu.attachCop2(&billie);
+
+        bool halted = cpu.run();
+        const PeteStats &s = cpu.stats();
+        std::printf("%s after %lu cycles, %lu instructions "
+                    "(IPC %.3f)\n",
+                    halted ? "halted" : "CYCLE BUDGET EXHAUSTED",
+                    (unsigned long)s.cycles,
+                    (unsigned long)s.instructions,
+                    s.cycles ? double(s.instructions) / s.cycles : 0.0);
+        std::printf("stalls: load-use %lu, mult %lu, branch-miss %lu, "
+                    "jump %lu, icache %lu, cop2 %lu\n",
+                    (unsigned long)s.loadUseStalls,
+                    (unsigned long)s.multBusyStalls,
+                    (unsigned long)s.branchMispredicts,
+                    (unsigned long)s.jumpStalls,
+                    (unsigned long)s.icacheStalls,
+                    (unsigned long)s.cop2Stalls);
+        const MemCounters &ram = cpu.mem().ramCounters();
+        const MemCounters &romf = cpu.mem().romFetchCounters();
+        std::printf("memory: ROM fetches %lu (+%lu wide), RAM %lu R / "
+                    "%lu W\n",
+                    (unsigned long)romf.reads,
+                    (unsigned long)romf.wideReads,
+                    (unsigned long)ram.reads, (unsigned long)ram.writes);
+        if (cpu.icache()) {
+            const ICacheStats &ic = cpu.icache()->stats();
+            std::printf("icache: %lu accesses, %.3f%% miss, %lu "
+                        "prefetch hits\n",
+                        (unsigned long)ic.accesses,
+                        100.0 * ic.missRate(),
+                        (unsigned long)ic.prefetchHits);
+        }
+        if (use_monte) {
+            std::printf("monte: %lu mul, %lu add/sub, FFAU %lu cy, "
+                        "DMA %lu cy, %lu forwarded loads\n",
+                        (unsigned long)monte.stats().mulOps,
+                        (unsigned long)monte.stats().addSubOps,
+                        (unsigned long)monte.stats().ffauActiveCycles,
+                        (unsigned long)monte.stats().dmaActiveCycles,
+                        (unsigned long)monte.stats().forwardedLoads);
+        }
+        if (use_billie) {
+            std::printf("billie: %lu mul, %lu sqr, %lu add, %lu ld/st\n",
+                        (unsigned long)billie.stats().mulOps,
+                        (unsigned long)billie.stats().sqrOps,
+                        (unsigned long)billie.stats().addOps,
+                        (unsigned long)(billie.stats().loads
+                                        + billie.stats().stores));
+        }
+        if (energy) {
+            EventCounts ev;
+            ev.cycles = s.cycles;
+            ev.instructions = s.instructions;
+            ev.multActiveCycles = s.multIssues * 4;
+            ev.romNarrowReads = romf.reads;
+            ev.romWideReads = romf.wideReads;
+            ev.ramReads = ram.reads;
+            ev.ramWrites = ram.writes;
+            if (cpu.icache()) {
+                ev.hasIcache = true;
+                ev.icacheBytes = config.icache.sizeBytes;
+                ev.icAccesses = cpu.icache()->stats().accesses;
+                ev.icFills = cpu.icache()->romWideReads();
+            }
+            if (use_monte) {
+                ev.hasMonte = true;
+                ev.monteFfauCycles = monte.stats().ffauActiveCycles;
+                ev.monteDmaCycles = monte.stats().dmaActiveCycles;
+                ev.monteBufAccesses = monte.stats().bufferReads
+                    + monte.stats().bufferWrites;
+            }
+            if (use_billie) {
+                ev.hasBillie = true;
+                ev.billieBits = billie.field().degree();
+                ev.billieActiveCycles = billie.stats().activeCycles;
+            }
+            PowerModel pm;
+            std::printf("energy: %.3f uJ total, %.3f mW average "
+                        "(45 nm, 333 MHz model)\n",
+                        pm.evaluate(ev).totalUj(),
+                        pm.averagePowerMw(ev));
+        }
+        if (dump_words) {
+            for (uint32_t i = 0; i < dump_words; ++i) {
+                if (i % 4 == 0)
+                    std::printf("%08x:", dump_addr + 4 * i);
+                std::printf(" %08x",
+                            cpu.mem().peek32(dump_addr + 4 * i));
+                if (i % 4 == 3 || i + 1 == dump_words)
+                    std::printf("\n");
+            }
+        }
+        return halted ? 0 : 3;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ulecc-run: %s\n", e.what());
+        return 1;
+    }
+}
