@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_01.dir/bench_fig7_01.cpp.o"
+  "CMakeFiles/bench_fig7_01.dir/bench_fig7_01.cpp.o.d"
+  "bench_fig7_01"
+  "bench_fig7_01.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_01.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_05.dir/bench_fig7_05.cpp.o"
+  "CMakeFiles/bench_fig7_05.dir/bench_fig7_05.cpp.o.d"
+  "bench_fig7_05"
+  "bench_fig7_05.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_05.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

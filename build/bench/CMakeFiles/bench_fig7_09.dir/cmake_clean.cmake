@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_09.dir/bench_fig7_09.cpp.o"
+  "CMakeFiles/bench_fig7_09.dir/bench_fig7_09.cpp.o.d"
+  "bench_fig7_09"
+  "bench_fig7_09.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_09.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_7.dir/bench_sec7_7.cpp.o"
+  "CMakeFiles/bench_sec7_7.dir/bench_sec7_7.cpp.o.d"
+  "bench_sec7_7"
+  "bench_sec7_7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

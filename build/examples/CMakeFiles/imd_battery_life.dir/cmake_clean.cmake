@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imd_battery_life.dir/imd_battery_life.cpp.o"
+  "CMakeFiles/imd_battery_life.dir/imd_battery_life.cpp.o.d"
+  "imd_battery_life"
+  "imd_battery_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imd_battery_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_playground.dir/simulator_playground.cpp.o"
+  "CMakeFiles/simulator_playground.dir/simulator_playground.cpp.o.d"
+  "simulator_playground"
+  "simulator_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

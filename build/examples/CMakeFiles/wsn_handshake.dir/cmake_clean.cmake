@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_handshake.dir/wsn_handshake.cpp.o"
+  "CMakeFiles/wsn_handshake.dir/wsn_handshake.cpp.o.d"
+  "wsn_handshake"
+  "wsn_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("mpint")
+subdirs("ec")
+subdirs("ecdsa")
+subdirs("isa")
+subdirs("asmkit")
+subdirs("sim")
+subdirs("accel")
+subdirs("energy")
+subdirs("workload")
+subdirs("core")

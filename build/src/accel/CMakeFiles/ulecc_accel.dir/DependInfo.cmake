@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/billie.cc" "src/accel/CMakeFiles/ulecc_accel.dir/billie.cc.o" "gcc" "src/accel/CMakeFiles/ulecc_accel.dir/billie.cc.o.d"
+  "/root/repo/src/accel/bit_squarer.cc" "src/accel/CMakeFiles/ulecc_accel.dir/bit_squarer.cc.o" "gcc" "src/accel/CMakeFiles/ulecc_accel.dir/bit_squarer.cc.o.d"
+  "/root/repo/src/accel/ffau_microcode.cc" "src/accel/CMakeFiles/ulecc_accel.dir/ffau_microcode.cc.o" "gcc" "src/accel/CMakeFiles/ulecc_accel.dir/ffau_microcode.cc.o.d"
+  "/root/repo/src/accel/ffau_study.cc" "src/accel/CMakeFiles/ulecc_accel.dir/ffau_study.cc.o" "gcc" "src/accel/CMakeFiles/ulecc_accel.dir/ffau_study.cc.o.d"
+  "/root/repo/src/accel/monte.cc" "src/accel/CMakeFiles/ulecc_accel.dir/monte.cc.o" "gcc" "src/accel/CMakeFiles/ulecc_accel.dir/monte.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ulecc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpint/CMakeFiles/ulecc_mpint.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/ulecc_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ulecc_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

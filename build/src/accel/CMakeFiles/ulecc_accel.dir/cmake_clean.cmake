@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulecc_accel.dir/billie.cc.o"
+  "CMakeFiles/ulecc_accel.dir/billie.cc.o.d"
+  "CMakeFiles/ulecc_accel.dir/bit_squarer.cc.o"
+  "CMakeFiles/ulecc_accel.dir/bit_squarer.cc.o.d"
+  "CMakeFiles/ulecc_accel.dir/ffau_microcode.cc.o"
+  "CMakeFiles/ulecc_accel.dir/ffau_microcode.cc.o.d"
+  "CMakeFiles/ulecc_accel.dir/ffau_study.cc.o"
+  "CMakeFiles/ulecc_accel.dir/ffau_study.cc.o.d"
+  "CMakeFiles/ulecc_accel.dir/monte.cc.o"
+  "CMakeFiles/ulecc_accel.dir/monte.cc.o.d"
+  "libulecc_accel.a"
+  "libulecc_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulecc_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asmkit/assembler.cc" "src/asmkit/CMakeFiles/ulecc_asmkit.dir/assembler.cc.o" "gcc" "src/asmkit/CMakeFiles/ulecc_asmkit.dir/assembler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ulecc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpint/CMakeFiles/ulecc_mpint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

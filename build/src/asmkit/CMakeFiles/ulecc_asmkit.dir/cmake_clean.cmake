@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulecc_asmkit.dir/assembler.cc.o"
+  "CMakeFiles/ulecc_asmkit.dir/assembler.cc.o.d"
+  "libulecc_asmkit.a"
+  "libulecc_asmkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulecc_asmkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

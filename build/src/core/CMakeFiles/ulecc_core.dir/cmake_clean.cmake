@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulecc_core.dir/evaluator.cc.o"
+  "CMakeFiles/ulecc_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/ulecc_core.dir/report.cc.o"
+  "CMakeFiles/ulecc_core.dir/report.cc.o.d"
+  "libulecc_core.a"
+  "libulecc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulecc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulecc_ec.dir/curve.cc.o"
+  "CMakeFiles/ulecc_ec.dir/curve.cc.o.d"
+  "CMakeFiles/ulecc_ec.dir/scalar_mult.cc.o"
+  "CMakeFiles/ulecc_ec.dir/scalar_mult.cc.o.d"
+  "CMakeFiles/ulecc_ec.dir/toy_curves.cc.o"
+  "CMakeFiles/ulecc_ec.dir/toy_curves.cc.o.d"
+  "libulecc_ec.a"
+  "libulecc_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulecc_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecdsa/ecdh.cc" "src/ecdsa/CMakeFiles/ulecc_ecdsa.dir/ecdh.cc.o" "gcc" "src/ecdsa/CMakeFiles/ulecc_ecdsa.dir/ecdh.cc.o.d"
+  "/root/repo/src/ecdsa/ecdsa.cc" "src/ecdsa/CMakeFiles/ulecc_ecdsa.dir/ecdsa.cc.o" "gcc" "src/ecdsa/CMakeFiles/ulecc_ecdsa.dir/ecdsa.cc.o.d"
+  "/root/repo/src/ecdsa/sha256.cc" "src/ecdsa/CMakeFiles/ulecc_ecdsa.dir/sha256.cc.o" "gcc" "src/ecdsa/CMakeFiles/ulecc_ecdsa.dir/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ec/CMakeFiles/ulecc_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpint/CMakeFiles/ulecc_mpint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

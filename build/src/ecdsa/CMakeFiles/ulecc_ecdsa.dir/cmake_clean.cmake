@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulecc_ecdsa.dir/ecdh.cc.o"
+  "CMakeFiles/ulecc_ecdsa.dir/ecdh.cc.o.d"
+  "CMakeFiles/ulecc_ecdsa.dir/ecdsa.cc.o"
+  "CMakeFiles/ulecc_ecdsa.dir/ecdsa.cc.o.d"
+  "CMakeFiles/ulecc_ecdsa.dir/sha256.cc.o"
+  "CMakeFiles/ulecc_ecdsa.dir/sha256.cc.o.d"
+  "libulecc_ecdsa.a"
+  "libulecc_ecdsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulecc_ecdsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

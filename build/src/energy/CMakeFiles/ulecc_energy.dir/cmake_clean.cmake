@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulecc_energy.dir/power_model.cc.o"
+  "CMakeFiles/ulecc_energy.dir/power_model.cc.o.d"
+  "CMakeFiles/ulecc_energy.dir/sram_model.cc.o"
+  "CMakeFiles/ulecc_energy.dir/sram_model.cc.o.d"
+  "libulecc_energy.a"
+  "libulecc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulecc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

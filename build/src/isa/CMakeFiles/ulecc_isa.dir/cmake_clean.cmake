@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulecc_isa.dir/isa.cc.o"
+  "CMakeFiles/ulecc_isa.dir/isa.cc.o.d"
+  "libulecc_isa.a"
+  "libulecc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulecc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

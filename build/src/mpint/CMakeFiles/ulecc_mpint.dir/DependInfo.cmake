@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpint/binary_field.cc" "src/mpint/CMakeFiles/ulecc_mpint.dir/binary_field.cc.o" "gcc" "src/mpint/CMakeFiles/ulecc_mpint.dir/binary_field.cc.o.d"
+  "/root/repo/src/mpint/mpuint.cc" "src/mpint/CMakeFiles/ulecc_mpint.dir/mpuint.cc.o" "gcc" "src/mpint/CMakeFiles/ulecc_mpint.dir/mpuint.cc.o.d"
+  "/root/repo/src/mpint/op_observer.cc" "src/mpint/CMakeFiles/ulecc_mpint.dir/op_observer.cc.o" "gcc" "src/mpint/CMakeFiles/ulecc_mpint.dir/op_observer.cc.o.d"
+  "/root/repo/src/mpint/prime_field.cc" "src/mpint/CMakeFiles/ulecc_mpint.dir/prime_field.cc.o" "gcc" "src/mpint/CMakeFiles/ulecc_mpint.dir/prime_field.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulecc_mpint.dir/binary_field.cc.o"
+  "CMakeFiles/ulecc_mpint.dir/binary_field.cc.o.d"
+  "CMakeFiles/ulecc_mpint.dir/mpuint.cc.o"
+  "CMakeFiles/ulecc_mpint.dir/mpuint.cc.o.d"
+  "CMakeFiles/ulecc_mpint.dir/op_observer.cc.o"
+  "CMakeFiles/ulecc_mpint.dir/op_observer.cc.o.d"
+  "CMakeFiles/ulecc_mpint.dir/prime_field.cc.o"
+  "CMakeFiles/ulecc_mpint.dir/prime_field.cc.o.d"
+  "libulecc_mpint.a"
+  "libulecc_mpint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulecc_mpint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libulecc_mpint.a"
+)

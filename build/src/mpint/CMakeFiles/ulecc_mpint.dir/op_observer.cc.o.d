@@ -1,0 +1,3 @@
+src/mpint/CMakeFiles/ulecc_mpint.dir/op_observer.cc.o: \
+ /root/repo/src/mpint/op_observer.cc /usr/include/stdc-predef.h \
+ /root/repo/src/mpint/op_observer.hh

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu.cc" "src/sim/CMakeFiles/ulecc_sim.dir/cpu.cc.o" "gcc" "src/sim/CMakeFiles/ulecc_sim.dir/cpu.cc.o.d"
+  "/root/repo/src/sim/icache.cc" "src/sim/CMakeFiles/ulecc_sim.dir/icache.cc.o" "gcc" "src/sim/CMakeFiles/ulecc_sim.dir/icache.cc.o.d"
+  "/root/repo/src/sim/karatsuba_unit.cc" "src/sim/CMakeFiles/ulecc_sim.dir/karatsuba_unit.cc.o" "gcc" "src/sim/CMakeFiles/ulecc_sim.dir/karatsuba_unit.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/ulecc_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/ulecc_sim.dir/memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asmkit/CMakeFiles/ulecc_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpint/CMakeFiles/ulecc_mpint.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ulecc_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

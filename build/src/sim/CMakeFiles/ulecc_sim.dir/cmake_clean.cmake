@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulecc_sim.dir/cpu.cc.o"
+  "CMakeFiles/ulecc_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/ulecc_sim.dir/icache.cc.o"
+  "CMakeFiles/ulecc_sim.dir/icache.cc.o.d"
+  "CMakeFiles/ulecc_sim.dir/karatsuba_unit.cc.o"
+  "CMakeFiles/ulecc_sim.dir/karatsuba_unit.cc.o.d"
+  "CMakeFiles/ulecc_sim.dir/memory.cc.o"
+  "CMakeFiles/ulecc_sim.dir/memory.cc.o.d"
+  "libulecc_sim.a"
+  "libulecc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulecc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulecc_workload.dir/asm_kernels.cc.o"
+  "CMakeFiles/ulecc_workload.dir/asm_kernels.cc.o.d"
+  "CMakeFiles/ulecc_workload.dir/fetch_trace.cc.o"
+  "CMakeFiles/ulecc_workload.dir/fetch_trace.cc.o.d"
+  "CMakeFiles/ulecc_workload.dir/kernel_model.cc.o"
+  "CMakeFiles/ulecc_workload.dir/kernel_model.cc.o.d"
+  "CMakeFiles/ulecc_workload.dir/op_trace.cc.o"
+  "CMakeFiles/ulecc_workload.dir/op_trace.cc.o.d"
+  "libulecc_workload.a"
+  "libulecc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulecc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

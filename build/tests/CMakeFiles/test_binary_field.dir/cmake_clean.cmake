@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binary_field.dir/test_binary_field.cpp.o"
+  "CMakeFiles/test_binary_field.dir/test_binary_field.cpp.o.d"
+  "test_binary_field"
+  "test_binary_field.pdb"
+  "test_binary_field[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binary_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cross_validation.cpp" "tests/CMakeFiles/test_cross_validation.dir/test_cross_validation.cpp.o" "gcc" "tests/CMakeFiles/test_cross_validation.dir/test_cross_validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ulecc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecdsa/CMakeFiles/ulecc_ecdsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/ulecc_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/ulecc_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ulecc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/ulecc_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ulecc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ulecc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpint/CMakeFiles/ulecc_mpint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecdh.dir/test_ecdh.cpp.o"
+  "CMakeFiles/test_ecdh.dir/test_ecdh.cpp.o.d"
+  "test_ecdh"
+  "test_ecdh.pdb"
+  "test_ecdh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecdh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

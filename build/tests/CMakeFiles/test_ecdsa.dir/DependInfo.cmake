@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ecdsa.cpp" "tests/CMakeFiles/test_ecdsa.dir/test_ecdsa.cpp.o" "gcc" "tests/CMakeFiles/test_ecdsa.dir/test_ecdsa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ecdsa/CMakeFiles/ulecc_ecdsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/ulecc_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpint/CMakeFiles/ulecc_mpint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa_asm.dir/test_isa_asm.cpp.o"
+  "CMakeFiles/test_isa_asm.dir/test_isa_asm.cpp.o.d"
+  "test_isa_asm"
+  "test_isa_asm.pdb"
+  "test_isa_asm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

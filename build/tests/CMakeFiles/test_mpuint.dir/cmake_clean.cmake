@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpuint.dir/test_mpuint.cpp.o"
+  "CMakeFiles/test_mpuint.dir/test_mpuint.cpp.o.d"
+  "test_mpuint"
+  "test_mpuint.pdb"
+  "test_mpuint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpuint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_mpuint[1]_include.cmake")
+include("/root/repo/build/tests/test_prime_field[1]_include.cmake")
+include("/root/repo/build/tests/test_binary_field[1]_include.cmake")
+include("/root/repo/build/tests/test_curve[1]_include.cmake")
+include("/root/repo/build/tests/test_ecdsa[1]_include.cmake")
+include("/root/repo/build/tests/test_isa_asm[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_asm_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_accel[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_evaluator[1]_include.cmake")
+include("/root/repo/build/tests/test_microcode[1]_include.cmake")
+include("/root/repo/build/tests/test_ecdh[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_validation[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_karatsuba[1]_include.cmake")
+include("/root/repo/build/tests/test_hwsw_integration[1]_include.cmake")

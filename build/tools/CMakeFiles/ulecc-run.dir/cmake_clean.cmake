@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulecc-run.dir/ulecc_run.cpp.o"
+  "CMakeFiles/ulecc-run.dir/ulecc_run.cpp.o.d"
+  "ulecc-run"
+  "ulecc-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulecc-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
