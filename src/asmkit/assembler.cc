@@ -19,7 +19,7 @@ Program::labelAddr(const std::string &name) const
 {
     auto it = labels.find(name);
     if (it == labels.end())
-        throw std::out_of_range("undefined label: " + name);
+        throw UleccError(Errc::InvalidInput, "undefined label: " + name);
     return it->second;
 }
 
@@ -470,6 +470,16 @@ assemble(const std::string &source)
 {
     AsmContext ctx(source);
     return ctx.emit();
+}
+
+Result<Program>
+assembleChecked(const std::string &source)
+{
+    try {
+        return assemble(source);
+    } catch (const UleccError &e) {
+        return e.error();
+    }
 }
 
 } // namespace ulecc

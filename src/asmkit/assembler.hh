@@ -14,9 +14,10 @@
 
 #include <cstdint>
 #include <map>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "base/error.hh"
 
 namespace ulecc
 {
@@ -27,7 +28,7 @@ struct Program
     std::vector<uint32_t> words;             ///< image, word-addressed
     std::map<std::string, uint32_t> labels;  ///< label -> byte address
 
-    /** Byte address of a label; throws if undefined. */
+    /** Byte address of a label; throws Errc::InvalidInput if undefined. */
     uint32_t labelAddr(const std::string &name) const;
 
     /** Image size in bytes. */
@@ -37,13 +38,16 @@ struct Program
     }
 };
 
-/** Raised on any assembly error, with the offending line number. */
-class AsmError : public std::runtime_error
+/**
+ * Raised on any assembly error, with the offending line number.
+ * Carries Errc::AsmSyntax so drivers classify it as bad input.
+ */
+class AsmError : public UleccError
 {
   public:
     AsmError(int line, const std::string &msg)
-        : std::runtime_error("asm line " + std::to_string(line) + ": "
-                             + msg),
+        : UleccError(Errc::AsmSyntax,
+                     "asm line " + std::to_string(line) + ": " + msg),
           line_(line)
     {}
 
@@ -55,6 +59,9 @@ class AsmError : public std::runtime_error
 
 /** Assembles @p source into a program image. */
 Program assemble(const std::string &source);
+
+/** Non-throwing assembly: Errc::AsmSyntax with line context on error. */
+Result<Program> assembleChecked(const std::string &source);
 
 } // namespace ulecc
 

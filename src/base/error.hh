@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The library-wide error taxonomy.
+ *
+ * Every layer of the stack (mpint up to core) reports failures through
+ * one vocabulary so callers can distinguish the three situations that
+ * matter operationally:
+ *
+ *  - bad input        (Errc::InvalidInput / OutOfRange / AsmSyntax):
+ *                     the caller handed us something outside the
+ *                     contract; recoverable by fixing the input;
+ *  - simulation fault (Errc::SimTimeout / MemFault /
+ *                     IllegalInstruction): the simulated machine ran
+ *                     off the rails -- expected under fault injection
+ *                     and cycle budgets, and always recoverable;
+ *  - broken invariant (Errc::Internal): a bug in the library itself.
+ *
+ * Two reporting styles share the taxonomy:
+ *
+ *  - `Result<T>` for the "checked" entry points (ECDSA/ECDH, the
+ *     evaluator, Pete::runChecked) -- no exceptions cross the API;
+ *  - `UleccError` (derives std::runtime_error, carries an Errc) for
+ *     deep call stacks where threading a Result through every frame
+ *     would obscure the arithmetic.  Checked entry points catch it at
+ *     the boundary and convert.
+ */
+
+#ifndef ULECC_BASE_ERROR_HH
+#define ULECC_BASE_ERROR_HH
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace ulecc
+{
+
+/** Error codes: the failure vocabulary of the whole stack. */
+enum class Errc
+{
+    Ok = 0,
+    InvalidInput,       ///< caller data outside the documented domain
+    OutOfRange,         ///< index/length beyond a fixed capacity
+    AsmSyntax,          ///< assembler rejected the source text
+    MemFault,           ///< unmapped address, ROM write, range overrun
+    IllegalInstruction, ///< undecodable or unimplemented opcode
+    SimTimeout,         ///< cycle budget exhausted
+    FaultDetected,      ///< a countermeasure caught corrupted state
+    Unsupported,        ///< configuration/arch combination not modelled
+    Internal,           ///< library invariant broken (a bug)
+};
+
+/** Stable short name of an error code (used in logs and JSON). */
+inline const char *
+errcName(Errc code)
+{
+    switch (code) {
+      case Errc::Ok: return "ok";
+      case Errc::InvalidInput: return "invalid-input";
+      case Errc::OutOfRange: return "out-of-range";
+      case Errc::AsmSyntax: return "asm-syntax";
+      case Errc::MemFault: return "mem-fault";
+      case Errc::IllegalInstruction: return "illegal-instruction";
+      case Errc::SimTimeout: return "sim-timeout";
+      case Errc::FaultDetected: return "fault-detected";
+      case Errc::Unsupported: return "unsupported";
+      case Errc::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+/** An error code plus human-readable context. */
+struct Error
+{
+    Errc code = Errc::Ok;
+    std::string context;
+
+    /** "code-name: context" -- the canonical rendering. */
+    std::string
+    message() const
+    {
+        return std::string(errcName(code)) + ": " + context;
+    }
+};
+
+/** Exception form of Error for deep call stacks. */
+class UleccError : public std::runtime_error
+{
+  public:
+    UleccError(Errc code, const std::string &context)
+        : std::runtime_error(Error{code, context}.message()),
+          err_{code, context}
+    {}
+
+    explicit UleccError(Error err)
+        : std::runtime_error(err.message()), err_(std::move(err))
+    {}
+
+    Errc code() const { return err_.code; }
+    const Error &error() const { return err_; }
+
+  private:
+    Error err_;
+};
+
+/**
+ * Value-or-Error return type for the checked API surface.
+ *
+ * Implicitly constructible from either alternative:
+ *
+ *     Result<int> f() { return 7; }
+ *     Result<int> g() { return Error{Errc::InvalidInput, "why"}; }
+ *
+ * Accessing value() on an error does not abort: it throws the carried
+ * UleccError (which a campaign driver can catch and classify).
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+    Result(Error error) : error_(std::move(error)) {}
+    Result(Errc code, std::string context)
+        : error_{code, std::move(context)}
+    {}
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /** Errc::Ok on success, else the carried code. */
+    Errc code() const { return error_.code; }
+
+    const T &
+    value() const
+    {
+        if (!ok())
+            throw UleccError(error_);
+        return *value_;
+    }
+
+    T &
+    value()
+    {
+        if (!ok())
+            throw UleccError(error_);
+        return *value_;
+    }
+
+    T
+    valueOr(T fallback) const
+    {
+        return ok() ? *value_ : std::move(fallback);
+    }
+
+    /** The carried error ({Errc::Ok, ""} on success). */
+    const Error &error() const { return error_; }
+
+  private:
+    std::optional<T> value_;
+    Error error_;
+};
+
+/** Result<void>: success carries no value. */
+template <>
+class Result<void>
+{
+  public:
+    Result() = default;
+    Result(Error error) : ok_(false), error_(std::move(error)) {}
+    Result(Errc code, std::string context)
+        : ok_(false), error_{code, std::move(context)}
+    {}
+
+    bool ok() const { return ok_; }
+    explicit operator bool() const { return ok_; }
+    Errc code() const { return error_.code; }
+
+    /** Throws the carried UleccError when in the error state. */
+    void
+    value() const
+    {
+        if (!ok_)
+            throw UleccError(error_);
+    }
+
+    const Error &error() const { return error_; }
+
+  private:
+    bool ok_ = true;
+    Error error_;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_BASE_ERROR_HH

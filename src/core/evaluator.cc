@@ -160,4 +160,22 @@ evaluate(MicroArch arch, CurveId curve, const EvalOptions &options)
     return result;
 }
 
+Result<EvalResult>
+evaluateChecked(MicroArch arch, CurveId curve, const EvalOptions &options)
+{
+    if (!archSupportsCurve(arch, curve)) {
+        return Error{Errc::Unsupported,
+                     "evaluate: " + curveIdName(curve)
+                     + " is outside this accelerator's design space"};
+    }
+    try {
+        return evaluate(arch, curve, options);
+    } catch (const UleccError &e) {
+        return e.error();
+    } catch (const std::exception &e) {
+        return Error{Errc::Internal,
+                     std::string("evaluate: ") + e.what()};
+    }
+}
+
 } // namespace ulecc

@@ -20,6 +20,7 @@
 #ifndef ULECC_CORE_EVALUATOR_HH
 #define ULECC_CORE_EVALUATOR_HH
 
+#include "base/error.hh"
 #include "energy/power_model.hh"
 #include "workload/kernel_model.hh"
 
@@ -87,6 +88,18 @@ struct EvalResult
 /** Evaluates one (arch, curve) design point. */
 EvalResult evaluate(MicroArch arch, CurveId curve,
                     const EvalOptions &options = {});
+
+/**
+ * Checked evaluation: never throws.  Returns
+ *  - Errc::Unsupported for an (arch, curve) combination outside the
+ *    modelled design space (Monte is prime-field only, Billie binary);
+ *  - Errc::SimTimeout when an anchoring kernel simulation exhausts its
+ *    cycle budget;
+ *  - any other structured error from the layers below, or
+ *    Errc::Internal for an unexpected failure.
+ */
+Result<EvalResult> evaluateChecked(MicroArch arch, CurveId curve,
+                                   const EvalOptions &options = {});
 
 /** True when @p arch applies to @p curve (Monte: prime, Billie: binary). */
 bool archSupportsCurve(MicroArch arch, CurveId curve);

@@ -6,6 +6,8 @@
 
 #include "ec/curve.hh"
 
+#include "base/error.hh"
+
 #include <cassert>
 #include <map>
 #include <mutex>
@@ -449,7 +451,7 @@ findBinaryPoint(const BinaryField &f, const MpUint &a, const MpUint &b)
         MpUint y = f.mul(x, z);
         return {x, y};
     }
-    throw std::runtime_error("findBinaryPoint: none found");
+    throw UleccError(Errc::Internal, "findBinaryPoint: none found");
 }
 
 std::unique_ptr<Curve>
@@ -575,7 +577,7 @@ buildCurve(CurveId id)
             /*synthetic=*/true);
       }
     }
-    throw std::invalid_argument("buildCurve: bad id");
+    throw UleccError(Errc::InvalidInput, "buildCurve: bad id");
 }
 
 } // namespace

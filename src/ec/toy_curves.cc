@@ -5,6 +5,8 @@
 
 #include "ec/toy_curves.hh"
 
+#include "base/error.hh"
+
 #include <cassert>
 #include <cstdint>
 #include <stdexcept>
@@ -116,7 +118,7 @@ makeToyPrimeCurve(uint32_t p)
                 return curve;
         }
     }
-    throw std::runtime_error("makeToyPrimeCurve: no curve found");
+    throw UleccError(Errc::Internal, "makeToyPrimeCurve: no curve found");
 }
 
 std::unique_ptr<BinaryCurve>
@@ -193,7 +195,7 @@ makeToyBinaryCurve()
                 return curve;
         }
     }
-    throw std::runtime_error("makeToyBinaryCurve: no curve found");
+    throw UleccError(Errc::Internal, "makeToyBinaryCurve: no curve found");
 }
 
 } // namespace ulecc

@@ -32,12 +32,25 @@ Ecdh::validatePeer(const AffinePoint &peer) const
 EcdhShared
 Ecdh::agree(const MpUint &d, const AffinePoint &peer) const
 {
-    EcdhShared out;
-    if (d.isZero() || d >= curve_.order() || !validatePeer(peer))
-        return out;
+    Result<EcdhShared> r = agreeChecked(d, peer);
+    return r.ok() ? r.value() : EcdhShared{};
+}
+
+Result<EcdhShared>
+Ecdh::agreeChecked(const MpUint &d, const AffinePoint &peer) const
+{
+    if (d.isZero() || d >= curve_.order())
+        return Error{Errc::InvalidInput,
+                     "agree: private scalar out of [1, n)"};
+    if (!validatePeer(peer))
+        return Error{Errc::InvalidInput,
+                     "agree: peer point failed public-key validation "
+                     "(off-curve, infinity, or wrong order)"};
     AffinePoint shared = scalarMul(curve_, d, peer);
     if (shared.infinity)
-        return out;
+        return Error{Errc::InvalidInput,
+                     "agree: shared point is infinity"};
+    EcdhShared out;
     out.sharedX = shared.x;
     int len = (curve_.fieldBits() + 7) / 8;
     std::vector<uint8_t> octets = toBytesBe(out.sharedX, len);

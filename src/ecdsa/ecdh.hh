@@ -13,6 +13,7 @@
 #ifndef ULECC_ECDSA_ECDH_HH
 #define ULECC_ECDSA_ECDH_HH
 
+#include "base/error.hh"
 #include "ec/curve.hh"
 #include "ecdsa/sha256.hh"
 
@@ -43,6 +44,14 @@ class Ecdh
      * kind of thing an implantable device must not fall to.
      */
     EcdhShared agree(const MpUint &d, const AffinePoint &peer) const;
+
+    /**
+     * Checked key agreement: reports *why* the agreement failed
+     * (Errc::InvalidInput with context naming the private scalar or
+     * the peer point) instead of a bare invalid result.
+     */
+    Result<EcdhShared> agreeChecked(const MpUint &d,
+                                    const AffinePoint &peer) const;
 
     /** Public-key validation only. */
     bool validatePeer(const AffinePoint &peer) const;

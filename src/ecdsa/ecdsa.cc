@@ -5,18 +5,28 @@
 
 #include "ecdsa/ecdsa.hh"
 
-#include <cassert>
-#include <stdexcept>
-
 #include "ec/scalar_mult.hh"
 #include "mpint/op_observer.hh"
 
 namespace ulecc
 {
 
+namespace
+{
+
+/** Octet-string length cap: the MpUint limb capacity in bytes. */
+constexpr int kMaxBytes = MpUint::maxLimbs * 4;
+
+} // namespace
+
 std::vector<uint8_t>
 toBytesBe(const MpUint &v, int len)
 {
+    if (len < 0 || len > kMaxBytes)
+        throw UleccError(Errc::OutOfRange,
+                         "toBytesBe: length " + std::to_string(len)
+                         + " exceeds " + std::to_string(kMaxBytes)
+                         + "-byte capacity");
     std::vector<uint8_t> out(len, 0);
     for (int i = 0; i < len; ++i) {
         int byte = len - 1 - i; // index from least-significant byte
@@ -29,6 +39,11 @@ toBytesBe(const MpUint &v, int len)
 MpUint
 fromBytesBe(const uint8_t *data, size_t len)
 {
+    if (len > static_cast<size_t>(kMaxBytes))
+        throw UleccError(Errc::OutOfRange,
+                         "fromBytesBe: length " + std::to_string(len)
+                         + " exceeds " + std::to_string(kMaxBytes)
+                         + "-byte capacity");
     MpUint v;
     for (size_t i = 0; i < len; ++i) {
         int byte = static_cast<int>(len - 1 - i);
@@ -37,6 +52,26 @@ fromBytesBe(const uint8_t *data, size_t len)
         v.setLimb(byte / 4, limb);
     }
     return v;
+}
+
+Result<std::vector<uint8_t>>
+toBytesBeChecked(const MpUint &v, int len)
+{
+    if (len < 0 || len > kMaxBytes)
+        return Error{Errc::OutOfRange,
+                     "toBytesBe: length " + std::to_string(len)
+                     + " exceeds capacity"};
+    return toBytesBe(v, len);
+}
+
+Result<MpUint>
+fromBytesBeChecked(const uint8_t *data, size_t len)
+{
+    if (len > static_cast<size_t>(kMaxBytes))
+        return Error{Errc::OutOfRange,
+                     "fromBytesBe: length " + std::to_string(len)
+                     + " exceeds capacity"};
+    return fromBytesBe(data, len);
 }
 
 namespace
@@ -93,7 +128,7 @@ rfc6979Nonce(const MpUint &d, const Sha256Digest &digest, const MpUint &n)
         k = hmac(k, {v, {0x00}});
         v = hmac(k, {v});
     }
-    throw std::runtime_error("rfc6979Nonce: no candidate found");
+    throw UleccError(Errc::Internal, "rfc6979Nonce: no candidate found");
 }
 
 Ecdsa::Ecdsa(const Curve &curve)
@@ -104,8 +139,19 @@ Ecdsa::Ecdsa(const Curve &curve)
 KeyPair
 Ecdsa::keyFromPrivate(const MpUint &d) const
 {
-    assert(!d.isZero() && d < curve_.order());
+    if (d.isZero() || d >= curve_.order())
+        throw UleccError(Errc::InvalidInput,
+                         "keyFromPrivate: scalar out of [1, n)");
     return {d, scalarMul(curve_, d, curve_.generator())};
+}
+
+Result<KeyPair>
+Ecdsa::keyFromPrivateChecked(const MpUint &d) const
+{
+    if (d.isZero() || d >= curve_.order())
+        return Error{Errc::InvalidInput,
+                     "keyFromPrivate: scalar out of [1, n)"};
+    return keyFromPrivate(d);
 }
 
 MpUint
@@ -121,10 +167,15 @@ Ecdsa::signDigest(const MpUint &d, const Sha256Digest &digest,
 {
     const MpUint &n = curve_.order();
     const PrimeField &fn = orderField_;
+    if (d.isZero() || d >= n)
+        throw UleccError(Errc::InvalidInput,
+                         "signDigest: private scalar out of [1, n)");
     MpUint e = digestToScalar(digest);
     MpUint k = nonce ? *nonce : rfc6979Nonce(d, digest, n);
     for (int guard = 0; guard < 64; ++guard) {
-        assert(!k.isZero() && k < n);
+        if (k.isZero() || k >= n)
+            throw UleccError(Errc::InvalidInput,
+                             "signDigest: nonce out of [1, n)");
         AffinePoint kg = scalarMul(curve_, k, curve_.generator());
         // Arithmetic modulo the group order: protocol work that stays
         // on the main processor in every hardware configuration.
@@ -142,7 +193,35 @@ Ecdsa::signDigest(const MpUint &d, const Sha256Digest &digest,
         if (k >= n)
             k = MpUint(1);
     }
-    throw std::runtime_error("ECDSA sign: nonce search failed");
+    throw UleccError(Errc::Internal, "ECDSA sign: nonce search failed");
+}
+
+Result<Signature>
+Ecdsa::signDigestChecked(const MpUint &d, const Sha256Digest &digest,
+                         const std::optional<MpUint> &nonce) const
+{
+    const MpUint &n = curve_.order();
+    if (d.isZero() || d >= n)
+        return Error{Errc::InvalidInput,
+                     "signDigest: private scalar out of [1, n)"};
+    if (nonce && (nonce->isZero() || *nonce >= n))
+        return Error{Errc::InvalidInput,
+                     "signDigest: nonce out of [1, n)"};
+    try {
+        Signature sig = signDigest(d, digest, nonce);
+        // Verify-after-sign: a glitched scalar multiplication (the
+        // classic ECDSA fault attack leaking the private key through a
+        // faulty r) produces a signature that does not verify against
+        // our own public point.  Withhold it.
+        AffinePoint q = scalarMul(curve_, d, curve_.generator());
+        if (!verifyDigest(q, digest, sig))
+            return Error{Errc::FaultDetected,
+                         "signDigest: verify-after-sign mismatch "
+                         "(corrupted signing computation)"};
+        return sig;
+    } catch (const UleccError &e) {
+        return e.error();
+    }
 }
 
 bool
@@ -165,6 +244,27 @@ Ecdsa::verifyDigest(const AffinePoint &pub, const Sha256Digest &digest,
     if (x.infinity)
         return false;
     return x.x.mod(n) == sig.r;
+}
+
+Result<bool>
+Ecdsa::verifyDigestChecked(const AffinePoint &pub,
+                           const Sha256Digest &digest,
+                           const Signature &sig) const
+{
+    // Point validation ahead of use: a corrupted or adversarial public
+    // point must be rejected as bad input, not folded into the group
+    // arithmetic (invalid-curve attacks).
+    if (pub.infinity)
+        return Error{Errc::InvalidInput,
+                     "verifyDigest: public point is infinity"};
+    if (!curve_.onCurve(pub))
+        return Error{Errc::InvalidInput,
+                     "verifyDigest: public point not on curve"};
+    try {
+        return verifyDigest(pub, digest, sig);
+    } catch (const UleccError &e) {
+        return e.error();
+    }
 }
 
 Signature

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/error.hh"
 #include "ec/curve.hh"
 #include "ecdsa/sha256.hh"
 
@@ -35,11 +36,24 @@ struct KeyPair
     AffinePoint q; ///< public point, Q = d*G
 };
 
-/** Big-endian octet-string encoding of @p v, left-padded to @p len. */
+/**
+ * Big-endian octet-string encoding of @p v, left-padded to @p len.
+ * Throws UleccError(Errc::OutOfRange) when @p len is negative or
+ * exceeds the MpUint limb capacity.
+ */
 std::vector<uint8_t> toBytesBe(const MpUint &v, int len);
 
-/** Decodes a big-endian octet string. */
+/**
+ * Decodes a big-endian octet string.  Throws
+ * UleccError(Errc::OutOfRange) when @p len exceeds the limb capacity.
+ */
 MpUint fromBytesBe(const uint8_t *data, size_t len);
+
+/** Non-throwing form of toBytesBe. */
+Result<std::vector<uint8_t>> toBytesBeChecked(const MpUint &v, int len);
+
+/** Non-throwing form of fromBytesBe. */
+Result<MpUint> fromBytesBeChecked(const uint8_t *data, size_t len);
 
 /**
  * Deterministic nonce generation per RFC 6979 (HMAC-SHA256 DRBG):
@@ -59,6 +73,9 @@ class Ecdsa
     /** Derives the key pair for private scalar @p d. */
     KeyPair keyFromPrivate(const MpUint &d) const;
 
+    /** Checked form: Errc::InvalidInput when d is out of [1, n). */
+    Result<KeyPair> keyFromPrivateChecked(const MpUint &d) const;
+
     /**
      * Signs a 32-byte digest.  If @p nonce is not provided the RFC 6979
      * deterministic nonce is used.
@@ -66,9 +83,32 @@ class Ecdsa
     Signature signDigest(const MpUint &d, const Sha256Digest &digest,
                          const std::optional<MpUint> &nonce = {}) const;
 
+    /**
+     * Hardened signing entry point with fault countermeasures:
+     *  - scalar-range validation of d (and of an explicit nonce):
+     *    Errc::InvalidInput;
+     *  - verify-after-sign: the fresh signature is verified against
+     *    Q = dG before release -- the standard check against glitched
+     *    scalar multiplications; a mismatch is Errc::FaultDetected and
+     *    the signature is withheld.
+     */
+    Result<Signature>
+    signDigestChecked(const MpUint &d, const Sha256Digest &digest,
+                      const std::optional<MpUint> &nonce = {}) const;
+
     /** Verifies a signature over a 32-byte digest. */
     bool verifyDigest(const AffinePoint &pub, const Sha256Digest &digest,
                       const Signature &sig) const;
+
+    /**
+     * Checked verification: validates the public point first (finite,
+     * on curve: Errc::InvalidInput otherwise) and then returns the
+     * verdict.  A bad signature is a valid `false`, not an error.
+     */
+    Result<bool>
+    verifyDigestChecked(const AffinePoint &pub,
+                        const Sha256Digest &digest,
+                        const Signature &sig) const;
 
     /** Hashes @p message with SHA-256 and signs. */
     Signature sign(const MpUint &d, std::string_view message) const;

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * FaultInjector implementation.
+ */
+
+#include "fault/fault_injector.hh"
+
+#include <sstream>
+
+namespace ulecc
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::RegisterBitFlip: return "register-bit-flip";
+      case FaultKind::MemoryBitFlip: return "memory-bit-flip";
+      case FaultKind::HiLoBitFlip: return "hilo-bit-flip";
+      case FaultKind::IcacheLineCorrupt: return "icache-line-corrupt";
+      case FaultKind::Cop2StallStorm: return "cop2-stall-storm";
+      case FaultKind::CycleBudgetExhaust: return "cycle-budget-exhaust";
+      case FaultKind::NumKinds: break;
+    }
+    return "unknown";
+}
+
+std::string
+FaultSpec::describe() const
+{
+    std::ostringstream os;
+    os << faultKindName(kind) << " @cycle " << triggerCycle;
+    switch (kind) {
+      case FaultKind::RegisterBitFlip:
+        os << " r" << target << " mask=0x" << std::hex << mask;
+        break;
+      case FaultKind::MemoryBitFlip:
+      case FaultKind::IcacheLineCorrupt:
+        os << " addr=0x" << std::hex << target << " mask=0x" << mask;
+        break;
+      case FaultKind::HiLoBitFlip:
+        os << (target ? " lo" : " hi") << " mask=0x" << std::hex << mask;
+        break;
+      case FaultKind::Cop2StallStorm:
+        os << " for " << durationCycles << " cycles";
+        break;
+      default:
+        break;
+    }
+    return os.str();
+}
+
+FaultSpec
+FaultInjector::plan(const FaultTargetSpace &space)
+{
+    FaultSpec spec;
+    spec.kind = static_cast<FaultKind>(
+        rng_.below(static_cast<uint64_t>(FaultKind::NumKinds)));
+    // Strike somewhere inside the run (never exactly at retirement --
+    // the last cycle may already be the halt).
+    uint64_t horizon = space.cycleHorizon > 2 ? space.cycleHorizon : 2;
+    spec.triggerCycle = rng_.below(horizon - 1);
+
+    switch (spec.kind) {
+      case FaultKind::RegisterBitFlip:
+        // r0 is hardwired zero; strike r1..r31.
+        spec.target = 1 + static_cast<uint32_t>(rng_.below(31));
+        spec.mask = 1u << rng_.below(32);
+        break;
+      case FaultKind::MemoryBitFlip:
+        spec.target = space.ramBase
+            + 4 * static_cast<uint32_t>(
+                  rng_.below(space.ramWords ? space.ramWords : 1));
+        spec.mask = 1u << rng_.below(32);
+        break;
+      case FaultKind::HiLoBitFlip:
+        spec.target = static_cast<uint32_t>(rng_.below(2));
+        spec.mask = 1u << rng_.below(32);
+        break;
+      case FaultKind::IcacheLineCorrupt: {
+        // Corrupt a whole aligned 16-byte line of the program image.
+        uint32_t lines = space.romWords / 4;
+        spec.target = 16 * static_cast<uint32_t>(
+            rng_.below(lines ? lines : 1));
+        spec.mask = static_cast<uint32_t>(rng_.next()) | 1u;
+        break;
+      }
+      case FaultKind::Cop2StallStorm:
+        spec.durationCycles =
+            16 + static_cast<uint32_t>(rng_.below(1024));
+        break;
+      case FaultKind::CycleBudgetExhaust:
+      default:
+        break;
+    }
+    return spec;
+}
+
+void
+FaultInjector::arm(const FaultSpec &spec)
+{
+    spec_ = spec;
+    armed_ = true;
+    fired_ = false;
+    stormEndCycle_ = 0;
+}
+
+void
+FaultInjector::onStep(Pete &cpu)
+{
+    // Storm tail: keep stalling until the window closes.
+    if (stormEndCycle_ && cpu.cycle() < stormEndCycle_)
+        cpu.addStall(spec_.durationCycles > 64 ? 64 : 4);
+    if (!armed_ || fired_)
+        return;
+    if (cpu.cycle() < spec_.triggerCycle)
+        return;
+    fired_ = true;
+    inject(cpu);
+}
+
+void
+FaultInjector::inject(Pete &cpu)
+{
+    switch (spec_.kind) {
+      case FaultKind::RegisterBitFlip:
+        cpu.setReg(spec_.target, cpu.reg(spec_.target) ^ spec_.mask);
+        break;
+      case FaultKind::MemoryBitFlip:
+        cpu.mem().corrupt32(spec_.target, spec_.mask);
+        break;
+      case FaultKind::HiLoBitFlip:
+        if (spec_.target)
+            cpu.setLo(cpu.lo() ^ spec_.mask);
+        else
+            cpu.setHi(cpu.hi() ^ spec_.mask);
+        break;
+      case FaultKind::IcacheLineCorrupt:
+        // Flip bits across the four words of the line; the line stays
+        // resident in the i-cache image (fetch peeks the backing ROM),
+        // so the corruption is visible on the very next fetch of it.
+        for (uint32_t w = 0; w < 4; ++w)
+            cpu.mem().corrupt32(spec_.target + 4 * w, spec_.mask);
+        break;
+      case FaultKind::Cop2StallStorm:
+        // Charge stall cycles at every step for the storm window
+        // (models an accelerator wedged in queue-full/sync backoff;
+        // also meaningful with no coprocessor attached).
+        stormEndCycle_ = cpu.cycle() + spec_.durationCycles;
+        break;
+      case FaultKind::CycleBudgetExhaust:
+        // A runaway device holds the pipeline until simulated time
+        // drains the whole cycle budget; surfaces as Errc::SimTimeout.
+        cpu.addStall(1ull << 62);
+        break;
+      case FaultKind::NumKinds:
+        break;
+    }
+}
+
+} // namespace ulecc

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated platform.
+ *
+ * Hardware ECC implementations are validated against injected faults
+ * (bit flips in registers and memories, control-flow upsets, stall
+ * storms); this subsystem brings the same discipline to the study's
+ * simulator so the energy/cycle pipeline can be exercised under
+ * corruption instead of trusting every run blindly.
+ *
+ * Everything is seeded and wall-clock free: the same seed plans and
+ * fires the same fault at the same simulated cycle on every run, which
+ * makes fault campaigns reproducible artifacts (the same property the
+ * paper relies on for its RFC 6979 deterministic nonces).
+ *
+ * Injection uses only public hook points:
+ *  - Pete::attachStepHook()  -- the injector is a StepHook fired at
+ *    every instruction boundary;
+ *  - MemorySystem::corrupt32 -- the particle-strike backdoor into ROM
+ *    and RAM (also how i-cache line corruption is modelled: the
+ *    backing line is corrupted so subsequent fetches of the cached
+ *    line decode flipped bits);
+ *  - Cop2 decoration          -- StallStormCop2 wraps a real
+ *    coprocessor and turns its queue/sync interlocks into storms.
+ */
+
+#ifndef ULECC_FAULT_FAULT_INJECTOR_HH
+#define ULECC_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/cpu.hh"
+
+namespace ulecc
+{
+
+/** SplitMix64: the campaign PRNG (tiny, seedable, platform-stable). */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+/** The modelled fault classes. */
+enum class FaultKind
+{
+    RegisterBitFlip,    ///< one bit of one GPR
+    MemoryBitFlip,      ///< one bit of one RAM word
+    HiLoBitFlip,        ///< one bit of the Hi/Lo accumulator pair
+    IcacheLineCorrupt,  ///< one 16-byte program line (i-cache image)
+    Cop2StallStorm,     ///< coprocessor interlock storm for a window
+    CycleBudgetExhaust, ///< simulated-time runaway: drains the budget
+    NumKinds,
+};
+
+/** Stable short name of a fault kind (logs/JSON). */
+const char *faultKindName(FaultKind kind);
+
+/** One planned fault: what, where, and at which simulated cycle. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::RegisterBitFlip;
+    uint64_t triggerCycle = 0;   ///< fires at the first step at/after
+    uint32_t target = 0;         ///< reg index / address / 0=Hi 1=Lo
+    uint32_t mask = 0;           ///< XOR mask applied to the target
+    uint32_t durationCycles = 0; ///< stall-storm length
+
+    /** One-line description, e.g. "register-bit-flip r7 mask=0x..". */
+    std::string describe() const;
+};
+
+/** The victim program's footprint, used to plan plausible faults. */
+struct FaultTargetSpace
+{
+    uint64_t cycleHorizon = 1000; ///< golden-run cycle count
+    uint32_t ramBase = 0x10000000;
+    uint32_t ramWords = 1024;     ///< words of live RAM after ramBase
+    uint32_t romWords = 256;      ///< program image size in words
+};
+
+/**
+ * Plans and injects one fault per armed run.  Implements StepHook; use
+ * as
+ *
+ *     FaultInjector inj(seed);
+ *     FaultSpec spec = inj.plan(space);
+ *     inj.arm(spec);
+ *     cpu.attachStepHook(&inj);
+ *     Result<uint64_t> r = cpu.runChecked();
+ *     // inj.fired() tells whether the trigger cycle was reached.
+ */
+class FaultInjector : public StepHook
+{
+  public:
+    explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+    /** Draws a fault deterministically from the target space. */
+    FaultSpec plan(const FaultTargetSpace &space);
+
+    /** Arms @p spec for the next run (resets the fired latch). */
+    void arm(const FaultSpec &spec);
+
+    void onStep(Pete &cpu) override;
+
+    bool fired() const { return fired_; }
+    const FaultSpec &spec() const { return spec_; }
+
+    /** The underlying PRNG (campaign drivers share the stream). */
+    SplitMix64 &rng() { return rng_; }
+
+  private:
+    void inject(Pete &cpu);
+
+    SplitMix64 rng_;
+    FaultSpec spec_;
+    bool armed_ = false;
+    bool fired_ = false;
+    uint64_t stormEndCycle_ = 0;
+};
+
+/**
+ * Cop2 decorator that adds deterministic stall storms on top of a real
+ * coprocessor's interlocks: every forwarded instruction inside the
+ * storm window costs @p stormStall extra stall cycles.
+ */
+class StallStormCop2 : public Cop2
+{
+  public:
+    StallStormCop2(Cop2 &inner, uint64_t stormStartCycle,
+                   uint64_t stormCycles, uint32_t stormStall)
+        : inner_(inner), start_(stormStartCycle),
+          end_(stormStartCycle + stormCycles), stall_(stormStall)
+    {}
+
+    uint64_t
+    execute(const DecodedInst &inst, Pete &cpu) override
+    {
+        uint64_t stall = inner_.execute(inst, cpu);
+        if (cpu.cycle() >= start_ && cpu.cycle() < end_)
+            stall += stall_;
+        return stall;
+    }
+
+  private:
+    Cop2 &inner_;
+    uint64_t start_;
+    uint64_t end_;
+    uint32_t stall_;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_FAULT_FAULT_INJECTOR_HH

@@ -5,6 +5,8 @@
 
 #include "mpint/binary_field.hh"
 
+#include "base/error.hh"
+
 #include <array>
 #include <cassert>
 #include <stdexcept>
@@ -36,7 +38,8 @@ nistBinaryPoly(NistBinary which)
       case NistBinary::B571:
         return poly({571, 10, 5, 2, 0});
       default:
-        throw std::invalid_argument("nistBinaryPoly: not a NIST field");
+        throw UleccError(Errc::InvalidInput,
+                         "nistBinaryPoly: not a NIST field");
     }
 }
 
@@ -106,8 +109,12 @@ BinaryField::BinaryField(const MpUint &f)
       words_((f.bitLength() + 30) / 32),
       kind_(detectBinaryKind(f))
 {
-    assert(m_ >= 2 && "BinaryField degree too small");
-    assert(f.bit(0) == 1 && "reduction polynomial must have +1 term");
+    if (m_ < 2)
+        throw UleccError(Errc::InvalidInput,
+                         "BinaryField: degree too small");
+    if (f.bit(0) != 1)
+        throw UleccError(Errc::InvalidInput,
+                         "BinaryField: reduction polynomial needs +1 term");
     for (int i = m_ - 1; i >= 1; --i) {
         if (f.bit(i))
             mid_.push_back(i);
@@ -153,7 +160,9 @@ BinaryField::inv(const MpUint &a) const
     // Polynomial extended Euclidean algorithm
     // (Guide to ECC, Algorithm 2.48).
     notifyFieldOp(FieldOp::Inv, m_, true);
-    assert(!a.isZero() && "inverse of zero");
+    if (a.isZero())
+        throw UleccError(Errc::InvalidInput,
+                         "BinaryField: inverse of zero");
     MpUint u = reduce(a), v = f_;
     MpUint g1(1), g2;
     const MpUint one(1);
@@ -167,7 +176,10 @@ BinaryField::inv(const MpUint &a) const
         u = u.bitXor(v.shiftLeft(j));
         g1 = g1.bitXor(g2.shiftLeft(j));
     }
-    assert(u == one && "element not invertible (f reducible?)");
+    if (u != one)
+        throw UleccError(Errc::Internal,
+                         "BinaryField::inv: element not invertible "
+                         "(reducible polynomial?)");
     return reduce(g1);
 }
 
@@ -177,7 +189,9 @@ BinaryField::invFermat(const MpUint &a) const
     // a^(2^m - 2) = a^(2 * (2^(m-1) - 1)): simple square-and-multiply
     // chain of (m-1) squarings and (m-2) multiplications.
     notifyFieldOp(FieldOp::Inv, m_, true);
-    assert(!a.isZero() && "inverse of zero");
+    if (a.isZero())
+        throw UleccError(Errc::InvalidInput,
+                         "BinaryField: inverse of zero");
     MpUint x = reduce(a);
     MpUint acc = x;
     for (int i = 0; i < m_ - 2; ++i) {
@@ -195,7 +209,9 @@ BinaryField::invItohTsujii(const MpUint &a) const
     //   always:   t <- t^(2^n) * t        (n doubles)
     //   bit set:  t <- t^2 * a            (n += 1)
     notifyFieldOp(FieldOp::Inv, m_, true);
-    assert(!a.isZero() && "inverse of zero");
+    if (a.isZero())
+        throw UleccError(Errc::InvalidInput,
+                         "BinaryField: inverse of zero");
     MpUint x = reduce(a);
     const int e = m_ - 1;
     int top = 31;

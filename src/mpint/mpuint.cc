@@ -5,9 +5,9 @@
 
 #include "mpint/mpuint.hh"
 
-#include <cassert>
 #include <cctype>
-#include <stdexcept>
+
+#include "base/error.hh"
 
 namespace ulecc
 {
@@ -46,9 +46,11 @@ MpUint::fromHex(std::string_view hex)
         else if (c >= 'A' && c <= 'F')
             v = c - 'A' + 10;
         else
-            throw std::invalid_argument("MpUint::fromHex: bad digit");
+            throw UleccError(Errc::InvalidInput,
+                             "MpUint::fromHex: bad digit");
         if (bit / 32 >= maxLimbs)
-            throw std::overflow_error("MpUint::fromHex: too long");
+            throw UleccError(Errc::OutOfRange,
+                             "MpUint::fromHex: too long");
         r.limbs_[bit / 32] |= v << (bit % 32);
         bit += 4;
     }
@@ -88,7 +90,10 @@ MpUint::powerOfTwo(int bit)
 void
 MpUint::setLimb(int i, uint32_t v)
 {
-    assert(i >= 0 && i < maxLimbs);
+    if (i < 0 || i >= maxLimbs)
+        throw UleccError(Errc::OutOfRange,
+                         "MpUint::setLimb: limb index "
+                         + std::to_string(i));
     limbs_[i] = v;
     if (v && i + 1 > n_)
         n_ = i + 1;
@@ -113,7 +118,9 @@ MpUint::bitLength() const
 void
 MpUint::setBit(int i)
 {
-    assert(i >= 0 && i < maxLimbs * 32);
+    if (i < 0 || i >= maxLimbs * 32)
+        throw UleccError(Errc::OutOfRange,
+                         "MpUint::setBit: bit index " + std::to_string(i));
     limbs_[i / 32] |= 1u << (i % 32);
     if (i / 32 + 1 > n_)
         n_ = i / 32 + 1;
@@ -122,7 +129,9 @@ MpUint::setBit(int i)
 uint32_t
 MpUint::bits(int pos, int count) const
 {
-    assert(count > 0 && count <= 32);
+    if (count <= 0 || count > 32)
+        throw UleccError(Errc::InvalidInput,
+                         "MpUint::bits: bad count " + std::to_string(count));
     uint64_t lo = limb(pos / 32);
     uint64_t hi = limb(pos / 32 + 1);
     uint64_t v = (lo | (hi << 32)) >> (pos % 32);
@@ -156,7 +165,8 @@ MpUint::add(const MpUint &other) const
         carry = s >> 32;
     }
     if (carry) {
-        assert(n < maxLimbs && "MpUint::add overflow");
+        if (n >= maxLimbs)
+            throw UleccError(Errc::OutOfRange, "MpUint::add overflow");
         r.limbs_[n] = static_cast<uint32_t>(carry);
         ++n;
     }
@@ -168,7 +178,8 @@ MpUint::add(const MpUint &other) const
 MpUint
 MpUint::sub(const MpUint &other) const
 {
-    assert(compare(other) >= 0 && "MpUint::sub underflow");
+    if (compare(other) < 0)
+        throw UleccError(Errc::InvalidInput, "MpUint::sub underflow");
     MpUint r;
     uint64_t borrow = 0;
     for (int i = 0; i < n_; ++i) {
@@ -185,12 +196,15 @@ MpUint::sub(const MpUint &other) const
 MpUint
 MpUint::shiftLeft(int bits) const
 {
-    assert(bits >= 0);
+    if (bits < 0)
+        throw UleccError(Errc::InvalidInput,
+                         "MpUint::shiftLeft: negative count");
     if (n_ == 0 || bits == 0)
         return bits == 0 ? *this : MpUint();
     int limb_shift = bits / 32;
     int bit_shift = bits % 32;
-    assert(n_ + limb_shift + 1 <= maxLimbs && "MpUint::shiftLeft overflow");
+    if (n_ + limb_shift + 1 > maxLimbs)
+        throw UleccError(Errc::OutOfRange, "MpUint::shiftLeft overflow");
     MpUint r;
     for (int i = n_ - 1; i >= 0; --i) {
         uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
@@ -205,7 +219,9 @@ MpUint::shiftLeft(int bits) const
 MpUint
 MpUint::shiftRight(int bits) const
 {
-    assert(bits >= 0);
+    if (bits < 0)
+        throw UleccError(Errc::InvalidInput,
+                         "MpUint::shiftRight: negative count");
     if (n_ == 0 || bits == 0)
         return bits == 0 ? *this : MpUint();
     int limb_shift = bits / 32;
@@ -251,7 +267,8 @@ MpUint::mulOperandScan(const MpUint &other) const
 {
     // Paper Algorithm 2: for each multiplier word b_i, sweep the
     // multiplicand accumulating (u,v) <- a_j * b_i + p_{i+j} + u.
-    assert(n_ + other.n_ <= maxLimbs && "MpUint::mul overflow");
+    if (n_ + other.n_ > maxLimbs)
+        throw UleccError(Errc::OutOfRange, "MpUint::mul overflow");
     MpUint r;
     for (int i = 0; i < other.n_; ++i) {
         uint64_t u = 0;
@@ -275,7 +292,8 @@ MpUint::mulProductScan(const MpUint &other) const
     // Paper Algorithm 3: column-wise accumulation into a (t,u,v)
     // triple-word accumulator; each column step is one MADDU, each
     // column finish is one SHA in the ISA-extended microarchitecture.
-    assert(n_ + other.n_ <= maxLimbs && "MpUint::mul overflow");
+    if (n_ + other.n_ > maxLimbs)
+        throw UleccError(Errc::OutOfRange, "MpUint::mul overflow");
     if (n_ == 0 || other.n_ == 0)
         return MpUint();
     MpUint r;
@@ -306,7 +324,8 @@ MpUint::mulProductScan(const MpUint &other) const
 MpUint
 MpUint::mulWord(uint32_t w) const
 {
-    assert(n_ + 1 <= maxLimbs);
+    if (n_ + 1 > maxLimbs)
+        throw UleccError(Errc::OutOfRange, "MpUint::mulWord overflow");
     MpUint r;
     uint64_t carry = 0;
     for (int i = 0; i < n_; ++i) {
@@ -326,7 +345,8 @@ MpUint::sqr() const
     // Squaring with the doubled-cross-term shortcut (what the paper's
     // M2ADDU extension accelerates): a_j*a_i cross terms counted once
     // and doubled.
-    assert(2 * n_ <= maxLimbs);
+    if (2 * n_ > maxLimbs)
+        throw UleccError(Errc::OutOfRange, "MpUint::sqr overflow");
     if (n_ == 0)
         return MpUint();
     MpUint r;
@@ -348,7 +368,8 @@ MpUint::sqr() const
         r.limbs_[i] = (r.limbs_[i] << 1) | carry_bit;
         carry_bit = nt;
     }
-    assert(carry_bit == 0);
+    if (carry_bit != 0)
+        throw UleccError(Errc::Internal, "MpUint::sqr: doubling carry");
     // Add the diagonal squares.
     uint64_t carry = 0;
     for (int i = 0; i < n_; ++i) {
@@ -361,7 +382,8 @@ MpUint::sqr() const
         r.limbs_[2 * i + 1] = static_cast<uint32_t>(hi);
         carry = hi >> 32;
     }
-    assert(carry == 0);
+    if (carry != 0)
+        throw UleccError(Errc::Internal, "MpUint::sqr: diagonal carry");
     r.n_ = 2 * n_;
     r.trim();
     return r;
@@ -370,7 +392,8 @@ MpUint::sqr() const
 MpUint::DivResult
 MpUint::divmod(const MpUint &divisor) const
 {
-    assert(!divisor.isZero() && "MpUint::divmod by zero");
+    if (divisor.isZero())
+        throw UleccError(Errc::InvalidInput, "MpUint::divmod by zero");
     DivResult res;
     if (compare(divisor) < 0) {
         res.remainder = *this;
@@ -417,13 +440,20 @@ MpUint
 MpUint::modInverseOdd(const MpUint &m) const
 {
     // Binary inversion algorithm (Guide to ECC, Algorithm 2.22).
-    assert(m.isOdd() && "modInverseOdd requires an odd modulus");
+    if (!m.isOdd())
+        throw UleccError(Errc::InvalidInput,
+                         "MpUint::modInverseOdd: even modulus");
     MpUint a = mod(m);
-    assert(!a.isZero() && "inverse of zero");
+    if (a.isZero())
+        throw UleccError(Errc::InvalidInput,
+                         "MpUint::modInverseOdd: inverse of zero");
     MpUint u = a, v = m;
     MpUint x1(1), x2(0);
     const MpUint one(1);
     while (u != one && v != one) {
+        if (u.isZero() || v.isZero())
+            throw UleccError(Errc::InvalidInput,
+                             "MpUint::modInverseOdd: not invertible");
         while (!u.isOdd()) {
             u = u.shiftRight(1);
             if (x1.isOdd())

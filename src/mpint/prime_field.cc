@@ -5,6 +5,8 @@
 
 #include "mpint/prime_field.hh"
 
+#include "base/error.hh"
+
 #include <cassert>
 #include <stdexcept>
 
@@ -35,7 +37,8 @@ nistPrimeValue(NistPrime which)
       case NistPrime::P521:
         return MpUint::powerOfTwo(521).sub(MpUint(1));
       default:
-        throw std::invalid_argument("nistPrimeValue: not a NIST prime");
+        throw UleccError(Errc::InvalidInput,
+                         "nistPrimeValue: not a NIST prime");
     }
 }
 
@@ -82,7 +85,9 @@ PrimeField::PrimeField(const MpUint &p)
       kind_(detectKind(p)),
       terms_(solinasTermsFor(kind_))
 {
-    assert(p_.isOdd() && "PrimeField modulus must be odd");
+    if (!p_.isOdd())
+        throw UleccError(Errc::InvalidInput,
+                         "PrimeField: modulus must be odd");
     // n0' = -p^-1 mod 2^32 via Newton iteration on the low word.
     uint32_t p0 = p_.limb(0);
     uint32_t inv = p0; // correct to 3 bits
@@ -199,7 +204,9 @@ PrimeField::reduceSolinas(const MpUint &wide) const
     MpUint pos = wide;
     MpUint neg;
     for (int iter = 0; ; ++iter) {
-        assert(iter < 16 && "reduceSolinas failed to converge");
+        if (iter >= 16)
+            throw UleccError(Errc::Internal,
+                             "PrimeField::reduceSolinas: no convergence");
         bool high = false;
         if (pos.bitLength() > bits_) {
             high = true;

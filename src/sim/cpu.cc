@@ -5,9 +5,6 @@
 
 #include "sim/cpu.hh"
 
-#include <cassert>
-#include <stdexcept>
-
 #include "mpint/binary_field.hh" // clmul32 for the GF(2) extensions
 #include "sim/karatsuba_unit.hh"
 
@@ -96,14 +93,21 @@ Pete::step()
 {
     if (halted_)
         return false;
-    if (stats_.cycles >= config_.maxCycles)
-        throw std::runtime_error("Pete: cycle budget exhausted");
+    if (hook_)
+        hook_->onStep(*this);
+    if (stats_.cycles >= config_.maxCycles) {
+        throw UleccError(Errc::SimTimeout,
+                         "Pete: cycle budget ("
+                         + std::to_string(config_.maxCycles)
+                         + ") exhausted at pc=" + std::to_string(pc_));
+    }
 
     uint32_t word = fetch(pc_);
     DecodedInst inst = decode(word);
     if (inst.op == Op::Invalid) {
-        throw std::runtime_error("Pete: illegal instruction at pc="
-                                 + std::to_string(pc_));
+        throw UleccError(Errc::IllegalInstruction,
+                         "Pete: illegal instruction at pc="
+                         + std::to_string(pc_));
     }
 
     stats_.cycles += 1;
@@ -137,15 +141,35 @@ Pete::step()
     return !halted_;
 }
 
+Result<uint64_t>
+Pete::runChecked()
+{
+    try {
+        while (!halted_) {
+            if (stats_.cycles >= config_.maxCycles) {
+                return Error{Errc::SimTimeout,
+                             "Pete: cycle budget ("
+                             + std::to_string(config_.maxCycles)
+                             + ") exhausted at pc="
+                             + std::to_string(pc_)};
+            }
+            step();
+        }
+    } catch (const UleccError &e) {
+        return e.error();
+    }
+    return stats_.cycles;
+}
+
 bool
 Pete::run()
 {
-    while (!halted_) {
-        if (stats_.cycles >= config_.maxCycles)
-            return false;
-        step();
-    }
-    return true;
+    Result<uint64_t> r = runChecked();
+    if (r.ok())
+        return true;
+    if (r.code() == Errc::SimTimeout)
+        return false;
+    throw UleccError(r.error());
 }
 
 void
@@ -404,7 +428,8 @@ Pete::execute(const DecodedInst &inst)
       case Op::Bsqr:
       case Op::Badd: {
         if (!cop2_)
-            throw std::runtime_error("Pete: COP2 with no coprocessor");
+            throw UleccError(Errc::Unsupported,
+                             "Pete: COP2 with no coprocessor attached");
         uint64_t stall = cop2_->execute(inst, *this);
         stats_.cop2Stalls += stall;
         stats_.cycles += stall;
@@ -415,7 +440,9 @@ Pete::execute(const DecodedInst &inst)
         halted_ = true;
         break;
       default:
-        throw std::runtime_error("Pete: unimplemented op");
+        throw UleccError(Errc::IllegalInstruction,
+                         "Pete: unimplemented op at pc="
+                         + std::to_string(pc_));
     }
 }
 

@@ -28,6 +28,7 @@
 #include <optional>
 
 #include "asmkit/assembler.hh"
+#include "base/error.hh"
 #include "isa/isa.hh"
 #include "sim/icache.hh"
 #include "sim/memory.hh"
@@ -49,6 +50,22 @@ class Cop2
      * @return Stall cycles Pete incurs (queue-full or sync waits).
      */
     virtual uint64_t execute(const DecodedInst &inst, Pete &cpu) = 0;
+};
+
+/**
+ * Observation/injection hook invoked at every instruction boundary
+ * (before fetch).  The fault-injection subsystem implements this to
+ * flip architectural state mid-run; it is also a convenient tracing
+ * point.  The hook may mutate the processor through its public
+ * interface (setReg/setHi/setLo/addStall/mem().corrupt32).
+ */
+class StepHook
+{
+  public:
+    virtual ~StepHook() = default;
+
+    /** Called once per step() before the instruction is fetched. */
+    virtual void onStep(Pete &cpu) = 0;
 };
 
 /** Pete configuration. */
@@ -88,10 +105,23 @@ class Pete
     /** Runs until BREAK; returns false on cycle-budget exhaustion. */
     bool run();
 
+    /**
+     * Runs until BREAK with structured error reporting: returns the
+     * cycle count on a clean halt, or an Error with
+     *  - Errc::SimTimeout on cycle-budget exhaustion,
+     *  - Errc::MemFault / IllegalInstruction / Unsupported when the
+     *    simulated machine faults (expected under fault injection).
+     * Exceptions from an attached coprocessor model propagate.
+     */
+    Result<uint64_t> runChecked();
+
     /** Executes one instruction; returns false once halted. */
     bool step();
 
     void attachCop2(Cop2 *cop2) { cop2_ = cop2; }
+
+    /** Attaches the per-step observation/injection hook. */
+    void attachStepHook(StepHook *hook) { hook_ = hook; }
 
     /** @name Architectural state */
     /** @{ */
@@ -108,6 +138,8 @@ class Pete
     void setPc(uint32_t pc);
     uint32_t hi() const { return hi_; }
     uint32_t lo() const { return lo_; }
+    void setHi(uint32_t v) { hi_ = v; }
+    void setLo(uint32_t v) { lo_ = v; }
     uint32_t ovflo() const { return ovflo_; }
     bool halted() const { return halted_; }
     /** @} */
@@ -140,6 +172,7 @@ class Pete
     MemorySystem mem_;
     std::unique_ptr<ICache> icache_;
     Cop2 *cop2_ = nullptr;
+    StepHook *hook_ = nullptr;
 
     std::array<uint32_t, 32> regs_{};
     uint32_t pc_ = 0;

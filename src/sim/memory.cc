@@ -1,21 +1,47 @@
 /**
  * @file
  * MemorySystem implementation.
+ *
+ * Every architectural access fault -- unmapped address, write to ROM,
+ * range overrun, misaligned access -- raises UleccError(Errc::MemFault)
+ * so a supervising harness (Pete::runChecked, the fault-campaign
+ * driver) can classify it instead of aborting the process.
  */
 
 #include "sim/memory.hh"
 
-#include <cassert>
+#include <cstdio>
 #include <cstring>
+#include <string>
 
 namespace ulecc
 {
+
+namespace
+{
+
+[[noreturn]] void
+memFault(const std::string &what, uint32_t addr)
+{
+    char hex[16];
+    std::snprintf(hex, sizeof hex, "0x%08x", addr);
+    throw UleccError(Errc::MemFault, what + " at " + hex);
+}
+
+void
+checkAlign(uint32_t addr, uint32_t size, const char *what)
+{
+    if (addr & (size - 1))
+        memFault(std::string("misaligned ") + what, addr);
+}
+
+} // namespace
 
 void
 MemorySystem::loadRom(const std::vector<uint32_t> &words)
 {
     if (words.size() * 4 > rom_.size())
-        throw std::out_of_range("program too large for 256KB ROM");
+        throw UleccError(Errc::MemFault, "program too large for 256KB ROM");
     for (size_t i = 0; i < words.size(); ++i)
         std::memcpy(&rom_[4 * i], &words[i], 4);
 }
@@ -25,25 +51,24 @@ MemorySystem::locate(uint32_t addr, uint32_t size, bool write)
 {
     if (inRom(addr)) {
         if (write)
-            throw std::runtime_error("write to ROM at "
-                                     + std::to_string(addr));
+            memFault("write to ROM", addr);
         if (addr + size > MemoryMap::romSize)
-            throw std::out_of_range("ROM access out of range");
+            memFault("ROM access out of range", addr);
         return &rom_[addr];
     }
     if (inRam(addr)) {
         uint32_t off = addr - MemoryMap::ramBase;
         if (off + size > MemoryMap::ramSize)
-            throw std::out_of_range("RAM access out of range");
+            memFault("RAM access out of range", addr);
         return &ram_[off];
     }
-    throw std::out_of_range("unmapped address " + std::to_string(addr));
+    memFault("unmapped address", addr);
 }
 
 uint32_t
 MemorySystem::fetch(uint32_t addr)
 {
-    assert((addr & 3) == 0 && "unaligned fetch");
+    checkAlign(addr, 4, "fetch");
     uint32_t v;
     std::memcpy(&v, locate(addr, 4, false), 4);
     romFetch_.reads++;
@@ -53,7 +78,7 @@ MemorySystem::fetch(uint32_t addr)
 void
 MemorySystem::fetchLine(uint32_t addr, uint32_t out[4])
 {
-    assert((addr & 15) == 0 && "unaligned line fetch");
+    checkAlign(addr, 16, "line fetch");
     std::memcpy(out, locate(addr, 16, false), 16);
     romFetch_.wideReads++;
 }
@@ -61,7 +86,7 @@ MemorySystem::fetchLine(uint32_t addr, uint32_t out[4])
 uint32_t
 MemorySystem::peek32(uint32_t addr)
 {
-    assert((addr & 3) == 0 && "unaligned peek32");
+    checkAlign(addr, 4, "peek32");
     uint32_t v;
     std::memcpy(&v, locate(addr, 4, false), 4);
     return v;
@@ -70,14 +95,26 @@ MemorySystem::peek32(uint32_t addr)
 void
 MemorySystem::poke32(uint32_t addr, uint32_t value)
 {
-    assert((addr & 3) == 0 && "unaligned poke32");
+    checkAlign(addr, 4, "poke32");
     std::memcpy(locate(addr, 4, true), &value, 4);
+}
+
+void
+MemorySystem::corrupt32(uint32_t addr, uint32_t mask)
+{
+    checkAlign(addr, 4, "corrupt32");
+    // locate() with write=false so the backdoor reaches ROM too.
+    uint8_t *p = locate(addr, 4, false);
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    v ^= mask;
+    std::memcpy(p, &v, 4);
 }
 
 uint32_t
 MemorySystem::read32(uint32_t addr)
 {
-    assert((addr & 3) == 0 && "unaligned read32");
+    checkAlign(addr, 4, "read32");
     uint32_t v;
     std::memcpy(&v, locate(addr, 4, false), 4);
     (inRom(addr) ? romData_ : ramCnt_).reads++;
@@ -95,7 +132,7 @@ MemorySystem::read8(uint32_t addr)
 uint32_t
 MemorySystem::read16(uint32_t addr)
 {
-    assert((addr & 1) == 0 && "unaligned read16");
+    checkAlign(addr, 2, "read16");
     uint16_t v;
     std::memcpy(&v, locate(addr, 2, false), 2);
     (inRom(addr) ? romData_ : ramCnt_).reads++;
@@ -105,7 +142,7 @@ MemorySystem::read16(uint32_t addr)
 void
 MemorySystem::write32(uint32_t addr, uint32_t value)
 {
-    assert((addr & 3) == 0 && "unaligned write32");
+    checkAlign(addr, 4, "write32");
     std::memcpy(locate(addr, 4, true), &value, 4);
     ramCnt_.writes++;
 }
@@ -120,7 +157,7 @@ MemorySystem::write8(uint32_t addr, uint32_t value)
 void
 MemorySystem::write16(uint32_t addr, uint32_t value)
 {
-    assert((addr & 1) == 0 && "unaligned write16");
+    checkAlign(addr, 2, "write16");
     uint16_t v = static_cast<uint16_t>(value);
     std::memcpy(locate(addr, 2, true), &v, 2);
     ramCnt_.writes++;

@@ -10,8 +10,9 @@
 #define ULECC_SIM_MEMORY_HH
 
 #include <cstdint>
-#include <stdexcept>
 #include <vector>
+
+#include "base/error.hh"
 
 namespace ulecc
 {
@@ -64,6 +65,14 @@ class MemorySystem
 
     /** Functional poke (no access counting; testbench data setup). */
     void poke32(uint32_t addr, uint32_t value);
+
+    /**
+     * Fault-injection backdoor: XORs @p mask into the word at @p addr.
+     * Unlike the architectural accessors this reaches ROM as well as
+     * RAM and performs no access counting -- it models a particle
+     * strike, not a program action.
+     */
+    void corrupt32(uint32_t addr, uint32_t mask);
 
     /** Data read (8-bit, zero-extended). */
     uint32_t read8(uint32_t addr);

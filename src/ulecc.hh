@@ -16,6 +16,8 @@
 #ifndef ULECC_ULECC_HH
 #define ULECC_ULECC_HH
 
+#include "base/error.hh"
+
 #include "mpint/mpuint.hh"
 #include "mpint/prime_field.hh"
 #include "mpint/binary_field.hh"
@@ -34,6 +36,8 @@
 #include "sim/memory.hh"
 #include "sim/icache.hh"
 #include "sim/cpu.hh"
+
+#include "fault/fault_injector.hh"
 
 #include "accel/monte.hh"
 #include "accel/billie.hh"

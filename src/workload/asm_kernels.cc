@@ -5,6 +5,8 @@
 
 #include "workload/asm_kernels.hh"
 
+#include "base/error.hh"
+
 #include <cassert>
 #include <sstream>
 #include <stdexcept>
@@ -448,7 +450,9 @@ runKernel(AsmKernel kernel, const MpUint &a, const MpUint &b, int k,
         for (int i = 0; i < k; ++i)
             cpu.mem().poke32(kAddrB + 4 * i, b.limb(i));
         if (!cpu.run())
-            throw std::runtime_error("kernel did not halt");
+            throw UleccError(Errc::SimTimeout,
+                             "runKernel: kernel did not halt within the "
+                             "cycle budget");
         return cpu;
     };
 

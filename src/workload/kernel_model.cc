@@ -5,6 +5,8 @@
 
 #include "workload/kernel_model.hh"
 
+#include "base/error.hh"
+
 #include <cassert>
 #include <map>
 #include <mutex>
@@ -100,10 +102,13 @@ KernelModel::KernelModel(MicroArch arch, CurveId curve,
     bits_ = c.fieldBits();
     k_ = (bits_ + 31) / 32;
     kn_ = (c.order().bitLength() + 31) / 32;
-    assert(!(arch == MicroArch::Monte && binary_)
-           && "Monte accelerates prime fields only");
-    assert(!(arch == MicroArch::Billie && !binary_)
-           && "Billie accelerates binary fields only");
+    if (arch == MicroArch::Monte && binary_)
+        throw UleccError(Errc::Unsupported,
+                         "KernelModel: Monte accelerates prime fields only");
+    if (arch == MicroArch::Billie && !binary_)
+        throw UleccError(Errc::Unsupported,
+                         "KernelModel: Billie accelerates binary "
+                         "fields only");
     build();
 }
 

@@ -245,3 +245,45 @@ TEST(Assembler, Errors)
     EXPECT_THROW(assemble("x: nop\nx: nop\n"), AsmError);
     EXPECT_THROW(assemble(".space 3\n"), AsmError);
 }
+
+TEST(Assembler, ErrorsCarryLineAndCode)
+{
+    // AsmError is part of the structured taxonomy: Errc::AsmSyntax,
+    // still catchable as std::runtime_error, with the 1-based line.
+    try {
+        assemble("nop\nnop\nbogus $t0\n");
+        FAIL() << "unknown mnemonic must throw";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.code(), Errc::AsmSyntax);
+        EXPECT_EQ(e.line(), 3);
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+    try {
+        assemble("addu $t9, $nosuch, $t1\n");
+        FAIL() << "bad register must throw";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.code(), Errc::AsmSyntax);
+        EXPECT_EQ(e.line(), 1);
+    }
+}
+
+TEST(Assembler, AssembleCheckedMirrorsThrowingForm)
+{
+    EXPECT_TRUE(assembleChecked("nop\nbreak\n").ok());
+    Result<Program> bad = assembleChecked("jal\n");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), Errc::AsmSyntax);
+}
+
+TEST(Assembler, UndefinedLabelLookupIsStructured)
+{
+    Program p = assemble("start: nop\nbreak\n");
+    EXPECT_EQ(p.labelAddr("start"), 0u);
+    try {
+        p.labelAddr("missing");
+        FAIL() << "undefined label must throw";
+    } catch (const UleccError &e) {
+        EXPECT_EQ(e.code(), Errc::InvalidInput);
+    }
+}

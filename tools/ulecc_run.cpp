@@ -105,11 +105,20 @@ main(int argc, char **argv)
         else if (use_billie)
             cpu.attachCop2(&billie);
 
-        bool halted = cpu.run();
+        Result<uint64_t> outcome = cpu.runChecked();
+        bool halted = outcome.ok();
+        if (!halted) {
+            std::fprintf(stderr, "ulecc-run: [%s] %s\n",
+                         errcName(outcome.code()),
+                         outcome.error().context.c_str());
+        }
         const PeteStats &s = cpu.stats();
         std::printf("%s after %lu cycles, %lu instructions "
                     "(IPC %.3f)\n",
-                    halted ? "halted" : "CYCLE BUDGET EXHAUSTED",
+                    halted ? "halted"
+                           : outcome.code() == Errc::SimTimeout
+                               ? "CYCLE BUDGET EXHAUSTED"
+                               : "SIMULATION FAULT",
                     (unsigned long)s.cycles,
                     (unsigned long)s.instructions,
                     s.cycles ? double(s.instructions) / s.cycles : 0.0);
@@ -196,7 +205,15 @@ main(int argc, char **argv)
                     std::printf("\n");
             }
         }
-        return halted ? 0 : 3;
+        if (halted)
+            return 0;
+        // Exit 3 is the structured timeout contract (scripts watch
+        // for it); any other simulation fault is a plain failure.
+        return outcome.code() == Errc::SimTimeout ? 3 : 1;
+    } catch (const UleccError &e) {
+        std::fprintf(stderr, "ulecc-run: [%s] %s\n", errcName(e.code()),
+                     e.error().context.c_str());
+        return 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "ulecc-run: %s\n", e.what());
         return 1;
