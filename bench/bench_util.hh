@@ -31,10 +31,11 @@ breakdownHeaders(const std::string &first)
             "Monte uJ", "Billie uJ", "Total uJ"};
 }
 
-/** Prints the standard reproduction footer. */
+/** Prints the standard reproduction footer (journaled as a note). */
 inline void
 footnote(const std::string &note)
 {
+    BenchJournal::instance().note(note);
     std::printf("  note: %s\n", note.c_str());
 }
 

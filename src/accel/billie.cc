@@ -55,6 +55,7 @@ uint64_t
 Billie::execute(const DecodedInst &inst, Pete &cpu)
 {
     OpObserverScope quiet(nullptr);
+    TraceScope span("billie.execute", "accel");
     const int m = field_.degree();
     const int words = field_.words();
     switch (inst.op) {

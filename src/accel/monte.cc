@@ -117,6 +117,7 @@ Monte::execute(const DecodedInst &inst, Pete &cpu)
 {
     // Internal field calls must not leak into a workload op trace.
     OpObserverScope quiet(nullptr);
+    TraceScope span("monte.execute", "accel");
     const uint64_t dma_cycles = static_cast<uint64_t>(words_) + 2;
     switch (inst.op) {
       case Op::Ctc2:

@@ -7,6 +7,8 @@
 
 #include <cassert>
 
+#include "mpint/op_observer.hh"
+
 namespace ulecc
 {
 
@@ -66,6 +68,7 @@ recodeSigned135(const MpUint &k)
 AffinePoint
 scalarMul(const Curve &curve, const MpUint &k, const AffinePoint &p)
 {
+    TraceScope span("ec.scalar_mul", "kernel");
     if (k.isZero() || p.infinity)
         return AffinePoint::makeInfinity();
 
@@ -99,6 +102,7 @@ AffinePoint
 twinScalarMul(const Curve &curve, const MpUint &u1, const AffinePoint &p,
               const MpUint &u2, const AffinePoint &q)
 {
+    TraceScope span("ec.twin_scalar_mul", "kernel");
     if (u1.isZero() && u2.isZero())
         return AffinePoint::makeInfinity();
 
@@ -137,6 +141,7 @@ AffinePoint
 scalarMulLadder(const BinaryCurve &curve, const MpUint &k,
                 const AffinePoint &p)
 {
+    TraceScope span("ec.scalar_mul_ladder", "kernel");
     if (k.isZero() || p.infinity)
         return AffinePoint::makeInfinity();
     if (p.x.isZero()) {

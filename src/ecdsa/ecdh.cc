@@ -7,6 +7,7 @@
 
 #include "ec/scalar_mult.hh"
 #include "ecdsa/ecdsa.hh" // toBytesBe
+#include "mpint/op_observer.hh"
 
 namespace ulecc
 {
@@ -39,6 +40,7 @@ Ecdh::agree(const MpUint &d, const AffinePoint &peer) const
 Result<EcdhShared>
 Ecdh::agreeChecked(const MpUint &d, const AffinePoint &peer) const
 {
+    TraceScope span("ecdh.agree", "protocol");
     if (d.isZero() || d >= curve_.order())
         return Error{Errc::InvalidInput,
                      "agree: private scalar out of [1, n)"};

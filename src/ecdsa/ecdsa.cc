@@ -139,6 +139,7 @@ Ecdsa::Ecdsa(const Curve &curve)
 KeyPair
 Ecdsa::keyFromPrivate(const MpUint &d) const
 {
+    TraceScope span("ecdsa.keygen", "protocol");
     if (d.isZero() || d >= curve_.order())
         throw UleccError(Errc::InvalidInput,
                          "keyFromPrivate: scalar out of [1, n)");
@@ -165,6 +166,7 @@ Signature
 Ecdsa::signDigest(const MpUint &d, const Sha256Digest &digest,
                   const std::optional<MpUint> &nonce) const
 {
+    TraceScope span("ecdsa.sign", "protocol");
     const MpUint &n = curve_.order();
     const PrimeField &fn = orderField_;
     if (d.isZero() || d >= n)
@@ -228,6 +230,7 @@ bool
 Ecdsa::verifyDigest(const AffinePoint &pub, const Sha256Digest &digest,
                     const Signature &sig) const
 {
+    TraceScope span("ecdsa.verify", "protocol");
     const MpUint &n = curve_.order();
     const PrimeField &fn = orderField_;
     if (sig.r.isZero() || sig.s.isZero() || sig.r >= n || sig.s >= n)

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CampaignSummary implementation.
+ */
+
+#include "fault/campaign_summary.hh"
+
+namespace ulecc
+{
+
+const char *
+campaignOutcomeName(CampaignOutcome outcome)
+{
+    switch (outcome) {
+      case CampaignOutcome::Detected: return "detected";
+      case CampaignOutcome::SilentlyCorrupted:
+        return "silently_corrupted";
+      case CampaignOutcome::Masked: return "masked";
+      case CampaignOutcome::Crashed: return "crashed";
+      default: return "unknown";
+    }
+}
+
+namespace
+{
+
+Json
+tallyToJson(const OutcomeTally &tally)
+{
+    Json doc = Json::object();
+    for (size_t o = 0;
+         o < static_cast<size_t>(CampaignOutcome::NumOutcomes); ++o) {
+        CampaignOutcome outcome = static_cast<CampaignOutcome>(o);
+        doc[campaignOutcomeName(outcome)] = tally[outcome];
+    }
+    return doc;
+}
+
+} // namespace
+
+void
+CampaignSummary::record(const std::string &kind, CampaignOutcome outcome)
+{
+    total_[outcome]++;
+    byKind_[kind][outcome]++;
+}
+
+Json
+CampaignSummary::toJson() const
+{
+    Json doc = Json::object();
+    doc["schema"] = "ulecc.fault_campaign.v1";
+    doc["tool"] = "fault_campaign";
+    doc["seed"] = seed_;
+    doc["campaigns"] = campaigns_;
+    doc["outcomes"] = tallyToJson(total_);
+    Json by_kind = Json::object();
+    for (const auto &[kind, tally] : byKind_)
+        by_kind[kind] = tallyToJson(tally);
+    doc["by_kind"] = std::move(by_kind);
+    return doc;
+}
+
+} // namespace ulecc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared fault-campaign outcome taxonomy and JSON summary.
+ *
+ * The campaign driver (tools/fault_campaign) and the schema-stability
+ * tests build the same summary document through this type, so the
+ * emitted JSON shape is pinned in one place: a change here fails the
+ * test instead of silently breaking downstream consumers.
+ */
+
+#ifndef ULECC_FAULT_CAMPAIGN_SUMMARY_HH
+#define ULECC_FAULT_CAMPAIGN_SUMMARY_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/json.hh"
+
+namespace ulecc
+{
+
+/** How one injected fault resolved. */
+enum class CampaignOutcome
+{
+    Detected = 0,       ///< structured error or countermeasure fired
+    SilentlyCorrupted,  ///< "successful" run with a wrong result
+    Masked,             ///< fault landed in dead state; output golden
+    Crashed,            ///< unstructured exception escaped the stack
+    NumOutcomes,
+};
+
+/** Stable wire name ("detected", "silently_corrupted", ...). */
+const char *campaignOutcomeName(CampaignOutcome outcome);
+
+/** Outcome counts for one fault kind (or the whole run). */
+struct OutcomeTally
+{
+    std::array<uint64_t,
+               static_cast<size_t>(CampaignOutcome::NumOutcomes)>
+        counts{};
+
+    uint64_t &
+    operator[](CampaignOutcome o)
+    {
+        return counts[static_cast<size_t>(o)];
+    }
+
+    uint64_t
+    operator[](CampaignOutcome o) const
+    {
+        return counts[static_cast<size_t>(o)];
+    }
+};
+
+/** Aggregated campaign results and their canonical JSON form. */
+class CampaignSummary
+{
+  public:
+    CampaignSummary(uint64_t seed, uint64_t campaigns)
+        : seed_(seed), campaigns_(campaigns)
+    {}
+
+    /** Tallies one campaign's outcome under its fault kind. */
+    void record(const std::string &kind, CampaignOutcome outcome);
+
+    const OutcomeTally &total() const { return total_; }
+
+    uint64_t
+    count(CampaignOutcome o) const
+    {
+        return total_[o];
+    }
+
+    /**
+     * The summary document (schema "ulecc.fault_campaign.v1"):
+     * {"schema", "tool", "seed", "campaigns", "outcomes": {...},
+     *  "by_kind": {kind: {...}}} with by_kind keys sorted.
+     */
+    Json toJson() const;
+
+  private:
+    uint64_t seed_;
+    uint64_t campaigns_;
+    OutcomeTally total_;
+    std::map<std::string, OutcomeTally> byKind_;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_FAULT_CAMPAIGN_SUMMARY_HH

@@ -110,7 +110,8 @@ FaultInjector::onStep(Pete &cpu)
 {
     // Storm tail: keep stalling until the window closes.
     if (stormEndCycle_ && cpu.cycle() < stormEndCycle_)
-        cpu.addStall(spec_.durationCycles > 64 ? 64 : 4);
+        cpu.addStall(spec_.durationCycles > 64 ? 64 : 4,
+                     StallCause::External);
     if (!armed_ || fired_)
         return;
     if (cpu.cycle() < spec_.triggerCycle)
@@ -151,7 +152,7 @@ FaultInjector::inject(Pete &cpu)
       case FaultKind::CycleBudgetExhaust:
         // A runaway device holds the pipeline until simulated time
         // drains the whole cycle budget; surfaces as Errc::SimTimeout.
-        cpu.addStall(1ull << 62);
+        cpu.addStall(1ull << 62, StallCause::External);
         break;
       case FaultKind::NumKinds:
         break;

@@ -12,7 +12,20 @@ namespace
 {
 OpObserver *g_observer = nullptr;
 OpDomain g_domain = OpDomain::CurveField;
+SpanSink *g_span_sink = nullptr;
 } // namespace
+
+void
+setSpanSink(SpanSink *sink)
+{
+    g_span_sink = sink;
+}
+
+SpanSink *
+spanSink()
+{
+    return g_span_sink;
+}
 
 void
 setOpObserver(OpObserver *obs)

@@ -111,6 +111,86 @@ class OpObserverScope
     OpObserver *prev_;
 };
 
+/**
+ * Sink for hierarchical phase/span markers (the tracing counterpart of
+ * OpObserver).  Protocol code brackets its phases with TraceScope;
+ * when no sink is installed the cost is one branch per scope, so the
+ * markers stay threaded through the hot paths permanently.
+ *
+ * Timestamps are the sink's business: the pipeline tracer stamps spans
+ * with simulated cycles, a protocol-level recorder with a monotonic
+ * event counter.  Begin/end arrive strictly nested (RAII).
+ */
+class SpanSink
+{
+  public:
+    virtual ~SpanSink() = default;
+
+    /**
+     * A span opens.  @p name and @p category are string literals with
+     * static storage duration (safe to keep by pointer).
+     */
+    virtual void onSpanBegin(const char *name, const char *category) = 0;
+
+    /** The most recently opened span closes. */
+    virtual void onSpanEnd(const char *name) = 0;
+};
+
+/** Installs @p sink as the global span sink (nullptr to disable). */
+void setSpanSink(SpanSink *sink);
+
+/** Returns the installed span sink, or nullptr. */
+SpanSink *spanSink();
+
+/**
+ * RAII phase/span marker.  Instrumentation sites construct one with a
+ * string-literal name; nothing happens unless a SpanSink is installed.
+ * The sink observed at construction is the one notified at
+ * destruction, so installing/uninstalling mid-span stays balanced.
+ */
+class TraceScope
+{
+  public:
+    explicit TraceScope(const char *name,
+                        const char *category = "phase")
+        : name_(name), sink_(spanSink())
+    {
+        if (sink_)
+            sink_->onSpanBegin(name_, category);
+    }
+
+    ~TraceScope()
+    {
+        if (sink_)
+            sink_->onSpanEnd(name_);
+    }
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    const char *name_;
+    SpanSink *sink_;
+};
+
+/** RAII scope that installs a span sink and restores the previous one. */
+class SpanSinkScope
+{
+  public:
+    explicit SpanSinkScope(SpanSink *sink) : prev_(spanSink())
+    {
+        setSpanSink(sink);
+    }
+
+    ~SpanSinkScope() { setSpanSink(prev_); }
+
+    SpanSinkScope(const SpanSinkScope &) = delete;
+    SpanSinkScope &operator=(const SpanSinkScope &) = delete;
+
+  private:
+    SpanSink *prev_;
+};
+
 } // namespace ulecc
 
 #endif // ULECC_MPINT_OP_OBSERVER_HH

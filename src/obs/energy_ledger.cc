@@ -1,0 +1,151 @@
+/**
+ * @file
+ * EnergyLedger implementation.
+ */
+
+#include "obs/energy_ledger.hh"
+
+#include "core/report.hh"
+
+namespace ulecc
+{
+
+namespace
+{
+
+/**
+ * Multiplier-array dynamic energy inside EnergyBreakdown::peteUj,
+ * recomputed from the model's own coefficients:
+ * peteMultMw * (multActiveCycles / cycles) * t_us * 1e-3.
+ */
+double
+multiplierUj(const PowerParams &p, const EventCounts &ev)
+{
+    return p.peteMultMw * ev.multActiveCycles * p.clockNs * 1e-6;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+EnergyLedger::componentNames()
+{
+    static const std::vector<std::string> kNames = {
+        "pete-core", "multiplier", "ram", "rom",
+        "uncore",    "monte",      "billie",
+    };
+    return kNames;
+}
+
+void
+EnergyLedger::addPhase(const std::string &phase,
+                       const EventCounts &events)
+{
+    for (Phase &p : phases_) {
+        if (p.name == phase) {
+            p.events += events;
+            return;
+        }
+    }
+    phases_.push_back(Phase{phase, events});
+}
+
+const EnergyLedger::Phase *
+EnergyLedger::findPhase(const std::string &phase) const
+{
+    for (const Phase &p : phases_) {
+        if (p.name == phase)
+            return &p;
+    }
+    return nullptr;
+}
+
+EnergyBreakdown
+EnergyLedger::phaseBreakdown(const std::string &phase) const
+{
+    const Phase *p = findPhase(phase);
+    return p ? model_.evaluate(p->events) : EnergyBreakdown{};
+}
+
+double
+EnergyLedger::phaseStaticUj(const std::string &phase) const
+{
+    return phaseBreakdown(phase).staticUj;
+}
+
+std::vector<LedgerEntry>
+EnergyLedger::entries() const
+{
+    std::vector<LedgerEntry> out;
+    for (const Phase &p : phases_) {
+        EnergyBreakdown e = model_.evaluate(p.events);
+        double mult = multiplierUj(model_.params(), p.events);
+        out.push_back({p.name, "pete-core", e.peteUj - mult});
+        out.push_back({p.name, "multiplier", mult});
+        out.push_back({p.name, "ram", e.ramUj});
+        out.push_back({p.name, "rom", e.romUj});
+        out.push_back({p.name, "uncore", e.uncoreUj});
+        out.push_back({p.name, "monte", e.monteUj});
+        out.push_back({p.name, "billie", e.billieUj});
+    }
+    return out;
+}
+
+double
+EnergyLedger::totalUj() const
+{
+    double total = 0;
+    for (const Phase &p : phases_)
+        total += model_.evaluate(p.events).totalUj();
+    return total;
+}
+
+Json
+EnergyLedger::toJson() const
+{
+    Json doc = Json::object();
+    Json arr = Json::array();
+    for (const Phase &p : phases_) {
+        EnergyBreakdown e = model_.evaluate(p.events);
+        double mult = multiplierUj(model_.params(), p.events);
+        Json rec = Json::object();
+        rec["phase"] = p.name;
+        rec["cycles"] = p.events.cycles;
+        rec["total_uj"] = e.totalUj();
+        rec["static_uj"] = e.staticUj;
+        Json comps = Json::object();
+        comps["pete-core"] = e.peteUj - mult;
+        comps["multiplier"] = mult;
+        comps["ram"] = e.ramUj;
+        comps["rom"] = e.romUj;
+        comps["uncore"] = e.uncoreUj;
+        comps["monte"] = e.monteUj;
+        comps["billie"] = e.billieUj;
+        rec["components"] = std::move(comps);
+        arr.push(std::move(rec));
+    }
+    doc["phases"] = std::move(arr);
+    doc["total_uj"] = totalUj();
+    return doc;
+}
+
+std::string
+EnergyLedger::renderText() const
+{
+    std::vector<std::string> headers = {"Phase"};
+    for (const std::string &c : componentNames())
+        headers.push_back(c + " uJ");
+    headers.push_back("total uJ");
+    headers.push_back("static uJ");
+    Table t(headers);
+    for (const Phase &p : phases_) {
+        EnergyBreakdown e = model_.evaluate(p.events);
+        double mult = multiplierUj(model_.params(), p.events);
+        t.addRow({p.name, fmt(e.peteUj - mult, 3), fmt(mult, 3),
+                  fmt(e.ramUj, 3), fmt(e.romUj, 3), fmt(e.uncoreUj, 3),
+                  fmt(e.monteUj, 3), fmt(e.billieUj, 3),
+                  fmt(e.totalUj(), 3), fmt(e.staticUj, 3)});
+    }
+    return t.render();
+}
+
+} // namespace ulecc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-phase, per-component energy provenance.
+ *
+ * PowerModel::evaluate collapses a run into one EnergyBreakdown; the
+ * ledger keeps the provenance instead: each protocol phase (sign,
+ * verify, a kernel window, a whole run) contributes a row per hardware
+ * component -- Pete core, multiplier array, ROM, RAM, uncore, Monte,
+ * Billie -- with the multiplier share split out of the Pete figure
+ * using the model's own coefficients.  Ledger totals are exactly the
+ * PowerModel totals; the decomposition adds information, never skew.
+ */
+
+#ifndef ULECC_OBS_ENERGY_LEDGER_HH
+#define ULECC_OBS_ENERGY_LEDGER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/json.hh"
+#include "energy/power_model.hh"
+
+namespace ulecc
+{
+
+/** One provenance row: energy one component spent in one phase. */
+struct LedgerEntry
+{
+    std::string phase;
+    std::string component;
+    double uj = 0;
+};
+
+/** The ledger. */
+class EnergyLedger
+{
+  public:
+    explicit EnergyLedger(const PowerModel &model = PowerModel{})
+        : model_(model)
+    {}
+
+    /** Component name list, in emission order. */
+    static const std::vector<std::string> &componentNames();
+
+    /** Adds one phase's activity (phases may repeat; counts add). */
+    void addPhase(const std::string &phase, const EventCounts &events);
+
+    /** All provenance rows, phases in insertion order. */
+    std::vector<LedgerEntry> entries() const;
+
+    /** The model's breakdown for one recorded phase. */
+    EnergyBreakdown phaseBreakdown(const std::string &phase) const;
+
+    /** Leakage portion of one phase's total (informational). */
+    double phaseStaticUj(const std::string &phase) const;
+
+    double totalUj() const;
+
+    /** {"phases": [{phase, total_uj, static_uj, components: {...}}]} */
+    Json toJson() const;
+
+    /** Fixed-width text table (phase rows x component columns). */
+    std::string renderText() const;
+
+  private:
+    struct Phase
+    {
+        std::string name;
+        EventCounts events;
+    };
+
+    const Phase *findPhase(const std::string &phase) const;
+
+    PowerModel model_;
+    std::vector<Phase> phases_;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_OBS_ENERGY_LEDGER_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * MetricsRegistry file sinks.
+ */
+
+#include "obs/metrics.hh"
+
+#include <fstream>
+
+namespace ulecc
+{
+
+bool
+MetricsRegistry::writeFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << root_.dump(2) << "\n";
+    return static_cast<bool>(out);
+}
+
+bool
+MetricsRegistry::appendJsonl(const std::string &path, const Json &record)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out)
+        return false;
+    out << record.dump() << "\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace ulecc

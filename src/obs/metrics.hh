@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Metrics registry + JSON sink.
+ *
+ * A MetricsRegistry is an ordered bag of named values (counters,
+ * gauges, strings, nested documents) that serialises to one stable
+ * JSON object.  Producers -- ulecc-run, the bench journal, the fault
+ * campaign -- register what they measured; sinks write a whole file or
+ * append one compact record per line to a JSONL trajectory, so every
+ * run of every tool leaves a machine-readable sample behind.
+ */
+
+#ifndef ULECC_OBS_METRICS_HH
+#define ULECC_OBS_METRICS_HH
+
+#include <string>
+
+#include "core/json.hh"
+
+namespace ulecc
+{
+
+/** The registry: ordered name -> value, rendered as a JSON object. */
+class MetricsRegistry
+{
+  public:
+    explicit MetricsRegistry(const std::string &schema = "")
+    {
+        if (!schema.empty())
+            root_["schema"] = schema;
+    }
+
+    /** Sets (or replaces) one metric; nested Json values are allowed. */
+    void
+    set(const std::string &name, Json value)
+    {
+        root_[name] = std::move(value);
+    }
+
+    /** Increments an integer counter (creating it at zero). */
+    void
+    add(const std::string &name, int64_t delta)
+    {
+        Json &slot = root_[name];
+        slot = Json(slot.isNumber() ? slot.asInt() + delta : delta);
+    }
+
+    /** The named value, or nullptr. */
+    const Json *find(const std::string &name) const
+    {
+        return root_.find(name);
+    }
+
+    const Json &toJson() const { return root_; }
+
+    /** Pretty-printed document to @p path; false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+    /**
+     * Appends @p record compactly as one line of @p path (the JSONL
+     * trajectory format); false on I/O failure.
+     */
+    static bool appendJsonl(const std::string &path, const Json &record);
+
+  private:
+    Json root_ = Json::object();
+};
+
+} // namespace ulecc
+
+#endif // ULECC_OBS_METRICS_HH

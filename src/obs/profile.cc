@@ -1,0 +1,234 @@
+/**
+ * @file
+ * CycleProfiler implementation.
+ */
+
+#include "obs/profile.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ulecc
+{
+
+namespace
+{
+constexpr size_t kMaxStackDepth = 256;
+constexpr const char *kUnlabeled = "<unlabeled>";
+} // namespace
+
+CycleProfiler::CycleProfiler(const Program &program)
+{
+    labels_.reserve(program.labels.size());
+    for (const auto &[name, addr] : program.labels)
+        labels_.emplace_back(addr, name);
+    std::sort(labels_.begin(), labels_.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first
+                      || (a.first == b.first && a.second < b.second);
+              });
+    inclusive_.assign(labels_.size() + 1, 0);
+    seenStamp_.assign(labels_.size() + 1, 0);
+}
+
+size_t
+CycleProfiler::labelIndexFor(uint32_t pc) const
+{
+    // Greatest label address <= pc.
+    size_t lo = 0, hi = labels_.size();
+    while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (labels_[mid].first <= pc)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo ? lo - 1 : labels_.size(); // labels_.size() = unlabeled
+}
+
+void
+CycleProfiler::closeInstruction(const PeteStats &now)
+{
+    uint64_t dur = now.cycles - prev_.cycles;
+    uint64_t retired = now.instructions - prev_.instructions;
+    totalCycles_ += dur;
+    totalInstructions_ += retired;
+
+    PcCounters &pcc = byPc_[prevPc_];
+    pcc.cycles += dur;
+    pcc.instructions += retired;
+    for (int c = 0; c < static_cast<int>(StallCause::NumCauses); ++c) {
+        StallCause cause = static_cast<StallCause>(c);
+        pcc.stalls[cause] +=
+            stallCycles(now, cause) - stallCycles(prev_, cause);
+    }
+
+    // Inclusive attribution: the executing label plus each distinct
+    // caller region on the call stack (stamp-dedup so recursion does
+    // not double-charge a label for the same cycle).
+    size_t self = labelIndexFor(prevPc_);
+    ++closeSeq_;
+    seenStamp_[self] = closeSeq_;
+    inclusive_[self] += dur;
+    for (const Frame &f : stack_) {
+        if (seenStamp_[f.labelIndex] == closeSeq_)
+            continue;
+        seenStamp_[f.labelIndex] = closeSeq_;
+        inclusive_[f.labelIndex] += dur;
+    }
+
+    // Call-stack maintenance: each frame remembers the region the call
+    // was issued from, so callee cycles roll up to callers.  JALR's
+    // target register needs no resolving -- the caller region is known
+    // at the jump itself.  A return pops only after the jr's delay
+    // slot closed: that instruction still runs inside the callee.
+    if (popPending_) {
+        if (!stack_.empty())
+            stack_.pop_back();
+        popPending_ = false;
+    }
+    if ((prevInst_.op == Op::Jal || prevInst_.op == Op::Jalr)
+        && stack_.size() < kMaxStackDepth) {
+        stack_.push_back(Frame{prevPc_ + 8, self});
+    } else if (prevInst_.op == Op::Jr && prevInst_.rs == 31) {
+        popPending_ = true;
+    }
+
+    inFlight_ = false;
+}
+
+void
+CycleProfiler::onStep(Pete &cpu)
+{
+    const PeteStats &now = cpu.stats();
+    if (inFlight_)
+        closeInstruction(now);
+    prev_ = now;
+    prevPc_ = cpu.pc();
+    prevInst_ = DecodedInst{};
+    try {
+        prevInst_ = decode(cpu.mem().peek32(prevPc_));
+    } catch (const UleccError &) {
+        // Unmapped pc: the upcoming fetch faults.
+    }
+    inFlight_ = true;
+}
+
+void
+CycleProfiler::finish(const Pete &cpu)
+{
+    if (finished_)
+        return;
+    if (inFlight_)
+        closeInstruction(cpu.stats());
+    finished_ = true;
+}
+
+ProfileReport
+CycleProfiler::report() const
+{
+    ProfileReport rep;
+    rep.totalCycles = totalCycles_;
+    rep.totalInstructions = totalInstructions_;
+
+    std::vector<LabelProfile> acc(labels_.size() + 1);
+    for (size_t i = 0; i < labels_.size(); ++i) {
+        acc[i].label = labels_[i].second;
+        acc[i].addr = labels_[i].first;
+    }
+    acc[labels_.size()].label = kUnlabeled;
+
+    for (const auto &[pc, pcc] : byPc_) {
+        LabelProfile &lp = acc[labelIndexFor(pc)];
+        lp.selfCycles += pcc.cycles;
+        lp.instructions += pcc.instructions;
+        for (size_t c = 0; c < lp.stalls.cycles.size(); ++c)
+            lp.stalls.cycles[c] += pcc.stalls.cycles[c];
+    }
+    for (size_t i = 0; i < acc.size(); ++i) {
+        acc[i].totalCycles =
+            std::max(inclusive_[i], acc[i].selfCycles);
+    }
+
+    for (size_t i = 0; i < acc.size(); ++i) {
+        if (acc[i].selfCycles == 0 && acc[i].totalCycles == 0)
+            continue;
+        if (i < labels_.size())
+            rep.attributedCycles += acc[i].selfCycles;
+        rep.labels.push_back(std::move(acc[i]));
+    }
+    std::sort(rep.labels.begin(), rep.labels.end(),
+              [](const LabelProfile &a, const LabelProfile &b) {
+                  if (a.selfCycles != b.selfCycles)
+                      return a.selfCycles > b.selfCycles;
+                  return a.addr < b.addr;
+              });
+    return rep;
+}
+
+std::string
+ProfileReport::renderText(size_t topN) const
+{
+    std::string out;
+    char buf[256];
+    snprintf(buf, sizeof buf,
+             "simulated perf report: %llu cycles, %llu instructions, "
+             "%.1f%% attributed to labels\n",
+             static_cast<unsigned long long>(totalCycles),
+             static_cast<unsigned long long>(totalInstructions),
+             100.0 * attributedFraction());
+    out += buf;
+    out += "  self%       self      total      insts  "
+           "ld-use/branch/jump/mult/icache/cop2/ext  label\n";
+    size_t n = std::min(topN, labels.size());
+    for (size_t i = 0; i < n; ++i) {
+        const LabelProfile &lp = labels[i];
+        double pct = totalCycles
+            ? 100.0 * lp.selfCycles / totalCycles : 0.0;
+        std::string mix;
+        for (size_t c = 0; c < lp.stalls.cycles.size(); ++c) {
+            snprintf(buf, sizeof buf, "%s%llu", c ? "/" : "",
+                     static_cast<unsigned long long>(
+                         lp.stalls.cycles[c]));
+            mix += buf;
+        }
+        snprintf(buf, sizeof buf,
+                 " %5.1f%% %10llu %10llu %10llu  %-39s %s\n", pct,
+                 static_cast<unsigned long long>(lp.selfCycles),
+                 static_cast<unsigned long long>(lp.totalCycles),
+                 static_cast<unsigned long long>(lp.instructions),
+                 mix.c_str(), lp.label.c_str());
+        out += buf;
+    }
+    return out;
+}
+
+Json
+ProfileReport::toJson() const
+{
+    Json rep = Json::object();
+    rep["total_cycles"] = totalCycles;
+    rep["total_instructions"] = totalInstructions;
+    rep["attributed_fraction"] = attributedFraction();
+    Json arr = Json::array();
+    for (const LabelProfile &lp : labels) {
+        Json rec = Json::object();
+        rec["label"] = lp.label;
+        rec["addr"] = lp.addr;
+        rec["self_cycles"] = lp.selfCycles;
+        rec["total_cycles"] = lp.totalCycles;
+        rec["instructions"] = lp.instructions;
+        Json stalls = Json::object();
+        for (int c = 0; c < static_cast<int>(StallCause::NumCauses);
+             ++c) {
+            StallCause cause = static_cast<StallCause>(c);
+            stalls[stallCauseName(cause)] = lp.stalls[cause];
+        }
+        rec["stall_cycles"] = std::move(stalls);
+        arr.push(std::move(rec));
+    }
+    rep["labels"] = std::move(arr);
+    return rep;
+}
+
+} // namespace ulecc

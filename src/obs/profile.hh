@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Cycle-attribution profiling: a simulated `perf report`.
+ *
+ * CycleProfiler is a StepHook that accumulates, per program counter,
+ * the cycles Pete charges (base retire plus every stall cause) and
+ * then resolves the counters through the assembler's label table: each
+ * PC is attributed to the nearest label at or below it, so hand-
+ * written kernels profile by their own loop/function names.
+ *
+ * Self cycles are exact -- they partition the run's total cycle count.
+ * Total (inclusive) cycles additionally charge every frame on a
+ * JAL/JALR call stack (returns detected on `jr $ra`), the usual
+ * flat-profile approximation for bare-metal code.
+ */
+
+#ifndef ULECC_OBS_PROFILE_HH
+#define ULECC_OBS_PROFILE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asmkit/assembler.hh"
+#include "core/json.hh"
+#include "obs/trace.hh"
+#include "sim/cpu.hh"
+
+namespace ulecc
+{
+
+/** One label's aggregated profile. */
+struct LabelProfile
+{
+    std::string label;  ///< assembler label ("<unlabeled>" fallback)
+    uint32_t addr = 0;  ///< label byte address
+    uint64_t selfCycles = 0;   ///< cycles charged at PCs in this region
+    uint64_t totalCycles = 0;  ///< self + cycles of callees
+    uint64_t instructions = 0;
+    StallTotals stalls;        ///< stall mix within selfCycles
+};
+
+/** The resolved report. */
+struct ProfileReport
+{
+    uint64_t totalCycles = 0;       ///< whole profiled window
+    uint64_t totalInstructions = 0;
+    uint64_t attributedCycles = 0;  ///< cycles mapped to real labels
+    std::vector<LabelProfile> labels; ///< sorted by selfCycles desc
+
+    /** Fraction of cycles resolved to named labels (0..1). */
+    double attributedFraction() const
+    {
+        return totalCycles
+            ? static_cast<double>(attributedCycles) / totalCycles
+            : 0.0;
+    }
+
+    /** perf-style text report of the top @p topN labels. */
+    std::string renderText(size_t topN = 20) const;
+
+    Json toJson() const;
+};
+
+/** The profiling hook. */
+class CycleProfiler : public StepHook
+{
+  public:
+    /** @p program supplies the label table for resolution. */
+    explicit CycleProfiler(const Program &program);
+
+    void onStep(Pete &cpu) override;
+
+    /** Flushes the final in-flight instruction after the run halts. */
+    void finish(const Pete &cpu);
+
+    /** Resolves the counters into the label report. */
+    ProfileReport report() const;
+
+  private:
+    struct PcCounters
+    {
+        uint64_t cycles = 0;
+        uint64_t instructions = 0;
+        StallTotals stalls;
+    };
+
+    struct Frame
+    {
+        uint32_t returnAddr = 0;
+        size_t labelIndex = 0; ///< caller's region at the call site
+    };
+
+    void closeInstruction(const PeteStats &now);
+    size_t labelIndexFor(uint32_t pc) const;
+
+    std::vector<std::pair<uint32_t, std::string>> labels_; ///< sorted
+    std::map<uint32_t, PcCounters> byPc_;
+    /// Inclusive cycles per label index (labels_.size() == unlabeled).
+    std::vector<uint64_t> inclusive_;
+    std::vector<Frame> stack_;
+    bool popPending_ = false; ///< jr seen; pop after its delay slot
+    /// Dedup stamps (recursion must not double-charge a label).
+    std::vector<uint64_t> seenStamp_;
+    uint64_t closeSeq_ = 0;
+
+    PeteStats prev_;
+    uint32_t prevPc_ = 0;
+    DecodedInst prevInst_;
+    bool inFlight_ = false;
+    bool finished_ = false;
+    uint64_t totalCycles_ = 0;
+    uint64_t totalInstructions_ = 0;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_OBS_PROFILE_HH

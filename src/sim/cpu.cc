@@ -11,6 +11,67 @@
 namespace ulecc
 {
 
+const char *
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::LoadUse: return "load-use";
+      case StallCause::BranchFlush: return "branch-flush";
+      case StallCause::Jump: return "jump";
+      case StallCause::MultBusy: return "mult-busy";
+      case StallCause::IcacheFill: return "icache-fill";
+      case StallCause::Cop2: return "cop2";
+      case StallCause::External: return "external";
+      case StallCause::NumCauses: break;
+    }
+    return "unknown";
+}
+
+uint64_t
+stallCycles(const PeteStats &stats, StallCause cause)
+{
+    switch (cause) {
+      case StallCause::LoadUse: return stats.loadUseStalls;
+      case StallCause::BranchFlush: return stats.branchMispredicts;
+      case StallCause::Jump: return stats.jumpStalls;
+      case StallCause::MultBusy: return stats.multBusyStalls;
+      case StallCause::IcacheFill: return stats.icacheStalls;
+      case StallCause::Cop2: return stats.cop2Stalls;
+      case StallCause::External: return stats.externalStalls;
+      case StallCause::NumCauses: break;
+    }
+    return 0;
+}
+
+uint64_t
+totalStallCycles(const PeteStats &stats)
+{
+    uint64_t total = 0;
+    for (int c = 0; c < static_cast<int>(StallCause::NumCauses); ++c)
+        total += stallCycles(stats, static_cast<StallCause>(c));
+    return total;
+}
+
+void
+Pete::addStall(uint64_t cycles, StallCause cause)
+{
+    stats_.cycles += cycles;
+    switch (cause) {
+      case StallCause::LoadUse: stats_.loadUseStalls += cycles; break;
+      case StallCause::BranchFlush:
+        stats_.branchMispredicts += cycles;
+        break;
+      case StallCause::Jump: stats_.jumpStalls += cycles; break;
+      case StallCause::MultBusy: stats_.multBusyStalls += cycles; break;
+      case StallCause::IcacheFill: stats_.icacheStalls += cycles; break;
+      case StallCause::Cop2: stats_.cop2Stalls += cycles; break;
+      case StallCause::External:
+      case StallCause::NumCauses:
+        stats_.externalStalls += cycles;
+        break;
+    }
+}
+
 Pete::Pete(const Program &program, const PeteConfig &config)
     : config_(config)
 {
@@ -431,8 +492,7 @@ Pete::execute(const DecodedInst &inst)
             throw UleccError(Errc::Unsupported,
                              "Pete: COP2 with no coprocessor attached");
         uint64_t stall = cop2_->execute(inst, *this);
-        stats_.cop2Stalls += stall;
-        stats_.cycles += stall;
+        addStall(stall, StallCause::Cop2);
         break;
       }
       case Op::Syscall:

@@ -80,6 +80,27 @@ struct PeteConfig
     uint64_t maxCycles = 500'000'000;
 };
 
+/**
+ * Every stall source the pipeline model charges.  The same vocabulary
+ * names attributed external stalls (Pete::addStall), trace events, and
+ * the profiler's per-label stall mix, so cause totals reconcile
+ * exactly against PeteStats wherever they are reported.
+ */
+enum class StallCause : uint8_t
+{
+    LoadUse,    ///< load-use interlock slip
+    BranchFlush, ///< mispredicted branch, flushed fetch
+    Jump,       ///< register-jump target bubble
+    MultBusy,   ///< Karatsuba / divide unit occupied
+    IcacheFill, ///< instruction-cache line fill
+    Cop2,       ///< coprocessor-2 queue-full / sync interlock
+    External,   ///< externally-imposed (fault injection, test rigs)
+    NumCauses,
+};
+
+/** Stable short name of a stall cause ("load-use", "cop2", ...). */
+const char *stallCauseName(StallCause cause);
+
 /** Retirement / event statistics. */
 struct PeteStats
 {
@@ -92,9 +113,21 @@ struct PeteStats
     uint64_t multBusyStalls = 0;
     uint64_t icacheStalls = 0;
     uint64_t cop2Stalls = 0;
+    uint64_t externalStalls = 0; ///< attributed via Pete::addStall
     uint64_t multIssues = 0; ///< multiplier-unit activations
     uint64_t divIssues = 0;
 };
+
+/**
+ * Stall cycles a stats snapshot charges to @p cause.  Every counter in
+ * the pipeline model charges one cycle per event (load-use slip,
+ * branch flush, jump bubble) or counts cycles directly, so this is an
+ * exact cycle attribution, not an estimate.
+ */
+uint64_t stallCycles(const PeteStats &stats, StallCause cause);
+
+/** Sum of stallCycles over every cause. */
+uint64_t totalStallCycles(const PeteStats &stats);
 
 /** The processor model. */
 class Pete
@@ -153,11 +186,19 @@ class Pete
     /** Current cycle count (monotonic simulated time). */
     uint64_t cycle() const { return stats_.cycles; }
 
-    /** Adds externally-imposed stall cycles (used by coprocessors). */
+    /**
+     * Adds externally-imposed stall cycles attributed to @p cause:
+     * both the cycle count and the matching PeteStats counter advance,
+     * so external stalls can never desynchronise the attribution
+     * (previously callers had to bump cop2Stalls themselves).
+     */
+    void addStall(uint64_t cycles, StallCause cause);
+
+    /** Unattributed form: charged to StallCause::External. */
     void
     addStall(uint64_t cycles)
     {
-        stats_.cycles += cycles;
+        addStall(cycles, StallCause::External);
     }
 
   private:

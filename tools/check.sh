@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# One-command verification loop: build both presets, run the test
+# suites, exercise the telemetry producers, and validate every emitted
+# JSON document against the checked-in schemas in tools/schemas/.
+#
+# Usage: tools/check.sh [--no-asan]
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+run_asan=1
+[[ "${1:-}" == "--no-asan" ]] && run_asan=0
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "configure + build (default preset)"
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+
+step "test (default preset)"
+ctest --preset default -j "$(nproc)"
+
+if [[ $run_asan -eq 1 ]]; then
+    step "configure + build (asan preset)"
+    cmake --preset asan
+    cmake --build --preset asan -j "$(nproc)"
+
+    step "test (asan preset)"
+    ctest --preset asan -j "$(nproc)"
+fi
+
+json_check="$repo/build/tools/json_check"
+schemas="$repo/tools/schemas"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+step "telemetry: ulecc-run metrics + trace"
+"$repo/build/tools/ulecc-run" \
+    --trace "$work/trace.json" --profile \
+    --metrics "$work/run_metrics.json" --energy \
+    "$repo/tools/sample_gcd.s" > "$work/run.txt"
+"$json_check" "$schemas/run_metrics.schema.json" \
+    "$work/run_metrics.json"
+"$json_check" "$schemas/trace.schema.json" "$work/trace.json"
+
+step "telemetry: bench journal (zero-change JSONL capture)"
+: > "$work/bench.jsonl"
+ULECC_BENCH_METRICS="$work/bench.jsonl" \
+    "$repo/build/bench/bench_fig7_02" > "$work/bench.txt"
+"$repo/build/bench/bench_fig7_02" > "$work/bench_plain.txt"
+if ! cmp -s "$work/bench.txt" "$work/bench_plain.txt"; then
+    echo "FAIL: journal capture changed bench text output" >&2
+    exit 1
+fi
+[[ -s "$work/bench.jsonl" ]] || {
+    echo "FAIL: bench journal produced no records" >&2; exit 1; }
+"$json_check" --jsonl "$schemas/bench_record.schema.json" \
+    "$work/bench.jsonl"
+
+step "telemetry: fault campaign summary"
+"$repo/build/tools/fault_campaign" --seed 7 --campaigns 10 \
+    > "$work/campaign.json"
+"$json_check" "$schemas/fault_campaign.schema.json" \
+    "$work/campaign.json"
+
+step "all checks passed"

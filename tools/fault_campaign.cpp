@@ -33,20 +33,20 @@
  *                         (caught here so the process never aborts).
  *
  * The run is fully deterministic in --seed: no wall clock, no
- * platform randomness.  The summary is printed as JSON on stdout.
+ * platform randomness.  The summary is printed as JSON on stdout
+ * (the "ulecc.fault_campaign.v1" schema from fault/campaign_summary).
  */
 
-#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iterator>
-#include <map>
 #include <string>
 
 #include "asmkit/assembler.hh"
 #include "ecdsa/ecdh.hh"
 #include "ecdsa/ecdsa.hh"
+#include "fault/campaign_summary.hh"
 #include "fault/fault_injector.hh"
 #include "workload/asm_kernels.hh"
 
@@ -55,36 +55,16 @@ using namespace ulecc;
 namespace
 {
 
-enum Outcome
-{
-    Detected = 0,
-    SilentlyCorrupted,
-    Masked,
-    Crashed,
-    NumOutcomes,
-};
-
-const char *
-outcomeName(int o)
-{
-    switch (o) {
-      case Detected: return "detected";
-      case SilentlyCorrupted: return "silently_corrupted";
-      case Masked: return "masked";
-      case Crashed: return "crashed";
-    }
-    return "unknown";
-}
-
-struct Tally
-{
-    std::array<uint64_t, NumOutcomes> counts{};
-};
+constexpr CampaignOutcome Detected = CampaignOutcome::Detected;
+constexpr CampaignOutcome SilentlyCorrupted =
+    CampaignOutcome::SilentlyCorrupted;
+constexpr CampaignOutcome Masked = CampaignOutcome::Masked;
+constexpr CampaignOutcome Crashed = CampaignOutcome::Crashed;
 
 struct CampaignResult
 {
     std::string kind;
-    Outcome outcome = Crashed;
+    CampaignOutcome outcome = Crashed;
     std::string detail;
 };
 
@@ -353,8 +333,7 @@ main(int argc, char **argv)
         }
     }
 
-    Tally total;
-    std::map<std::string, Tally> by_kind;
+    CampaignSummary summary(seed, campaigns);
     SplitMix64 master(seed);
 
     for (uint64_t i = 0; i < campaigns; ++i) {
@@ -377,42 +356,19 @@ main(int argc, char **argv)
             res.outcome = Crashed;
             res.detail = "non-standard exception";
         }
-        total.counts[res.outcome]++;
-        by_kind[res.kind].counts[res.outcome]++;
+        summary.record(res.kind, res.outcome);
         if (verbose) {
             std::fprintf(stderr, "campaign %3lu: %-22s %-18s %s\n",
                          static_cast<unsigned long>(i),
-                         res.kind.c_str(), outcomeName(res.outcome),
+                         res.kind.c_str(),
+                         campaignOutcomeName(res.outcome),
                          res.detail.c_str());
         }
     }
 
-    // JSON summary (std::map iteration keeps key order stable).
-    std::printf("{\n");
-    std::printf("  \"tool\": \"fault_campaign\",\n");
-    std::printf("  \"seed\": %lu,\n", static_cast<unsigned long>(seed));
-    std::printf("  \"campaigns\": %lu,\n",
-                static_cast<unsigned long>(campaigns));
-    std::printf("  \"outcomes\": {");
-    for (int o = 0; o < NumOutcomes; ++o) {
-        std::printf("%s\"%s\": %lu", o ? ", " : "", outcomeName(o),
-                    static_cast<unsigned long>(total.counts[o]));
-    }
-    std::printf("},\n");
-    std::printf("  \"by_kind\": {\n");
-    size_t idx = 0;
-    for (const auto &[kind, tally] : by_kind) {
-        std::printf("    \"%s\": {", kind.c_str());
-        for (int o = 0; o < NumOutcomes; ++o) {
-            std::printf("%s\"%s\": %lu", o ? ", " : "", outcomeName(o),
-                        static_cast<unsigned long>(tally.counts[o]));
-        }
-        std::printf("}%s\n", ++idx < by_kind.size() ? "," : "");
-    }
-    std::printf("  }\n");
-    std::printf("}\n");
+    std::printf("%s\n", summary.toJson().dump(2).c_str());
 
     // Crashed campaigns indicate taxonomy gaps; surface via exit code
     // without aborting.
-    return total.counts[Crashed] ? 4 : 0;
+    return summary.count(Crashed) ? 4 : 0;
 }

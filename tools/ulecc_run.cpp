@@ -11,6 +11,9 @@
  *     --max-cycles N cycle budget (default 500M)
  *     --dump A N     after halt, hex-dump N words from address A
  *     --energy       print the energy estimate for the run
+ *     --trace FILE   write a Chrome trace-event JSON of the pipeline
+ *     --profile      print a cycle-attribution profile by label
+ *     --metrics FILE write run metrics as a JSON document
  *
  * The program sees the paper's memory map: 256 KB ROM at 0x0,
  * 16 KB RAM at 0x10000000; execution ends at `break`.
@@ -20,6 +23,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -27,6 +31,10 @@
 #include "accel/monte.hh"
 #include "asmkit/assembler.hh"
 #include "energy/power_model.hh"
+#include "obs/energy_ledger.hh"
+#include "obs/metrics.hh"
+#include "obs/profile.hh"
+#include "obs/trace.hh"
 #include "sim/cpu.hh"
 
 using namespace ulecc;
@@ -41,7 +49,58 @@ usage()
                  "usage: ulecc-run [--icache KB] [--prefetch] [--monte] "
                  "[--billie]\n"
                  "                 [--max-cycles N] [--dump ADDR WORDS] "
-                 "[--energy] program.s\n");
+                 "[--energy]\n"
+                 "                 [--trace FILE] [--profile] "
+                 "[--metrics FILE] program.s\n");
+}
+
+/** The run's activity, in the power model's terms. */
+EventCounts
+collectEvents(const Pete &cpu, const PeteConfig &config,
+              const Monte *monte, const Billie *billie)
+{
+    const PeteStats &s = cpu.stats();
+    EventCounts ev;
+    ev.cycles = s.cycles;
+    ev.instructions = s.instructions;
+    ev.multActiveCycles = s.multIssues * 4;
+    ev.romNarrowReads = cpu.mem().romFetchCounters().reads;
+    ev.romWideReads = cpu.mem().romFetchCounters().wideReads;
+    ev.ramReads = cpu.mem().ramCounters().reads;
+    ev.ramWrites = cpu.mem().ramCounters().writes;
+    if (cpu.icache()) {
+        ev.hasIcache = true;
+        ev.icacheBytes = config.icache.sizeBytes;
+        ev.icAccesses = cpu.icache()->stats().accesses;
+        ev.icFills = cpu.icache()->romWideReads();
+    }
+    if (monte) {
+        ev.hasMonte = true;
+        ev.monteFfauCycles = monte->stats().ffauActiveCycles;
+        ev.monteDmaCycles = monte->stats().dmaActiveCycles;
+        ev.monteBufAccesses = monte->stats().bufferReads
+            + monte->stats().bufferWrites;
+    }
+    if (billie) {
+        ev.hasBillie = true;
+        ev.billieBits = billie->field().degree();
+        ev.billieActiveCycles = billie->stats().activeCycles;
+    }
+    return ev;
+}
+
+/** Per-cause stall cycle object for the metrics document. */
+Json
+stallsToJson(const PeteStats &s)
+{
+    Json stalls = Json::object();
+    for (size_t i = 0;
+         i < static_cast<size_t>(StallCause::NumCauses); ++i) {
+        StallCause cause = static_cast<StallCause>(i);
+        stalls[stallCauseName(cause)] = stallCycles(s, cause);
+    }
+    stalls["total"] = totalStallCycles(s);
+    return stalls;
 }
 
 } // namespace
@@ -51,8 +110,11 @@ main(int argc, char **argv)
 {
     PeteConfig config;
     bool use_monte = false, use_billie = false, energy = false;
+    bool profile = false;
     uint32_t dump_addr = 0, dump_words = 0;
     const char *path = nullptr;
+    const char *trace_path = nullptr;
+    const char *metrics_path = nullptr;
 
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--icache") && i + 1 < argc) {
@@ -72,6 +134,12 @@ main(int argc, char **argv)
             dump_words = std::strtoul(argv[++i], nullptr, 0);
         } else if (!std::strcmp(argv[i], "--energy")) {
             energy = true;
+        } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--profile")) {
+            profile = true;
+        } else if (!std::strcmp(argv[i], "--metrics") && i + 1 < argc) {
+            metrics_path = argv[++i];
         } else if (argv[i][0] == '-') {
             usage();
             return 2;
@@ -105,6 +173,22 @@ main(int argc, char **argv)
         else if (use_billie)
             cpu.attachCop2(&billie);
 
+        // Observability hooks: both riders share the one step-hook
+        // slot through a fan-out list; the tracer doubles as the span
+        // sink so accelerator TraceScopes land on the phase track.
+        StepHookList hooks;
+        PipelineTracer tracer;
+        CycleProfiler profiler(prog);
+        std::optional<SpanSinkScope> spans;
+        if (trace_path) {
+            hooks.add(&tracer);
+            spans.emplace(&tracer);
+        }
+        if (profile)
+            hooks.add(&profiler);
+        if (trace_path || profile)
+            cpu.attachStepHook(&hooks);
+
         Result<uint64_t> outcome = cpu.runChecked();
         bool halted = outcome.ok();
         if (!halted) {
@@ -112,6 +196,10 @@ main(int argc, char **argv)
                          errcName(outcome.code()),
                          outcome.error().context.c_str());
         }
+        if (trace_path)
+            tracer.finish(cpu);
+        if (profile)
+            profiler.finish(cpu);
         const PeteStats &s = cpu.stats();
         std::printf("%s after %lu cycles, %lu instructions "
                     "(IPC %.3f)\n",
@@ -162,38 +250,69 @@ main(int argc, char **argv)
                         (unsigned long)(billie.stats().loads
                                         + billie.stats().stores));
         }
+        EventCounts ev = collectEvents(cpu, config,
+                                       use_monte ? &monte : nullptr,
+                                       use_billie ? &billie : nullptr);
         if (energy) {
-            EventCounts ev;
-            ev.cycles = s.cycles;
-            ev.instructions = s.instructions;
-            ev.multActiveCycles = s.multIssues * 4;
-            ev.romNarrowReads = romf.reads;
-            ev.romWideReads = romf.wideReads;
-            ev.ramReads = ram.reads;
-            ev.ramWrites = ram.writes;
-            if (cpu.icache()) {
-                ev.hasIcache = true;
-                ev.icacheBytes = config.icache.sizeBytes;
-                ev.icAccesses = cpu.icache()->stats().accesses;
-                ev.icFills = cpu.icache()->romWideReads();
-            }
-            if (use_monte) {
-                ev.hasMonte = true;
-                ev.monteFfauCycles = monte.stats().ffauActiveCycles;
-                ev.monteDmaCycles = monte.stats().dmaActiveCycles;
-                ev.monteBufAccesses = monte.stats().bufferReads
-                    + monte.stats().bufferWrites;
-            }
-            if (use_billie) {
-                ev.hasBillie = true;
-                ev.billieBits = billie.field().degree();
-                ev.billieActiveCycles = billie.stats().activeCycles;
-            }
             PowerModel pm;
             std::printf("energy: %.3f uJ total, %.3f mW average "
                         "(45 nm, 333 MHz model)\n",
                         pm.evaluate(ev).totalUj(),
                         pm.averagePowerMw(ev));
+        }
+        if (trace_path) {
+            if (!tracer.writeFile(trace_path)) {
+                std::fprintf(stderr,
+                             "ulecc-run: cannot write trace %s\n",
+                             trace_path);
+                return 1;
+            }
+            std::printf("trace: %lu cycles over %lu instructions -> "
+                        "%s%s\n",
+                        (unsigned long)tracer.tracedCycles(),
+                        (unsigned long)tracer.tracedInstructions(),
+                        trace_path,
+                        tracer.droppedEvents() ? " (truncated)" : "");
+        }
+        if (profile)
+            std::fputs(profiler.report().renderText().c_str(), stdout);
+        if (metrics_path) {
+            MetricsRegistry reg("ulecc.run.v1");
+            reg.set("program", path);
+            reg.set("halted", halted);
+            if (!halted)
+                reg.set("error", errcName(outcome.code()));
+            reg.set("cycles", s.cycles);
+            reg.set("instructions", s.instructions);
+            reg.set("ipc", s.cycles
+                               ? double(s.instructions) / s.cycles
+                               : 0.0);
+            reg.set("stall_cycles", stallsToJson(s));
+            Json mem = Json::object();
+            mem["rom_reads"] = romf.reads;
+            mem["rom_wide_reads"] = romf.wideReads;
+            mem["ram_reads"] = ram.reads;
+            mem["ram_writes"] = ram.writes;
+            reg.set("memory", std::move(mem));
+            if (cpu.icache()) {
+                Json ic = Json::object();
+                ic["accesses"] = cpu.icache()->stats().accesses;
+                ic["miss_rate"] = cpu.icache()->stats().missRate();
+                reg.set("icache", std::move(ic));
+            }
+            EnergyLedger ledger;
+            ledger.addPhase("run", ev);
+            reg.set("energy", ledger.toJson());
+            if (profile) {
+                ProfileReport rep = profiler.report();
+                reg.set("profile", rep.toJson());
+            }
+            if (!reg.writeFile(metrics_path)) {
+                std::fprintf(stderr,
+                             "ulecc-run: cannot write metrics %s\n",
+                             metrics_path);
+                return 1;
+            }
         }
         if (dump_words) {
             for (uint32_t i = 0; i < dump_words; ++i) {
