@@ -66,8 +66,10 @@ peteCycles(const OpCounts &ops, const KernelModel &model)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv); // no evaluate() cells; uniform CLI
+    (void)sweep;
     const Curve &c = standardCurve(CurveId::P192);
     KernelModel base(MicroArch::Baseline, CurveId::P192);
     MpUint k = MpUint::fromHex("3cb9a01845ba75166b5c215767b1d693"

@@ -10,17 +10,21 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
+    sweep.addGrid({MicroArch::Baseline, MicroArch::IsaExt,
+                   MicroArch::IsaExtIcache, MicroArch::Monte},
+                  primeCurveIds());
     banner("Fig 7.1",
            "Energy per Sign+Verify vs key size, prime fields");
     Table t({"Key size", "Baseline uJ", "ISA Ext uJ", "ISA+4KB I$ uJ",
              "Monte uJ", "ISA factor", "Monte factor"});
     for (CurveId id : primeCurveIds()) {
-        double base = evaluate(MicroArch::Baseline, id).totalUj();
-        double isa = evaluate(MicroArch::IsaExt, id).totalUj();
-        double ic = evaluate(MicroArch::IsaExtIcache, id).totalUj();
-        double monte = evaluate(MicroArch::Monte, id).totalUj();
+        double base = sweep.eval(MicroArch::Baseline, id).totalUj();
+        double isa = sweep.eval(MicroArch::IsaExt, id).totalUj();
+        double ic = sweep.eval(MicroArch::IsaExtIcache, id).totalUj();
+        double monte = sweep.eval(MicroArch::Monte, id).totalUj();
         t.addRow({std::to_string(curveIdBits(id)), fmt(base), fmt(isa),
                   fmt(ic), fmt(monte), fmt(base / isa),
                   fmt(base / monte)});

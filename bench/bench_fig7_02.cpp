@@ -13,12 +13,12 @@ namespace
 {
 
 void
-breakdownFor(CurveId id)
+breakdownFor(SweepDriver &sweep, CurveId id)
 {
     Table t(breakdownHeaders("Config (" + curveIdName(id) + ")"));
     for (MicroArch arch : {MicroArch::Baseline, MicroArch::IsaExt,
                            MicroArch::IsaExtIcache, MicroArch::Monte}) {
-        EvalResult r = evaluate(arch, id);
+        EvalResult r = sweep.eval(arch, id);
         t.addRow(breakdownRow(microArchName(arch), r.totalEnergy()));
     }
     t.print();
@@ -27,12 +27,16 @@ breakdownFor(CurveId id)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
+    sweep.addGrid({MicroArch::Baseline, MicroArch::IsaExt,
+                   MicroArch::IsaExtIcache, MicroArch::Monte},
+                  {CurveId::P192, CurveId::P256});
     banner("Fig 7.2",
            "Energy breakdown per Sign+Verify, 192- and 256-bit");
-    breakdownFor(CurveId::P192);
-    breakdownFor(CurveId::P256);
+    breakdownFor(sweep, CurveId::P192);
+    breakdownFor(sweep, CurveId::P256);
     footnote("paper: ROM dominates baseline/ISA-ext; the cache trades "
              "ROM energy for uncore energy; Monte slashes ROM and RAM "
              "activity while Pete keeps burning clock power");

@@ -10,12 +10,14 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
+    sweep.addGrid({MicroArch::Baseline}, primeCurveIds());
     banner("Fig 7.3", "Baseline energy breakdown vs key size");
     Table t(breakdownHeaders("Key size"));
     for (CurveId id : primeCurveIds()) {
-        EvalResult r = evaluate(MicroArch::Baseline, id);
+        EvalResult r = sweep.eval(MicroArch::Baseline, id);
         t.addRow(breakdownRow(std::to_string(curveIdBits(id)),
                               r.totalEnergy()));
     }

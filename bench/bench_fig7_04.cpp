@@ -10,13 +10,15 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
+    sweep.addGrid({MicroArch::IsaExt, MicroArch::Monte}, primeCurveIds());
     banner("Fig 7.4a", "ISA-extended energy breakdown vs key size");
     Table a(breakdownHeaders("Key size"));
     for (CurveId id : primeCurveIds()) {
         a.addRow(breakdownRow(std::to_string(curveIdBits(id)),
-                              evaluate(MicroArch::IsaExt, id)
+                              sweep.eval(MicroArch::IsaExt, id)
                                   .totalEnergy()));
     }
     a.print();
@@ -25,7 +27,7 @@ main()
     Table b(breakdownHeaders("Key size"));
     for (CurveId id : primeCurveIds()) {
         b.addRow(breakdownRow(std::to_string(curveIdBits(id)),
-                              evaluate(MicroArch::Monte, id)
+                              sweep.eval(MicroArch::Monte, id)
                                   .totalEnergy()));
     }
     b.print();

@@ -10,14 +10,17 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
+    sweep.addGrid({MicroArch::Baseline, MicroArch::IsaExt},
+                  binaryCurveIds());
     banner("Fig 7.5",
            "Binary fields: software-only vs binary ISA extensions");
     Table t({"Key size", "SW-only uJ", "Binary ISA uJ", "Factor"});
     for (CurveId id : binaryCurveIds()) {
-        double sw = evaluate(MicroArch::Baseline, id).totalUj();
-        double isa = evaluate(MicroArch::IsaExt, id).totalUj();
+        double sw = sweep.eval(MicroArch::Baseline, id).totalUj();
+        double isa = sweep.eval(MicroArch::IsaExt, id).totalUj();
         std::string name = std::to_string(curveIdBits(id))
             + (standardCurve(id).synthetic() ? "*" : "");
         t.addRow({name, fmt(sw), fmt(isa), fmt(sw / isa)});

@@ -10,13 +10,15 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
+    sweep.addGrid({MicroArch::IsaExt}, binaryCurveIds());
     banner("Fig 7.6", "Binary ISA extension energy breakdown");
     Table t(breakdownHeaders("Key size"));
     for (CurveId id : binaryCurveIds()) {
         t.addRow(breakdownRow(std::to_string(curveIdBits(id)),
-                              evaluate(MicroArch::IsaExt, id)
+                              sweep.eval(MicroArch::IsaExt, id)
                                   .totalEnergy()));
     }
     t.print();

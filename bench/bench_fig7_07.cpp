@@ -10,8 +10,9 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
     banner("Fig 7.7",
            "Prime vs binary fields at equivalent security");
     struct Pair { CurveId prime; CurveId binary; };
@@ -22,13 +23,19 @@ main()
         {CurveId::P384, CurveId::B409},
         {CurveId::P521, CurveId::B571},
     };
+    for (const Pair &p : pairs) {
+        sweep.add(MicroArch::IsaExt, p.prime);
+        sweep.add(MicroArch::IsaExt, p.binary);
+        sweep.add(MicroArch::Monte, p.prime);
+        sweep.add(MicroArch::Billie, p.binary);
+    }
     Table t({"Security pair", "Prime ISA uJ", "Binary ISA uJ",
              "Binary saving", "Monte uJ", "Billie uJ"});
     for (const Pair &p : pairs) {
-        double pi = evaluate(MicroArch::IsaExt, p.prime).totalUj();
-        double bi = evaluate(MicroArch::IsaExt, p.binary).totalUj();
-        double monte = evaluate(MicroArch::Monte, p.prime).totalUj();
-        double billie = evaluate(MicroArch::Billie, p.binary).totalUj();
+        double pi = sweep.eval(MicroArch::IsaExt, p.prime).totalUj();
+        double bi = sweep.eval(MicroArch::IsaExt, p.binary).totalUj();
+        double monte = sweep.eval(MicroArch::Monte, p.prime).totalUj();
+        double billie = sweep.eval(MicroArch::Billie, p.binary).totalUj();
         std::string label = std::to_string(curveIdBits(p.prime)) + "/"
             + std::to_string(curveIdBits(p.binary));
         t.addRow({label, fmt(pi), fmt(bi),

@@ -10,20 +10,23 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
+    sweep.addGrid({MicroArch::Monte}, primeCurveIds());
+    sweep.addGrid({MicroArch::Billie}, binaryCurveIds());
     banner("Fig 7.8", "Monte (prime) and Billie (binary) breakdowns");
     Table m(breakdownHeaders("Monte @ key"));
     for (CurveId id : primeCurveIds()) {
         m.addRow(breakdownRow(std::to_string(curveIdBits(id)),
-                              evaluate(MicroArch::Monte, id)
+                              sweep.eval(MicroArch::Monte, id)
                                   .totalEnergy()));
     }
     m.print();
     Table b(breakdownHeaders("Billie @ key"));
     for (CurveId id : binaryCurveIds()) {
         b.addRow(breakdownRow(std::to_string(curveIdBits(id)),
-                              evaluate(MicroArch::Billie, id)
+                              sweep.eval(MicroArch::Billie, id)
                                   .totalEnergy()));
     }
     b.print();

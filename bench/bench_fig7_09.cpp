@@ -10,8 +10,9 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
     banner("Fig 7.9",
            "Accelerated-architecture breakdowns at matched security");
     struct Entry { MicroArch arch; CurveId curve; };
@@ -26,13 +27,17 @@ main()
         {MicroArch::Billie, CurveId::B283},
     };
     for (const auto *level : {level1, level2}) {
+        for (int i = 0; i < 3; ++i)
+            sweep.add(level[i].arch, level[i].curve);
+    }
+    for (const auto *level : {level1, level2}) {
         Table t(breakdownHeaders("Config"));
         for (int i = 0; i < 3; ++i) {
             const Entry &e = level[i];
             std::string label = std::string(microArchName(e.arch)) + " "
                 + curveIdName(e.curve);
             t.addRow(breakdownRow(label,
-                                  evaluate(e.arch, e.curve)
+                                  sweep.eval(e.arch, e.curve)
                                       .totalEnergy()));
         }
         t.print();

@@ -10,14 +10,20 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
+    sweep.addGrid({MicroArch::Baseline, MicroArch::IsaExt,
+                   MicroArch::IsaExtIcache, MicroArch::Monte},
+                  {CurveId::P192});
+    sweep.addGrid({MicroArch::Billie},
+                  {CurveId::B163, CurveId::B283, CurveId::B571});
     banner("Fig 7.10", "Static and dynamic power per microarchitecture");
     Table t({"Configuration", "Total mW", "Static mW", "Dynamic mW",
              "vs baseline"});
     double base_mw = 0;
     auto add = [&](const char *label, MicroArch arch, CurveId id) {
-        EvalResult r = evaluate(arch, id);
+        EvalResult r = sweep.eval(arch, id);
         if (base_mw == 0)
             base_mw = r.avgPowerMw;
         t.addRow({label, fmt(r.avgPowerMw, 3), fmt(r.staticPowerMw, 3),

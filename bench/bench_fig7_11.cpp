@@ -10,20 +10,27 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
     banner("Fig 7.11",
            "Best-case (ideal I$) energy improvement vs key size");
     EvalOptions ideal;
     ideal.idealIcache = true;
+    sweep.addGrid({MicroArch::Baseline, MicroArch::IsaExt,
+                   MicroArch::Monte},
+                  {CurveId::P192, CurveId::P256, CurveId::P384});
+    sweep.addGrid({MicroArch::Baseline, MicroArch::IsaExt,
+                   MicroArch::Monte},
+                  {CurveId::P192, CurveId::P256, CurveId::P384}, ideal);
     Table t({"Key size", "Baseline", "ISA Ext", "W/ Monte"});
     for (CurveId id : {CurveId::P192, CurveId::P256, CurveId::P384}) {
         std::vector<std::string> row = {
             std::to_string(curveIdBits(id))};
         for (MicroArch arch : {MicroArch::Baseline, MicroArch::IsaExt,
                                MicroArch::Monte}) {
-            double plain = evaluate(arch, id).totalUj();
-            double best = evaluate(arch, id, ideal).totalUj();
+            double plain = sweep.eval(arch, id).totalUj();
+            double best = sweep.eval(arch, id, ideal).totalUj();
             row.push_back(fmt(100.0 * (1.0 - best / plain), 1) + "%");
         }
         t.addRow(row);

@@ -13,8 +13,17 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
+    for (uint32_t kb : {1u, 2u, 4u, 8u}) {
+        for (bool prefetch : {false, true}) {
+            EvalOptions opt;
+            opt.kernel.icacheBytes = kb * 1024;
+            opt.kernel.icachePrefetch = prefetch;
+            sweep.add(MicroArch::IsaExtIcache, CurveId::P192, opt);
+        }
+    }
     banner("Fig 7.12",
            "Real I$ sweep at 192-bit (ISA-extended system)");
     Table t(breakdownHeaders("Cache"));
@@ -26,7 +35,7 @@ main()
             opt.kernel.icacheBytes = kb * 1024;
             opt.kernel.icachePrefetch = prefetch;
             EvalResult r =
-                evaluate(MicroArch::IsaExtIcache, CurveId::P192, opt);
+                sweep.eval(MicroArch::IsaExtIcache, CurveId::P192, opt);
             std::string label = std::to_string(kb) + "KB"
                 + (prefetch ? "-p" : "");
             double uj = r.totalUj();

@@ -10,14 +10,16 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
+    sweep.addGrid({MicroArch::IsaExtIcache}, primeCurveIds());
     banner("Fig 7.13",
            "Prime ISA ext + 4KB I$ breakdown vs key size");
     Table t(breakdownHeaders("Key size"));
     for (CurveId id : primeCurveIds()) {
         t.addRow(breakdownRow(std::to_string(curveIdBits(id)),
-                              evaluate(MicroArch::IsaExtIcache, id)
+                              sweep.eval(MicroArch::IsaExtIcache, id)
                                   .totalEnergy()));
     }
     t.print();

@@ -55,8 +55,10 @@ billieCycles(const OpCounts &ops, int digit)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv); // no evaluate() cells; uniform CLI
+    (void)sweep;
     banner("Fig 7.14",
            "163-bit scalar point multiplication vs digit size");
     OpCounts window = countScalarMul(false);

@@ -12,8 +12,10 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv); // no evaluate() cells; uniform CLI
+    (void)sweep;
     banner("Fig 7.15",
            "Energy per Montgomery multiplication vs datapath width");
     // Paper Table 7.4 energies for comparison.

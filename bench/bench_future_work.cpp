@@ -25,43 +25,56 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Future work 1", "Accelerator power gating while idle");
-    Table g({"Config", "Ungated uJ", "Gated uJ", "Saving"});
+    SweepDriver sweep(argc, argv);
     EvalOptions gated;
     gated.power.accelGatingFactor = 0.08; // retention leakage only
+    EvalOptions flash;
+    flash.power.romReadScale = 2.6; // flash sense amps + charge pumps
+    flash.power.romLeakMw = 0.05;
     struct Pt { MicroArch arch; CurveId curve; };
-    for (Pt p : {Pt{MicroArch::Billie, CurveId::B163},
-                 Pt{MicroArch::Billie, CurveId::B283},
-                 Pt{MicroArch::Billie, CurveId::B571},
-                 Pt{MicroArch::Monte, CurveId::P192},
-                 Pt{MicroArch::Monte, CurveId::P521}}) {
-        double plain = evaluate(p.arch, p.curve).totalUj();
-        double gate = evaluate(p.arch, p.curve, gated).totalUj();
+    const std::initializer_list<Pt> gating_pts = {
+        Pt{MicroArch::Billie, CurveId::B163},
+        Pt{MicroArch::Billie, CurveId::B283},
+        Pt{MicroArch::Billie, CurveId::B571},
+        Pt{MicroArch::Monte, CurveId::P192},
+        Pt{MicroArch::Monte, CurveId::P521}};
+    for (Pt p : gating_pts) {
+        sweep.add(p.arch, p.curve);
+        sweep.add(p.arch, p.curve, gated);
+    }
+    sweep.addGrid({MicroArch::Baseline, MicroArch::IsaExt,
+                   MicroArch::IsaExtIcache, MicroArch::Monte},
+                  {CurveId::P192});
+    sweep.addGrid({MicroArch::Baseline, MicroArch::IsaExt,
+                   MicroArch::IsaExtIcache, MicroArch::Monte},
+                  {CurveId::P192}, flash);
+    banner("Future work 1", "Accelerator power gating while idle");
+    Table g({"Config", "Ungated uJ", "Gated uJ", "Saving"});
+    for (Pt p : gating_pts) {
+        double plain = sweep.eval(p.arch, p.curve).totalUj();
+        double gate = sweep.eval(p.arch, p.curve, gated).totalUj();
         g.addRow({std::string(microArchName(p.arch)) + " "
                       + curveIdName(p.curve),
                   fmt(plain), fmt(gate),
                   fmt(100.0 * (1.0 - gate / plain), 1) + "%"});
     }
     g.print();
-    double m521 = evaluate(MicroArch::Monte, CurveId::P521).totalUj();
+    double m521 = sweep.eval(MicroArch::Monte, CurveId::P521).totalUj();
     double b571g =
-        evaluate(MicroArch::Billie, CurveId::B571, gated).totalUj();
+        sweep.eval(MicroArch::Billie, CurveId::B571, gated).totalUj();
     std::printf("  gated Billie-571 (%.1f uJ) vs Monte-521 (%.1f uJ): "
                 "gating restores the binary accelerator's advantage "
                 "at the top security level: %s\n",
                 b571g, m521, b571g < m521 ? "yes" : "no");
 
     banner("Future work 2", "Flash EEPROM program store vs mask ROM");
-    EvalOptions flash;
-    flash.power.romReadScale = 2.6; // flash sense amps + charge pumps
-    flash.power.romLeakMw = 0.05;
     Table f({"Config", "ROM uJ", "Flash uJ", "Penalty"});
     for (MicroArch arch : {MicroArch::Baseline, MicroArch::IsaExt,
                            MicroArch::IsaExtIcache, MicroArch::Monte}) {
-        double rom = evaluate(arch, CurveId::P192).totalUj();
-        double fl = evaluate(arch, CurveId::P192, flash).totalUj();
+        double rom = sweep.eval(arch, CurveId::P192).totalUj();
+        double fl = sweep.eval(arch, CurveId::P192, flash).totalUj();
         f.addRow({microArchName(arch), fmt(rom), fmt(fl),
                   fmt(100.0 * (fl / rom - 1.0), 1) + "%"});
     }

@@ -20,8 +20,12 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
+    sweep.add(MicroArch::Baseline, CurveId::P192);
+    sweep.add(MicroArch::IsaExt, CurveId::P192);
+    sweep.add(MicroArch::IsaExt, CurveId::B163);
     banner("Related work (Wander et al.)",
            "ECC vs RSA-class modular exponentiation, software only");
     // RSA-1024 private operation ~ 1.5 * 1024 modular multiplications
@@ -48,7 +52,7 @@ main()
     double rsa_sign = 1.5 * 1024 * (mul1024 + rsa_red + 16);
     double rsa_verify = 17 * (mul1024 + rsa_red + 16);
 
-    EvalResult ecc = evaluate(MicroArch::Baseline, CurveId::P192);
+    EvalResult ecc = sweep.eval(MicroArch::Baseline, CurveId::P192);
     PowerModel pm;
     // RSA runs on the same baseline Pete: same average power.
     double base_mw = ecc.avgPowerMw;
@@ -89,10 +93,10 @@ main()
 
     banner("Related work (Wenger & Hutter)",
            "Binary vs prime at the ~192-bit level");
-    double prime_sign =
-        evaluate(MicroArch::IsaExt, CurveId::P192).sign.energy.totalUj();
-    double binary_sign =
-        evaluate(MicroArch::IsaExt, CurveId::B163).sign.energy.totalUj();
+    double prime_sign = sweep.eval(MicroArch::IsaExt, CurveId::P192)
+        .sign.energy.totalUj();
+    double binary_sign = sweep.eval(MicroArch::IsaExt, CurveId::B163)
+        .sign.energy.totalUj();
     std::printf("  signature energy prime/binary = %.2fx on our "
                 "ISA-extended core (Neptun reports 2.82x on a custom "
                 "processor; their fixed-function datapath amplifies "

@@ -10,8 +10,13 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
+    EvalOptions db_on, db_off;
+    db_off.kernel.monteDoubleBuffer = false;
+    sweep.addGrid({MicroArch::Monte}, primeCurveIds(), db_on);
+    sweep.addGrid({MicroArch::Monte}, primeCurveIds(), db_off);
     banner("Sec 7.7", "Monte double-buffering ablation");
     Table t({"Key size", "With DB uJ", "Without DB uJ", "Saving",
              "Paper"});
@@ -20,8 +25,8 @@ main()
     for (CurveId id : primeCurveIds()) {
         EvalOptions on, off;
         off.kernel.monteDoubleBuffer = false;
-        double with_db = evaluate(MicroArch::Monte, id, on).totalUj();
-        double without = evaluate(MicroArch::Monte, id, off).totalUj();
+        double with_db = sweep.eval(MicroArch::Monte, id, on).totalUj();
+        double without = sweep.eval(MicroArch::Monte, id, off).totalUj();
         std::string paper_cell = paper_saving[idx] > 0
             ? fmt(paper_saving[idx], 1) + "%" : "-";
         t.addRow({std::to_string(curveIdBits(id)), fmt(with_db),

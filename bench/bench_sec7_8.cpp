@@ -17,8 +17,10 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
+    sweep.add(MicroArch::Baseline, CurveId::P384);
     banner("Sec 7.8", "Baseline validation: multiplier ablation");
 
     // Pete core power model with the multiplier term swapped out.
@@ -69,7 +71,7 @@ main()
     // Performance: composed 384-bit sign+verify vs a Microblaze-like
     // core (single-cycle parallel multiplier but no Hi/Lo overlap and
     // a longer load pipeline -> ~1.2x our baseline cycle count).
-    EvalResult ours = evaluate(MicroArch::Baseline, CurveId::P384);
+    EvalResult ours = sweep.eval(MicroArch::Baseline, CurveId::P384);
     double microblaze_cycles = ours.totalCycles() * 1.177;
     m.addRow({"384-bit sign+verify speedup",
               fmt(100.0 * (microblaze_cycles / ours.totalCycles() - 1.0),

@@ -10,8 +10,12 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
+    sweep.addGrid({MicroArch::Baseline, MicroArch::IsaExt,
+                   MicroArch::Monte},
+                  primeCurveIds());
     banner("Table 7.1",
            "Latency per operation (100K cycles), prime fields");
     // Paper values: {sign, verify} per (arch, key).
@@ -29,7 +33,7 @@ main()
     for (int a = 0; a < 3; ++a) {
         int kidx = 0;
         for (CurveId id : primeCurveIds()) {
-            EvalResult r = evaluate(archs[a], id);
+            EvalResult r = sweep.eval(archs[a], id);
             t.addRow({microArchName(archs[a]),
                       std::to_string(curveIdBits(id)),
                       fmtVsPaper(r.sign.cycles / 1e5,

@@ -10,8 +10,12 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv);
+    sweep.addGrid({MicroArch::Baseline, MicroArch::IsaExt,
+                   MicroArch::Billie},
+                  binaryCurveIds());
     banner("Table 7.2",
            "Latency per operation (100K cycles), binary fields");
     const double paper[3][5][2] = {
@@ -28,7 +32,7 @@ main()
     for (int a = 0; a < 3; ++a) {
         int kidx = 0;
         for (CurveId id : binaryCurveIds()) {
-            EvalResult r = evaluate(archs[a], id);
+            EvalResult r = sweep.eval(archs[a], id);
             t.addRow({microArchName(archs[a]),
                       std::to_string(curveIdBits(id)),
                       fmtVsPaper(r.sign.cycles / 1e5,

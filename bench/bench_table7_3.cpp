@@ -13,8 +13,10 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv); // no evaluate() cells; uniform CLI
+    (void)sweep;
     banner("Table 7.3",
            "FFAU area / static power / dynamic power vs width");
     // Paper anchors per key size and width.

@@ -12,8 +12,10 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv); // no evaluate() cells; uniform CLI
+    (void)sweep;
     banner("Table 7.4",
            "FFAU power / time / energy per Montgomery multiplication");
     const double paper[3][4][3] = {

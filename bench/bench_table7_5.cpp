@@ -13,8 +13,10 @@ using namespace ulecc;
 using namespace ulecc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepDriver sweep(argc, argv); // no evaluate() cells; uniform CLI
+    (void)sweep;
     banner("Table 7.5",
            "ARM Cortex-M3 reference: energy per modular multiplication");
     Table t({"Key size", "Exec time ns", "Avg power uW", "Energy nJ",

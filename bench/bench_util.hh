@@ -1,19 +1,114 @@
 /**
  * @file
  * Shared helpers for the per-figure/per-table benchmark harnesses.
+ *
+ * Every harness routes its design-point evaluations through one
+ * SweepDriver: the points are registered up front, fanned out over
+ * the parallel SweepRunner (src/par/) on first use, and then served
+ * to the table-rendering code in its original order.  Because
+ * evaluate() is pure and the runner reassembles results in
+ * submission order, the text a bench prints is byte-identical to the
+ * serial run -- `--serial` (or ULECC_JOBS=1) forces the old
+ * one-cell-at-a-time behaviour for pinning that down.
  */
 
 #ifndef ULECC_BENCH_BENCH_UTIL_HH
 #define ULECC_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstring>
+#include <initializer_list>
+#include <map>
 #include <string>
 
+#include "core/eval_cache.hh"
 #include "core/evaluator.hh"
 #include "core/report.hh"
+#include "par/sweep.hh"
 
 namespace ulecc::bench
 {
+
+/**
+ * The benches' front end to the parallel sweep engine.
+ *
+ * Usage: construct from main's argv (recognises `--serial`), register
+ * every (arch, curve, options) cell the harness will print, then call
+ * eval() from the rendering code.  The first eval() triggers the
+ * parallel fan-out; unregistered points fall back to a plain inline
+ * evaluation, so rendering code never has to care.
+ */
+class SweepDriver
+{
+  public:
+    SweepDriver(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--serial"))
+                config_.serial = true;
+        }
+    }
+
+    /** Registers one design point for the fan-out. */
+    void
+    add(MicroArch arch, CurveId curve, const EvalOptions &options = {})
+    {
+        points_.push_back(SweepPoint{arch, curve, options});
+    }
+
+    /** Registers the full (archs x curves) grid under one option set. */
+    void
+    addGrid(std::initializer_list<MicroArch> archs,
+            const std::vector<CurveId> &curves,
+            const EvalOptions &options = {})
+    {
+        for (CurveId curve : curves) {
+            for (MicroArch arch : archs)
+                add(arch, curve, options);
+        }
+    }
+
+    /**
+     * The evaluation of one design point: identical to calling
+     * evaluate() inline, however many workers computed it.
+     */
+    EvalResult
+    eval(MicroArch arch, CurveId curve, const EvalOptions &options = {})
+    {
+        if (!warmed_)
+            warm();
+        auto it = results_.find(evalPointKey(arch, curve, options));
+        if (it != results_.end())
+            return it->second;
+        return evaluate(arch, curve, options);
+    }
+
+    bool serial() const { return config_.serial; }
+
+  private:
+    /** Fans every registered point out over the pool (once). */
+    void
+    warm()
+    {
+        warmed_ = true;
+        if (config_.serial)
+            return; // eval() falls back to inline evaluation
+        SweepRunner runner(config_);
+        std::vector<Result<EvalResult>> results = runner.run(points_);
+        for (size_t i = 0; i < points_.size(); ++i) {
+            if (!results[i].ok())
+                continue; // surface the error on the inline path
+            const SweepPoint &p = points_[i];
+            results_.emplace(evalPointKey(p.arch, p.curve, p.options),
+                             results[i].value());
+        }
+    }
+
+    SweepConfig config_;
+    bool warmed_ = false;
+    std::vector<SweepPoint> points_;
+    std::map<std::string, EvalResult> results_;
+};
 
 /** Adds a component-breakdown row (the Fig 7.2/7.9-style stacks). */
 inline std::vector<std::string>

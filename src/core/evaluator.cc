@@ -10,6 +10,7 @@
 #include <mutex>
 #include <tuple>
 
+#include "core/eval_cache.hh"
 #include "workload/fetch_trace.hh"
 #include "workload/op_trace.hh"
 
@@ -19,7 +20,7 @@ namespace ulecc
 bool
 archSupportsCurve(MicroArch arch, CurveId curve)
 {
-    bool binary = standardCurve(curve).isBinary();
+    bool binary = curveIdIsBinary(curve);
     if (arch == MicroArch::Monte)
         return !binary;
     if (arch == MicroArch::Billie)
@@ -135,10 +136,10 @@ composeOperation(const KernelModel &model, const OpCounts &counts,
     return ev;
 }
 
-} // namespace
-
+/** The cold path: composes one design point from scratch. */
 EvalResult
-evaluate(MicroArch arch, CurveId curve, const EvalOptions &options)
+evaluateUncached(MicroArch arch, CurveId curve,
+                 const EvalOptions &options)
 {
     KernelModel model(arch, curve, options.kernel);
     const EcdsaTrace &trace = ecdsaTrace(curve);
@@ -157,6 +158,24 @@ evaluate(MicroArch arch, CurveId curve, const EvalOptions &options)
     combined += result.verify.events;
     result.avgPowerMw = power.averagePowerMw(combined);
     result.staticPowerMw = power.staticPowerMw(combined);
+    return result;
+}
+
+} // namespace
+
+EvalResult
+evaluate(MicroArch arch, CurveId curve, const EvalOptions &options)
+{
+    EvalCache &cache = EvalCache::instance();
+    if (!cache.enabled())
+        return evaluateUncached(arch, curve, options);
+    // Pure function of the key, so memoization is observationally
+    // invisible (the round-trip is exact -- see eval_cache.hh).
+    std::string key = evalPointKey(arch, curve, options);
+    if (std::optional<EvalResult> hit = cache.lookup(key))
+        return *hit;
+    EvalResult result = evaluateUncached(arch, curve, options);
+    cache.store(key, result);
     return result;
 }
 

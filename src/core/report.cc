@@ -217,6 +217,15 @@ BenchJournal::recordComparison(const VsPaper &v)
 }
 
 void
+BenchJournal::recordSimSpeed(double wallSeconds, double mips)
+{
+    if (!open_)
+        return;
+    record_["sim_wall_seconds"] = wallSeconds;
+    record_["sim_mips"] = mips;
+}
+
+void
 BenchJournal::note(const std::string &text)
 {
     if (!open_)

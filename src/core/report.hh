@@ -105,6 +105,10 @@ class BenchJournal
     /** Captures one ours-vs-paper comparison. */
     void recordComparison(const VsPaper &v);
 
+    /** Captures simulator throughput (bench_simspeed): wall-clock
+     * seconds spent simulating and retired-instruction MIPS. */
+    void recordSimSpeed(double wallSeconds, double mips);
+
     /** Captures a free-form note line. */
     void note(const std::string &text);
 

@@ -638,4 +638,19 @@ curveIdBits(CurveId id)
     return 0;
 }
 
+bool
+curveIdIsBinary(CurveId id)
+{
+    switch (id) {
+      case CurveId::B163:
+      case CurveId::B233:
+      case CurveId::B283:
+      case CurveId::B409:
+      case CurveId::B571:
+        return true;
+      default:
+        return false;
+    }
+}
+
 } // namespace ulecc

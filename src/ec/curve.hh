@@ -242,6 +242,13 @@ std::string curveIdName(CurveId id);
 /** Key size in bits for a curve id (192.. / 163..). */
 int curveIdBits(CurveId id);
 
+/**
+ * True for the GF(2^m) curve ids.  Unlike standardCurve(id).isBinary()
+ * this never builds the curve, so capability checks on paths that may
+ * not evaluate anything (cached sweeps) stay free.
+ */
+bool curveIdIsBinary(CurveId id);
+
 } // namespace ulecc
 
 #endif // ULECC_EC_CURVE_HH

@@ -10,9 +10,13 @@ namespace ulecc
 
 namespace
 {
-OpObserver *g_observer = nullptr;
-OpDomain g_domain = OpDomain::CurveField;
-SpanSink *g_span_sink = nullptr;
+// Thread-local so concurrent evaluations (the parallel design-space
+// sweep in src/par/) each observe only their own field operations.
+// The RAII scopes in op_observer.hh install and restore per thread;
+// cross-thread installation was never part of the contract.
+thread_local OpObserver *g_observer = nullptr;
+thread_local OpDomain g_domain = OpDomain::CurveField;
+thread_local SpanSink *g_span_sink = nullptr;
 } // namespace
 
 void

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Sweep runner implementation.
+ */
+
+#include "par/sweep.hh"
+
+#include "par/thread_pool.hh"
+
+namespace ulecc
+{
+
+SweepRunner::SweepRunner(const SweepConfig &config)
+    : jobs_(config.serial ? 1
+                          : config.jobs ? config.jobs
+                                        : ThreadPool::defaultThreads())
+{
+}
+
+std::vector<Result<EvalResult>>
+SweepRunner::run(const std::vector<SweepPoint> &points) const
+{
+    std::vector<Result<EvalResult>> results;
+    results.reserve(points.size());
+
+    if (jobs_ <= 1 || points.size() <= 1) {
+        for (const SweepPoint &p : points)
+            results.push_back(
+                evaluateChecked(p.arch, p.curve, p.options));
+        return results;
+    }
+
+    // Pre-size, then let each task write its own slot: submission
+    // order is the result order by construction, with no
+    // reassembly pass and no shared mutable state between tasks.
+    for (size_t i = 0; i < points.size(); ++i)
+        results.push_back(Error{Errc::Internal, "sweep: not run"});
+
+    ThreadPool pool(jobs_);
+    for (size_t i = 0; i < points.size(); ++i) {
+        pool.submit([&results, &points, i] {
+            const SweepPoint &p = points[i];
+            // evaluateChecked never throws; ThreadPool tasks must not.
+            results[i] = evaluateChecked(p.arch, p.curve, p.options);
+        });
+    }
+    pool.wait();
+    return results;
+}
+
+} // namespace ulecc

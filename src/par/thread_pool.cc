@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Thread pool implementation.
+ */
+
+#include "par/thread_pool.hh"
+
+#include <cstdlib>
+
+namespace ulecc
+{
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("ULECC_JOBS")) {
+        long n = std::strtol(env, nullptr, 10);
+        if (n >= 1)
+            return static_cast<unsigned>(n);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx_);
+    drained_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx_);
+            wake_.wait(lock,
+                       [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to run
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mtx_);
+            if (--inFlight_ == 0)
+                drained_.notify_all();
+        }
+    }
+}
+
+} // namespace ulecc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A small fixed-size thread pool.
+ *
+ * Deliberately work-stealing-free: the sweep workloads this serves
+ * are a few dozen coarse, independent, CPU-bound tasks (whole design-
+ * point evaluations, tens of milliseconds each), so a single locked
+ * deque is contention-free in practice and keeps the scheduling
+ * deterministic enough to reason about.  Sized explicitly, via
+ * $ULECC_JOBS, or from the host's hardware concurrency.
+ */
+
+#ifndef ULECC_PAR_THREAD_POOL_HH
+#define ULECC_PAR_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ulecc
+{
+
+/** Fixed pool of worker threads draining one FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Starts @p threads workers (0 = defaultThreads()).  A pool of
+     * one still runs tasks on its worker, preserving the submit/wait
+     * contract; callers that want true inline execution should simply
+     * not use a pool.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains the queue, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Pool width the environment asks for: $ULECC_JOBS when set (>= 1
+     * enforced), otherwise the hardware concurrency (>= 1).
+     */
+    static unsigned defaultThreads();
+
+    /** Enqueues one task.  Tasks must not throw; wrap fallible work
+     * in a Result-shaped closure (SweepRunner does exactly this). */
+    void submit(std::function<void()> task);
+
+    /** Blocks until every submitted task has finished running. */
+    void wait();
+
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mtx_;
+    std::condition_variable wake_;   ///< workers: queue non-empty/stop
+    std::condition_variable drained_; ///< waiters: all tasks finished
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    size_t inFlight_ = 0; ///< queued + currently executing
+    bool stop_ = false;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_PAR_THREAD_POOL_HH

@@ -76,6 +76,15 @@ Pete::Pete(const Program &program, const PeteConfig &config)
     : config_(config)
 {
     mem_.loadRom(program.words);
+    if (config_.predecode) {
+        // The text image is immutable from here on, so every static
+        // instruction is decoded exactly once instead of once per
+        // retirement (the dominant per-step cost for the asm-kernel
+        // anchoring runs).
+        predecoded_.reserve(program.words.size());
+        for (uint32_t word : program.words)
+            predecoded_.push_back(decode(word));
+    }
     if (config_.icacheEnabled) {
         icache_ = std::make_unique<ICache>(config_.icache);
         icache_->invalidateAll();
@@ -149,6 +158,32 @@ Pete::doBranch(bool taken, int32_t disp)
     // the MIPS branch-delay-slot contract.
 }
 
+Error
+Pete::budgetError() const
+{
+    return Error{Errc::SimTimeout,
+                 "Pete: cycle budget ("
+                 + std::to_string(config_.maxCycles)
+                 + ") exhausted at pc=" + std::to_string(pc_)};
+}
+
+const DecodedInst &
+Pete::decoded(uint32_t pc, uint32_t word)
+{
+    // An attached hook may rewrite any architectural state between
+    // steps -- including program text through mem().corrupt32 -- so
+    // with one installed always decode the word actually fetched.
+    // The raw-word comparison makes direct (hook-less) text
+    // corruption safe as well.
+    if (!hook_) {
+        uint32_t idx = pc / 4;
+        if (idx < predecoded_.size() && predecoded_[idx].raw == word)
+            return predecoded_[idx];
+    }
+    scratchInst_ = decode(word);
+    return scratchInst_;
+}
+
 bool
 Pete::step()
 {
@@ -156,15 +191,16 @@ Pete::step()
         return false;
     if (hook_)
         hook_->onStep(*this);
-    if (stats_.cycles >= config_.maxCycles) {
-        throw UleccError(Errc::SimTimeout,
-                         "Pete: cycle budget ("
-                         + std::to_string(config_.maxCycles)
-                         + ") exhausted at pc=" + std::to_string(pc_));
-    }
+    if (budgetExhausted())
+        throw UleccError(budgetError());
+    return stepUnchecked();
+}
 
+bool
+Pete::stepUnchecked()
+{
     uint32_t word = fetch(pc_);
-    DecodedInst inst = decode(word);
+    const DecodedInst &inst = decoded(pc_, word);
     if (inst.op == Op::Invalid) {
         throw UleccError(Errc::IllegalInstruction,
                          "Pete: illegal instruction at pc="
@@ -202,19 +238,48 @@ Pete::step()
     return !halted_;
 }
 
+namespace
+{
+
+/**
+ * How many fast-path steps run between cycle-budget checks.  Every
+ * step retires at least one cycle, so exhaustion is detected within
+ * one interval of the exact step; the budget is a runaway guard
+ * (default 500M cycles), not a precision timer, and the only
+ * observable difference is how far past the limit a diverging program
+ * coasts before Errc::SimTimeout surfaces.
+ */
+constexpr int kBudgetCheckInterval = 256;
+
+} // namespace
+
 Result<uint64_t>
 Pete::runChecked()
 {
     try {
-        while (!halted_) {
-            if (stats_.cycles >= config_.maxCycles) {
-                return Error{Errc::SimTimeout,
-                             "Pete: cycle budget ("
-                             + std::to_string(config_.maxCycles)
-                             + ") exhausted at pc="
-                             + std::to_string(pc_)};
+        if (hook_) {
+            // Observation/injection present: keep the exact per-step
+            // hook and budget semantics (the hook may stall the clock
+            // straight past the budget, which must surface before the
+            // next instruction executes).
+            while (!halted_) {
+                if (budgetExhausted())
+                    return budgetError();
+                step();
             }
-            step();
+        } else {
+            // Hook-free fast path: the hook dispatch and the budget
+            // check are hoisted out of the per-step loop.  Cycle
+            // *accounting* is exact either way; only the budget poll
+            // is batched.
+            while (!halted_) {
+                if (budgetExhausted())
+                    return budgetError();
+                for (int i = 0; i < kBudgetCheckInterval; ++i) {
+                    if (!stepUnchecked())
+                        break;
+                }
+            }
         }
     } catch (const UleccError &e) {
         return e.error();

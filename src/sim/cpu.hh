@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "asmkit/assembler.hh"
 #include "base/error.hh"
@@ -78,6 +79,16 @@ struct PeteConfig
     uint32_t addauLatency = 2; ///< ADDAU through the four-port adder
     uint32_t divLatency = 34;  ///< binary restoring divider
     uint64_t maxCycles = 500'000'000;
+    /**
+     * Decode each static instruction once at load time instead of
+     * once per retirement.  Program text is immutable after
+     * loadProgram, so this is purely an execution-speed optimisation;
+     * PeteStats and architectural state are bit-identical either way
+     * (tests/test_cpu.cpp pins this down).  Fault-injection backdoors
+     * that rewrite ROM words are still honoured: the cached entry is
+     * validated against the fetched word and re-decoded on mismatch.
+     */
+    bool predecode = true;
 };
 
 /**
@@ -203,6 +214,28 @@ class Pete
 
   private:
     uint32_t fetch(uint32_t addr);
+
+    /**
+     * Decoded form of the fetched @p word at @p pc.  Served from the
+     * predecoded i-text when it is enabled, the pc lies inside the
+     * loaded program, and the cached raw word still matches (it can
+     * differ after a mem().corrupt32 strike on program text); decoded
+     * on the spot otherwise.
+     */
+    const DecodedInst &decoded(uint32_t pc, uint32_t word);
+
+    /** True once the cycle budget is spent (checked before a step). */
+    bool budgetExhausted() const
+    {
+        return stats_.cycles >= config_.maxCycles;
+    }
+
+    /** The one place the (costly) timeout message is built. */
+    Error budgetError() const;
+
+    /** step() minus the hook dispatch and cycle-budget check. */
+    bool stepUnchecked();
+
     void waitMultUnit();
     void execute(const DecodedInst &inst);
     bool predictTaken(uint32_t pc);
@@ -211,6 +244,8 @@ class Pete
 
     PeteConfig config_;
     MemorySystem mem_;
+    std::vector<DecodedInst> predecoded_; ///< one entry per text word
+    DecodedInst scratchInst_; ///< slow-path decode target
     std::unique_ptr<ICache> icache_;
     Cop2 *cop2_ = nullptr;
     StepHook *hook_ = nullptr;

@@ -404,3 +404,191 @@ TEST(Pete, Cop2WithoutCoprocessorThrows)
     Pete cpu(assemble("cop2sync\nbreak\n"));
     EXPECT_THROW(cpu.run(), std::runtime_error);
 }
+
+namespace
+{
+
+/** Full-width PeteStats comparison (every counter, not just cycles). */
+void
+expectStatsEqual(const PeteStats &a, const PeteStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.loadUseStalls, b.loadUseStalls);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.jumpStalls, b.jumpStalls);
+    EXPECT_EQ(a.multBusyStalls, b.multBusyStalls);
+    EXPECT_EQ(a.icacheStalls, b.icacheStalls);
+    EXPECT_EQ(a.cop2Stalls, b.cop2Stalls);
+    EXPECT_EQ(a.externalStalls, b.externalStalls);
+    EXPECT_EQ(a.multIssues, b.multIssues);
+    EXPECT_EQ(a.divIssues, b.divIssues);
+}
+
+const char *kPredecodeWorkload = R"(
+        addiu $t0, $zero, 40
+        addiu $t1, $zero, 0
+        addiu $t2, $zero, 3
+    loop:
+        mult  $t2, $t2
+        mflo  $t3
+        addu  $t1, $t1, $t3
+        lui   $t4, 0x1000
+        sw    $t1, 0($t4)
+        lw    $t5, 0($t4)
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        jal   leaf
+        nop
+        break
+    leaf:
+        jr    $ra
+        addiu $t6, $t6, 1
+)";
+
+} // namespace
+
+TEST(Predecode, StatsBitIdenticalOnLoopProgram)
+{
+    PeteConfig on, off;
+    on.predecode = true;
+    off.predecode = false;
+    Pete fast = runProgram(kPredecodeWorkload, on);
+    Pete slow = runProgram(kPredecodeWorkload, off);
+    expectStatsEqual(fast.stats(), slow.stats());
+    for (int r = 0; r < 32; ++r)
+        EXPECT_EQ(fast.reg(r), slow.reg(r)) << "reg " << r;
+    EXPECT_EQ(fast.hi(), slow.hi());
+    EXPECT_EQ(fast.lo(), slow.lo());
+}
+
+TEST(Predecode, StatsBitIdenticalWithIcache)
+{
+    PeteConfig on, off;
+    on.icacheEnabled = off.icacheEnabled = true;
+    on.icache.sizeBytes = off.icache.sizeBytes = 1024;
+    on.predecode = true;
+    off.predecode = false;
+    Pete fast = runProgram(kPredecodeWorkload, on);
+    Pete slow = runProgram(kPredecodeWorkload, off);
+    expectStatsEqual(fast.stats(), slow.stats());
+}
+
+TEST(Predecode, CorruptedTextIsRevalidated)
+{
+    // A particle strike on program text (no hook attached!) must not be
+    // served a stale predecoded entry: the cached raw word mismatches
+    // and the fetched word decodes on the spot.
+    const char *src = R"(
+        addiu $t0, $zero, 5
+        addiu $t1, $zero, 0
+        break
+    )";
+    auto run = [&](bool predecode) {
+        PeteConfig cfg;
+        cfg.predecode = predecode;
+        Pete cpu(assemble(src), cfg);
+        // Flip one immediate bit of the second instruction (pc = 4):
+        // addiu $t1, $zero, 0 becomes addiu $t1, $zero, 8.
+        cpu.mem().corrupt32(4, 0x8);
+        EXPECT_TRUE(cpu.run());
+        return cpu;
+    };
+    Pete fast = run(true);
+    Pete slow = run(false);
+    EXPECT_EQ(fast.reg(9), 8u); // the corrupted immediate took effect
+    EXPECT_EQ(slow.reg(9), 8u);
+    expectStatsEqual(fast.stats(), slow.stats());
+}
+
+namespace
+{
+
+/** Hook that counts steps and strikes text once at a given step. */
+class CorruptingHook : public StepHook
+{
+  public:
+    CorruptingHook(uint64_t strikeStep, uint32_t addr, uint32_t mask)
+        : strikeStep_(strikeStep), addr_(addr), mask_(mask)
+    {}
+
+    void
+    onStep(Pete &cpu) override
+    {
+        if (steps_++ == strikeStep_)
+            cpu.mem().corrupt32(addr_, mask_);
+    }
+
+    uint64_t steps() const { return steps_; }
+
+  private:
+    uint64_t steps_ = 0;
+    uint64_t strikeStep_;
+    uint32_t addr_;
+    uint32_t mask_;
+};
+
+} // namespace
+
+TEST(Predecode, HookTakesSlowPathTransparently)
+{
+    // With a hook attached the predecoded i-text is bypassed entirely,
+    // so a mid-run strike on an already-executed instruction changes
+    // later iterations of the loop identically in both configurations.
+    const char *src = R"(
+        addiu $t0, $zero, 10
+        addiu $t1, $zero, 0
+    loop:
+        addiu $t1, $t1, 1
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )";
+    auto run = [&](bool predecode) {
+        PeteConfig cfg;
+        cfg.predecode = predecode;
+        Pete cpu(assemble(src), cfg);
+        // After ~3 loop iterations turn `addiu $t1, $t1, 1` (pc = 8)
+        // into `addiu $t1, $t1, 3`.
+        CorruptingHook hook(14, 8, 0x2);
+        cpu.attachStepHook(&hook);
+        EXPECT_TRUE(cpu.run());
+        EXPECT_GT(hook.steps(), 14u);
+        return cpu;
+    };
+    Pete fast = run(true);
+    Pete slow = run(false);
+    EXPECT_GT(fast.reg(9), 10u); // the strike inflated the counter
+    EXPECT_EQ(fast.reg(9), slow.reg(9));
+    expectStatsEqual(fast.stats(), slow.stats());
+}
+
+TEST(Predecode, TimeoutEquivalentOnFastAndSlowPaths)
+{
+    const char *src = R"(
+    spin:
+        beq $zero, $zero, spin
+        nop
+    )";
+    for (bool predecode : {true, false}) {
+        for (bool with_hook : {false, true}) {
+            PeteConfig cfg;
+            cfg.predecode = predecode;
+            cfg.maxCycles = 10'000;
+            Pete cpu(assemble(src), cfg);
+            CorruptingHook hook(1ull << 60, 0, 0); // never strikes
+            if (with_hook)
+                cpu.attachStepHook(&hook);
+            Result<uint64_t> r = cpu.runChecked();
+            ASSERT_FALSE(r.ok());
+            EXPECT_EQ(r.code(), Errc::SimTimeout);
+            // The batched fast-path check may overshoot by at most one
+            // check interval of single-cycle instructions.
+            EXPECT_GE(cpu.stats().cycles, cfg.maxCycles);
+            EXPECT_LT(cpu.stats().cycles, cfg.maxCycles + 512);
+        }
+    }
+}

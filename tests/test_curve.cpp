@@ -75,6 +75,20 @@ TEST(CurveRegistry, NamesAndBits)
     EXPECT_EQ(binaryCurveIds().size(), 5u);
 }
 
+TEST(CurveRegistry, BinaryPredicateMatchesConstructedCurve)
+{
+    // curveIdIsBinary exists so capability checks can skip curve
+    // construction; it must never drift from the real field type.
+    for (CurveId id : primeCurveIds()) {
+        EXPECT_FALSE(curveIdIsBinary(id)) << curveIdName(id);
+        EXPECT_FALSE(standardCurve(id).isBinary()) << curveIdName(id);
+    }
+    for (CurveId id : binaryCurveIds()) {
+        EXPECT_TRUE(curveIdIsBinary(id)) << curveIdName(id);
+        EXPECT_TRUE(standardCurve(id).isBinary()) << curveIdName(id);
+    }
+}
+
 TEST_P(StandardCurves, GroupLawsAffine)
 {
     const Curve &c = curve();

@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Parallel sweep engine tests: ThreadPool contract, SweepRunner
+ * serial/parallel bit-equality and ordering, the evaluation memo
+ * (in-process and file-persisted), and a subprocess byte-compare of a
+ * representative bench harness against its own --serial run.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/eval_cache.hh"
+#include "core/evaluator.hh"
+#include "par/sweep.hh"
+#include "par/thread_pool.hh"
+
+using namespace ulecc;
+
+namespace
+{
+
+/** Scoped setenv/unsetenv that restores the previous value. */
+class EnvVar
+{
+  public:
+    EnvVar(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name)) {
+            hadOld_ = true;
+            old_ = old;
+        }
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+
+    ~EnvVar()
+    {
+        if (hadOld_)
+            setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string old_;
+    bool hadOld_ = false;
+};
+
+const MicroArch kAllArchs[] = {MicroArch::Baseline, MicroArch::IsaExt,
+                               MicroArch::IsaExtIcache, MicroArch::Monte,
+                               MicroArch::Billie};
+
+std::vector<SweepPoint>
+fullDesignSpace()
+{
+    std::vector<SweepPoint> points;
+    for (CurveId id : primeCurveIds())
+        for (MicroArch arch : kAllArchs)
+            points.push_back(SweepPoint{arch, id, {}});
+    for (CurveId id : binaryCurveIds())
+        for (MicroArch arch : kAllArchs)
+            points.push_back(SweepPoint{arch, id, {}});
+    return points;
+}
+
+/** Bit-exact equality of two evaluation results. */
+void
+expectResultsIdentical(const EvalResult &a, const EvalResult &b)
+{
+    EXPECT_EQ(a.arch, b.arch);
+    EXPECT_EQ(a.curve, b.curve);
+    EXPECT_EQ(a.sign.cycles, b.sign.cycles);
+    EXPECT_EQ(a.verify.cycles, b.verify.cycles);
+    EXPECT_EQ(a.sign.events.instructions, b.sign.events.instructions);
+    EXPECT_EQ(a.sign.events.ramReads, b.sign.events.ramReads);
+    EXPECT_EQ(a.sign.events.ramWrites, b.sign.events.ramWrites);
+    EXPECT_EQ(a.sign.energy.totalUj(), b.sign.energy.totalUj());
+    EXPECT_EQ(a.verify.energy.totalUj(), b.verify.energy.totalUj());
+    EXPECT_EQ(a.avgPowerMw, b.avgPowerMw);
+    EXPECT_EQ(a.staticPowerMw, b.staticPowerMw);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, WaitBlocksUntilDrained)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            done.fetch_add(1);
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(done.load(), 8);
+    pool.wait(); // idempotent on an empty pool
+    EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&] { done.fetch_add(1); });
+    }
+    EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, DefaultThreadsHonoursUleccJobs)
+{
+    {
+        EnvVar jobs("ULECC_JOBS", "3");
+        EXPECT_EQ(ThreadPool::defaultThreads(), 3u);
+    }
+    {
+        EnvVar jobs("ULECC_JOBS", "0"); // invalid: fall back to host
+        EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+    }
+    {
+        EnvVar jobs("ULECC_JOBS", nullptr);
+        EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+    }
+}
+
+TEST(Sweep, ParallelMatchesSerialBitExact)
+{
+    // Disable the evaluation memo so the two sweeps genuinely compute
+    // everything twice -- a shared memo would make this test vacuous.
+    EnvVar cache("ULECC_EVAL_CACHE", "0");
+    std::vector<SweepPoint> points = fullDesignSpace();
+
+    SweepConfig serial_cfg;
+    serial_cfg.serial = true;
+    SweepRunner serial(serial_cfg);
+    EXPECT_EQ(serial.jobs(), 1u);
+    std::vector<Result<EvalResult>> golden = serial.run(points);
+
+    SweepConfig par_cfg;
+    par_cfg.jobs = 4;
+    SweepRunner parallel(par_cfg);
+    EXPECT_EQ(parallel.jobs(), 4u);
+    std::vector<Result<EvalResult>> ours = parallel.run(points);
+
+    ASSERT_EQ(golden.size(), points.size());
+    ASSERT_EQ(ours.size(), points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+        ASSERT_EQ(golden[i].ok(), ours[i].ok()) << "point " << i;
+        if (!golden[i].ok()) {
+            EXPECT_EQ(golden[i].code(), ours[i].code());
+            continue;
+        }
+        expectResultsIdentical(golden[i].value(), ours[i].value());
+    }
+}
+
+TEST(Sweep, ResultsComeBackInSubmissionOrder)
+{
+    std::vector<SweepPoint> points;
+    points.push_back({MicroArch::IsaExt, CurveId::P256, {}});
+    points.push_back({MicroArch::Baseline, CurveId::P192, {}});
+    points.push_back({MicroArch::Billie, CurveId::B163, {}});
+    SweepConfig cfg;
+    cfg.jobs = 3;
+    std::vector<Result<EvalResult>> results =
+        SweepRunner(cfg).run(points);
+    ASSERT_EQ(results.size(), points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+        ASSERT_TRUE(results[i].ok());
+        EXPECT_EQ(results[i].value().arch, points[i].arch);
+        EXPECT_EQ(results[i].value().curve, points[i].curve);
+    }
+}
+
+TEST(Sweep, UnsupportedCellsAreStructuredErrors)
+{
+    std::vector<SweepPoint> points;
+    points.push_back({MicroArch::Monte, CurveId::B163, {}});  // no
+    points.push_back({MicroArch::Baseline, CurveId::P192, {}}); // yes
+    points.push_back({MicroArch::Billie, CurveId::P192, {}}); // no
+    SweepConfig cfg;
+    cfg.jobs = 2;
+    std::vector<Result<EvalResult>> results =
+        SweepRunner(cfg).run(points);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_FALSE(results[0].ok());
+    EXPECT_EQ(results[0].code(), Errc::Unsupported);
+    EXPECT_TRUE(results[1].ok());
+    EXPECT_FALSE(results[2].ok());
+    EXPECT_EQ(results[2].code(), Errc::Unsupported);
+}
+
+TEST(EvalCache, KeyCoversEveryOption)
+{
+    EvalOptions base;
+    std::string k0 = evalPointKey(MicroArch::Baseline, CurveId::P192,
+                                  base);
+    EXPECT_EQ(k0, evalPointKey(MicroArch::Baseline, CurveId::P192,
+                               base));
+    EXPECT_NE(k0, evalPointKey(MicroArch::IsaExt, CurveId::P192, base));
+    EXPECT_NE(k0, evalPointKey(MicroArch::Baseline, CurveId::P256,
+                               base));
+    EvalOptions ideal = base;
+    ideal.idealIcache = true;
+    EXPECT_NE(k0, evalPointKey(MicroArch::Baseline, CurveId::P192,
+                               ideal));
+    EvalOptions cachecfg = base;
+    cachecfg.kernel.icacheBytes = 8192;
+    EXPECT_NE(k0, evalPointKey(MicroArch::Baseline, CurveId::P192,
+                               cachecfg));
+    EvalOptions power = base;
+    power.power.romReadScale *= 1.5;
+    EXPECT_NE(k0, evalPointKey(MicroArch::Baseline, CurveId::P192,
+                               power));
+}
+
+TEST(EvalCache, MemoHitIsBitIdentical)
+{
+    EnvVar cache("ULECC_EVAL_CACHE", "1");
+    EvalCache::instance().clear();
+    EvalResult first = evaluate(MicroArch::Baseline, CurveId::P192, {});
+    uint64_t misses = EvalCache::instance().stats().misses;
+    EvalResult second = evaluate(MicroArch::Baseline, CurveId::P192, {});
+    EXPECT_GE(EvalCache::instance().stats().hits, 1u);
+    EXPECT_EQ(EvalCache::instance().stats().misses, misses);
+    expectResultsIdentical(first, second);
+    EvalCache::instance().clear();
+}
+
+TEST(EvalCache, FilePersistsBitIdenticalAcrossClear)
+{
+    std::string path = testing::TempDir() + "ulecc_evalcache_test.txt";
+    std::remove(path.c_str());
+
+    EvalResult uncached;
+    {
+        EnvVar cache("ULECC_EVAL_CACHE", "0");
+        uncached = evaluate(MicroArch::IsaExt, CurveId::P224, {});
+    }
+    {
+        EnvVar cache("ULECC_EVAL_CACHE", path.c_str());
+        EvalCache::instance().clear();
+        EvalResult computed =
+            evaluate(MicroArch::IsaExt, CurveId::P224, {});
+        expectResultsIdentical(uncached, computed);
+
+        // Drop the in-memory memo; the file must re-warm it with the
+        // exact same bits.
+        EvalCache::instance().clear();
+        EvalResult persisted =
+            evaluate(MicroArch::IsaExt, CurveId::P224, {});
+        EXPECT_GE(EvalCache::instance().stats().persistedLoads, 1u);
+        expectResultsIdentical(uncached, persisted);
+    }
+    EXPECT_FALSE(readFile(path).empty());
+    std::remove(path.c_str());
+    EvalCache::instance().clear();
+}
+
+TEST(EvalCache, CorruptPersistenceLinesDegradeToMisses)
+{
+    std::string path = testing::TempDir() + "ulecc_evalcache_bad.txt";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "not a cache line at all\n";
+        out << "ulecc.evalcache.v1|truncated\n";
+        out << "ulecc.evalcache.v9|future|format\n";
+    }
+    EnvVar cache("ULECC_EVAL_CACHE", path.c_str());
+    EvalCache::instance().clear();
+    EvalResult r = evaluate(MicroArch::Baseline, CurveId::P192, {});
+    EXPECT_GT(r.totalCycles(), 0u);
+    EXPECT_GE(EvalCache::instance().stats().misses, 1u);
+    std::remove(path.c_str());
+    EvalCache::instance().clear();
+}
+
+#ifdef ULECC_BENCH_FIG7_BIN
+TEST(BenchSweep, Fig7OutputByteIdenticalToSerial)
+{
+    std::string dir = testing::TempDir();
+    std::string serial_out = dir + "fig7_serial.txt";
+    std::string par_out = dir + "fig7_par.txt";
+    std::string serial_journal = dir + "fig7_serial.jsonl";
+    std::string par_journal = dir + "fig7_par.jsonl";
+    std::string cache_file = dir + "fig7_cache.txt";
+    std::string cached_out = dir + "fig7_cached.txt";
+    std::remove(serial_journal.c_str());
+    std::remove(par_journal.c_str());
+    std::remove(cache_file.c_str());
+
+    std::string bin = ULECC_BENCH_FIG7_BIN;
+    auto sh = [](const std::string &cmd) {
+        int rc = std::system(cmd.c_str());
+        EXPECT_EQ(rc, 0) << cmd;
+    };
+    sh("ULECC_BENCH_METRICS=" + serial_journal + " " + bin
+       + " --serial > " + serial_out);
+    sh("ULECC_BENCH_METRICS=" + par_journal + " " + bin + " > "
+       + par_out);
+
+    std::string golden = readFile(serial_out);
+    ASSERT_FALSE(golden.empty());
+    EXPECT_EQ(golden, readFile(par_out));
+    EXPECT_EQ(readFile(serial_journal), readFile(par_journal));
+
+    // A cold file-cache write pass and a warm read pass must both
+    // print the identical bytes again.
+    sh("ULECC_EVAL_CACHE=" + cache_file + " " + bin + " > "
+       + cached_out);
+    EXPECT_EQ(golden, readFile(cached_out));
+    EXPECT_FALSE(readFile(cache_file).empty());
+    sh("ULECC_EVAL_CACHE=" + cache_file + " " + bin + " > "
+       + cached_out);
+    EXPECT_EQ(golden, readFile(cached_out));
+
+    std::remove(serial_out.c_str());
+    std::remove(par_out.c_str());
+    std::remove(serial_journal.c_str());
+    std::remove(par_journal.c_str());
+    std::remove(cache_file.c_str());
+    std::remove(cached_out.c_str());
+}
+#endif
+
+#include "fault/fault_injector.hh"
+#include "workload/asm_kernels.hh"
+
+namespace
+{
+
+/** Runs @p kernel on Pete directly so predecode can be toggled. */
+PeteStats
+runKernelWithConfig(AsmKernel kernel, int k, bool predecode)
+{
+    PeteConfig cfg;
+    cfg.predecode = predecode;
+    Pete cpu(assemble(kernelSource(kernel, k)), cfg);
+    MpUint a = MpUint::powerOfTwo(32 * k - 1).sub(MpUint(12345));
+    MpUint b = MpUint::powerOfTwo(32 * k - 2).add(MpUint(99));
+    for (int i = 0; i < 2 * k; ++i)
+        cpu.mem().poke32(0x10000400 + 4 * i, a.limb(i));
+    for (int i = 0; i < k; ++i)
+        cpu.mem().poke32(0x10000500 + 4 * i, b.limb(i));
+    EXPECT_TRUE(cpu.run());
+    return cpu.stats();
+}
+
+void
+expectStatsIdentical(const PeteStats &a, const PeteStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.loadUseStalls, b.loadUseStalls);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.jumpStalls, b.jumpStalls);
+    EXPECT_EQ(a.multBusyStalls, b.multBusyStalls);
+    EXPECT_EQ(a.icacheStalls, b.icacheStalls);
+    EXPECT_EQ(a.cop2Stalls, b.cop2Stalls);
+    EXPECT_EQ(a.externalStalls, b.externalStalls);
+    EXPECT_EQ(a.multIssues, b.multIssues);
+    EXPECT_EQ(a.divIssues, b.divIssues);
+}
+
+} // namespace
+
+TEST(Predecode, AllAsmKernelsBitIdentical)
+{
+    const AsmKernel kernels[] = {AsmKernel::MpAdd, AsmKernel::MulOs,
+                                 AsmKernel::MulPsMaddu,
+                                 AsmKernel::MulGf2, AsmKernel::RedP192};
+    for (AsmKernel kernel : kernels) {
+        PeteStats fast = runKernelWithConfig(kernel, 6, true);
+        PeteStats slow = runKernelWithConfig(kernel, 6, false);
+        expectStatsIdentical(fast, slow);
+    }
+}
+
+TEST(Predecode, FaultInjectorPathBitIdentical)
+{
+    // The injector is a StepHook, so every armed run takes the decode
+    // slow path; the predecode flag must be invisible to it even for
+    // IcacheLineCorrupt faults that rewrite program text.
+    const char *victim = R"(
+        addiu $t0, $zero, 200
+        addiu $t1, $zero, 0
+    loop:
+        addiu $t1, $t1, 7
+        sw    $t1, 0x400($at)
+        lw    $t2, 0x400($at)
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )";
+    // $at holds 0 at reset; use an absolute RAM address instead.
+    std::string src = std::string("        lui   $at, 0x1000\n")
+        + victim;
+    Program prog = assemble(src);
+    FaultTargetSpace space;
+    space.cycleHorizon = 1500;
+    space.romWords = static_cast<uint32_t>(prog.words.size());
+    space.ramWords = 512;
+    for (uint64_t seed = 1; seed <= 24; ++seed) {
+        auto run = [&](bool predecode) {
+            PeteConfig cfg;
+            cfg.predecode = predecode;
+            cfg.maxCycles = 100'000;
+            Pete cpu(prog, cfg);
+            FaultInjector inj(seed);
+            inj.arm(inj.plan(space));
+            cpu.attachStepHook(&inj);
+            Result<uint64_t> r = cpu.runChecked();
+            return std::make_pair(r.ok() ? Errc::Ok : r.code(),
+                                  cpu.stats());
+        };
+        auto fast = run(true);
+        auto slow = run(false);
+        EXPECT_EQ(fast.first, slow.first) << "seed " << seed;
+        expectStatsIdentical(fast.second, slow.second);
+    }
+}

@@ -3,7 +3,7 @@
 # suites, exercise the telemetry producers, and validate every emitted
 # JSON document against the checked-in schemas in tools/schemas/.
 #
-# Usage: tools/check.sh [--no-asan]
+# Usage: tools/check.sh [--no-asan] [--no-tsan]
 
 set -euo pipefail
 
@@ -11,7 +11,11 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
 run_asan=1
-[[ "${1:-}" == "--no-asan" ]] && run_asan=0
+run_tsan=1
+for arg in "$@"; do
+    [[ "$arg" == "--no-asan" ]] && run_asan=0
+    [[ "$arg" == "--no-tsan" ]] && run_tsan=0
+done
 
 step() { printf '\n== %s ==\n' "$*"; }
 
@@ -29,6 +33,20 @@ if [[ $run_asan -eq 1 ]]; then
 
     step "test (asan preset)"
     ctest --preset asan -j "$(nproc)"
+fi
+
+if [[ $run_tsan -eq 1 ]]; then
+    # ThreadSanitizer covers the concurrency layer: the thread pool,
+    # the parallel sweep runner, the evaluation memo, and the predecode
+    # fast path they all drive (test_par).  The serial suites add
+    # nothing under TSan, so only the parallel tests run here.
+    step "configure + build (tsan preset)"
+    cmake --preset tsan
+    cmake --build --preset tsan -j "$(nproc)" --target test_par
+
+    step "test (tsan preset: parallel suite)"
+    ctest --preset tsan -j "$(nproc)" \
+        -R '^(ThreadPool|Sweep|EvalCache|BenchSweep|Predecode)'
 fi
 
 json_check="$repo/build/tools/json_check"

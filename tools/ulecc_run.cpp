@@ -9,6 +9,8 @@
  *     --monte        attach the Monte coprocessor
  *     --billie       attach the Billie coprocessor (B-163, D = 3)
  *     --max-cycles N cycle budget (default 500M)
+ *     --no-predecode decode at every retirement (the pre-fast-path
+ *                    behaviour; for simulator-speed A/B runs)
  *     --dump A N     after halt, hex-dump N words from address A
  *     --energy       print the energy estimate for the run
  *     --trace FILE   write a Chrome trace-event JSON of the pipeline
@@ -19,6 +21,7 @@
  * 16 KB RAM at 0x10000000; execution ends at `break`.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,8 +51,8 @@ usage()
     std::fprintf(stderr,
                  "usage: ulecc-run [--icache KB] [--prefetch] [--monte] "
                  "[--billie]\n"
-                 "                 [--max-cycles N] [--dump ADDR WORDS] "
-                 "[--energy]\n"
+                 "                 [--max-cycles N] [--no-predecode]\n"
+                 "                 [--dump ADDR WORDS] [--energy]\n"
                  "                 [--trace FILE] [--profile] "
                  "[--metrics FILE] program.s\n");
 }
@@ -129,6 +132,8 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--max-cycles")
                    && i + 1 < argc) {
             config.maxCycles = std::strtoull(argv[++i], nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--no-predecode")) {
+            config.predecode = false;
         } else if (!std::strcmp(argv[i], "--dump") && i + 2 < argc) {
             dump_addr = std::strtoul(argv[++i], nullptr, 0);
             dump_words = std::strtoul(argv[++i], nullptr, 0);
@@ -189,7 +194,11 @@ main(int argc, char **argv)
         if (trace_path || profile)
             cpu.attachStepHook(&hooks);
 
+        auto wall0 = std::chrono::steady_clock::now();
         Result<uint64_t> outcome = cpu.runChecked();
+        double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall0)
+                            .count();
         bool halted = outcome.ok();
         if (!halted) {
             std::fprintf(stderr, "ulecc-run: [%s] %s\n",
@@ -287,6 +296,9 @@ main(int argc, char **argv)
             reg.set("ipc", s.cycles
                                ? double(s.instructions) / s.cycles
                                : 0.0);
+            reg.set("sim_wall_seconds", wall_s);
+            reg.set("sim_mips",
+                    wall_s > 0 ? s.instructions / wall_s / 1e6 : 0.0);
             reg.set("stall_cycles", stallsToJson(s));
             Json mem = Json::object();
             mem["rom_reads"] = romf.reads;
