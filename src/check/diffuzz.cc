@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Diffuzz engine: generation loop, shrinker, corpus I/O, JSON summary.
+ */
+
+#include "check/diffuzz.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/error.hh"
+
+namespace ulecc::check
+{
+
+uint64_t
+fnv1a64(std::string_view s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+MpUint
+DiffRng::mp(int bits)
+{
+    MpUint r;
+    if (bits <= 0)
+        return r;
+    for (int i = 0; i < (bits + 31) / 32; ++i)
+        r.setLimb(i, static_cast<uint32_t>(next()));
+    // Mask the top limb in place: powerOfTwo(bits) would overflow at
+    // full capacity (bits == maxLimbs * 32 is a legal width here).
+    if (int rem = bits % 32)
+        r.setLimb((bits - 1) / 32,
+                  r.limb((bits - 1) / 32) & ((1u << rem) - 1));
+    r.setBit(bits - 1);
+    return r;
+}
+
+MpUint
+DiffRng::mpBelow(const MpUint &bound)
+{
+    if (bound.isZero())
+        return MpUint();
+    int extra = bound.bitLength() + 17;
+    if (extra > MpUint::maxLimbs * 32)
+        extra = MpUint::maxLimbs * 32;
+    return mp(extra).mod(bound);
+}
+
+int
+DiffRng::edgeBits(int maxBits)
+{
+    static const int kEdges[] = {0,   1,   2,   31,  32,  33,  63,  64,
+                                 65,  127, 128, 129, 159, 163, 191, 192,
+                                 193, 224, 233, 256, 283, 320, 384, 409,
+                                 511, 512, 521, 571, 639, 640, 1024, 1140,
+                                 1248, 1279, 1280};
+    int bits;
+    if (below(2)) {
+        bits = kEdges[below(sizeof(kEdges) / sizeof(kEdges[0]))];
+    } else {
+        bits = static_cast<int>(below(static_cast<uint64_t>(maxBits) + 1));
+    }
+    return bits <= maxBits ? bits : maxBits;
+}
+
+MpUint
+DiffRng::edgeMp(int maxBits)
+{
+    int bits = edgeBits(maxBits);
+    if (bits == 0)
+        return MpUint();
+    switch (below(5)) {
+      case 0:
+        return MpUint::powerOfTwo(bits - 1);
+      case 1: {
+        // 2^bits - 1 built limb-wise (powerOfTwo(bits) would overflow
+        // when bits is the full capacity).
+        MpUint r;
+        for (int i = 0; i < (bits + 31) / 32; ++i)
+            r.setLimb(i, 0xffffffffu);
+        if (int rem = bits % 32)
+            r.setLimb((bits - 1) / 32, (1u << rem) - 1);
+        return r;
+      }
+      default:
+        return mp(bits);
+    }
+}
+
+std::string
+formatCase(const std::string &target, const CaseInput &c)
+{
+    std::string line = target + ' ' + c.op;
+    for (const std::string &a : c.args) {
+        line += ' ';
+        line += a;
+    }
+    return line;
+}
+
+bool
+parseCase(std::string_view line, std::string *target, CaseInput *c)
+{
+    std::istringstream in{std::string(line)};
+    std::string tok;
+    if (!(in >> tok) || tok[0] == '#')
+        return false;
+    *target = tok;
+    if (!(in >> c->op))
+        return false;
+    c->args.clear();
+    while (in >> tok)
+        c->args.push_back(tok);
+    return true;
+}
+
+std::optional<std::string>
+checkCaught(const Target &target, const CaseInput &c)
+{
+    try {
+        return target.check(c);
+    } catch (const UleccError &e) {
+        return std::string("unexpected UleccError: ") + e.what();
+    } catch (const std::exception &e) {
+        return std::string("unexpected exception: ") + e.what();
+    }
+}
+
+namespace
+{
+
+/** Simplification candidates for one operand string, simplest first. */
+std::vector<std::string>
+shrinkCandidates(const std::string &arg)
+{
+    std::vector<std::string> out;
+    if (arg != "0")
+        out.push_back("0");
+    if (arg != "1" && arg != "0")
+        out.push_back("1");
+    size_t n = arg.size();
+    if (n >= 2) {
+        out.push_back(arg.substr(0, n / 2));     // keep high digits
+        out.push_back(arg.substr(n - n / 2));    // keep low digits
+        out.push_back(arg.substr(1));            // drop top digit
+        out.push_back(arg.substr(0, n - 1));     // drop bottom digit
+    }
+    // Zero out the first digit that is not already 0/1 (whittles the
+    // value without changing the shape/width of the operand).
+    for (size_t i = 0; i < n; ++i) {
+        if (arg[i] != '0' && arg[i] != '1') {
+            std::string t = arg;
+            t[i] = '0';
+            out.push_back(std::move(t));
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+CaseInput
+shrinkCase(const Target &target, const CaseInput &input, uint64_t *steps)
+{
+    CaseInput best = input;
+    // The budget bounds pathological cases; typical shrinks take a
+    // handful of accepted steps.
+    for (int round = 0; round < 200; ++round) {
+        bool improved = false;
+        for (size_t i = 0; i < best.args.size() && !improved; ++i) {
+            for (const std::string &cand : shrinkCandidates(best.args[i])) {
+                CaseInput t = best;
+                t.args[i] = cand;
+                if (checkCaught(target, t)) {
+                    best = std::move(t);
+                    improved = true;
+                    if (steps)
+                        ++*steps;
+                    break;
+                }
+            }
+        }
+        if (!improved)
+            break;
+    }
+    return best;
+}
+
+RunReport
+runDiffuzz(const std::vector<std::unique_ptr<Target>> &targets,
+           const RunOptions &opts)
+{
+    RunReport report;
+    for (const auto &target : targets) {
+        TargetStats stats;
+        stats.name = target->name();
+        DiffRng rng(opts.seed ^ fnv1a64(target->name()));
+        auto t0 = std::chrono::steady_clock::now();
+        for (uint64_t i = 0; i < opts.cases; ++i) {
+            CaseInput c = target->generate(rng);
+            ++stats.cases;
+            std::optional<std::string> fail = checkCaught(*target, c);
+            if (!fail)
+                continue;
+            ++stats.failures;
+            Failure f;
+            f.target = target->name();
+            f.original = c;
+            f.shrunk = shrinkCase(*target, c, &stats.shrinkSteps);
+            f.detail = checkCaught(*target, f.shrunk)
+                           .value_or("(shrunk case no longer fails)");
+            if (!opts.corpusDir.empty()) {
+                char name[64];
+                std::snprintf(name, sizeof name, "/%s-%03llu.case",
+                              f.target.c_str(),
+                              static_cast<unsigned long long>(
+                                  stats.failures));
+                std::ofstream out(opts.corpusDir + name);
+                out << "# " << f.detail << '\n';
+                out << "# original: " << formatCase(f.target, f.original)
+                    << '\n';
+                out << formatCase(f.target, f.shrunk) << '\n';
+            }
+            report.failures.push_back(std::move(f));
+            if (stats.failures >= opts.maxFailures)
+                break;
+        }
+        stats.durationNs = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        report.stats.push_back(std::move(stats));
+    }
+    return report;
+}
+
+std::optional<std::string>
+replayLine(const std::vector<std::unique_ptr<Target>> &targets,
+           std::string_view line)
+{
+    std::string name;
+    CaseInput c;
+    if (!parseCase(line, &name, &c))
+        return std::nullopt;
+    for (const auto &target : targets) {
+        if (target->name() == name)
+            return checkCaught(*target, c);
+    }
+    return "unknown diffuzz target '" + name + "'";
+}
+
+RunReport
+replayFile(const std::vector<std::unique_ptr<Target>> &targets,
+           const std::string &path)
+{
+    RunReport report;
+    TargetStats stats;
+    stats.name = "replay:" + path;
+    std::ifstream in(path);
+    if (!in) {
+        Failure f;
+        f.target = stats.name;
+        f.detail = "cannot open corpus file";
+        report.failures.push_back(std::move(f));
+        report.stats.push_back(std::move(stats));
+        return report;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string name;
+        CaseInput c;
+        if (!parseCase(line, &name, &c))
+            continue;
+        ++stats.cases;
+        if (std::optional<std::string> fail = replayLine(targets, line)) {
+            ++stats.failures;
+            Failure f;
+            f.target = name;
+            f.original = c;
+            f.shrunk = c;
+            f.detail = *fail;
+            report.failures.push_back(std::move(f));
+        }
+    }
+    report.stats.push_back(std::move(stats));
+    return report;
+}
+
+Json
+reportToJson(const RunReport &report, const RunOptions &opts)
+{
+    Json doc = Json::object();
+    doc["schema"] = "ulecc.diffuzz.v1";
+    doc["tool"] = "diffuzz";
+    doc["seed"] = opts.seed;
+    doc["cases_per_target"] = opts.cases;
+    Json targets = Json::object();
+    uint64_t total = 0;
+    for (const TargetStats &s : report.stats) {
+        Json t = Json::object();
+        t["cases"] = s.cases;
+        t["failures"] = s.failures;
+        t["shrink_steps"] = s.shrinkSteps;
+        targets[s.name] = std::move(t);
+        total += s.failures;
+    }
+    doc["targets"] = std::move(targets);
+    doc["total_failures"] = total;
+    doc["pass"] = report.failures.empty();
+    Json failures = Json::array();
+    for (const Failure &f : report.failures) {
+        Json e = Json::object();
+        e["target"] = f.target;
+        e["case"] = formatCase(f.target, f.shrunk);
+        e["original"] = formatCase(f.target, f.original);
+        e["detail"] = f.detail;
+        failures.push(std::move(e));
+    }
+    doc["failures"] = std::move(failures);
+    return doc;
+}
+
+} // namespace ulecc::check

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * RefInt implementation.
+ */
+
+#include "check/refint.hh"
+
+#include "base/error.hh"
+
+namespace ulecc::check
+{
+
+namespace
+{
+
+constexpr uint32_t kBase = 1u << 16;
+
+} // namespace
+
+RefInt::RefInt(uint64_t v)
+{
+    while (v) {
+        d_.push_back(static_cast<uint16_t>(v));
+        v >>= 16;
+    }
+}
+
+void
+RefInt::trim()
+{
+    while (!d_.empty() && d_.back() == 0)
+        d_.pop_back();
+}
+
+RefInt
+RefInt::fromHex(std::string_view hex)
+{
+    RefInt r;
+    int nibble = 0;
+    for (auto it = hex.rbegin(); it != hex.rend(); ++it) {
+        char c = *it;
+        uint32_t v;
+        if (c >= '0' && c <= '9')
+            v = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            v = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            v = c - 'A' + 10;
+        else
+            throw UleccError(Errc::InvalidInput, "RefInt::fromHex");
+        size_t digit = static_cast<size_t>(nibble) / 4;
+        if (digit >= r.d_.size())
+            r.d_.resize(digit + 1, 0);
+        r.d_[digit] = static_cast<uint16_t>(
+            r.d_[digit] | (v << (4 * (nibble % 4))));
+        ++nibble;
+    }
+    r.trim();
+    return r;
+}
+
+RefInt
+RefInt::fromMp(const MpUint &v)
+{
+    RefInt r;
+    for (int i = 0; i < v.size(); ++i) {
+        uint32_t limb = v.limb(i);
+        r.d_.push_back(static_cast<uint16_t>(limb));
+        r.d_.push_back(static_cast<uint16_t>(limb >> 16));
+    }
+    r.trim();
+    return r;
+}
+
+std::string
+RefInt::toHex() const
+{
+    if (d_.empty())
+        return "0";
+    static const char digits[] = "0123456789abcdef";
+    std::string s;
+    bool leading = true;
+    for (size_t i = d_.size(); i-- > 0;) {
+        for (int sh = 12; sh >= 0; sh -= 4) {
+            uint32_t v = (d_[i] >> sh) & 0xF;
+            if (leading && v == 0)
+                continue;
+            leading = false;
+            s.push_back(digits[v]);
+        }
+    }
+    return s;
+}
+
+MpUint
+RefInt::toMp() const
+{
+    if (bitLength() > MpUint::maxLimbs * 32)
+        throw UleccError(Errc::OutOfRange, "RefInt::toMp: too wide");
+    MpUint r;
+    for (size_t i = 0; i < d_.size(); ++i) {
+        if (d_[i] == 0)
+            continue;
+        int limb = static_cast<int>(i / 2);
+        uint32_t cur = r.limb(limb);
+        cur |= static_cast<uint32_t>(d_[i]) << (16 * (i % 2));
+        r.setLimb(limb, cur);
+    }
+    return r;
+}
+
+int
+RefInt::bitLength() const
+{
+    if (d_.empty())
+        return 0;
+    int b = 16 * static_cast<int>(d_.size() - 1);
+    uint32_t top = d_.back();
+    while (top) {
+        ++b;
+        top >>= 1;
+    }
+    return b;
+}
+
+int
+RefInt::bit(int i) const
+{
+    if (i < 0)
+        return 0;
+    size_t digit = static_cast<size_t>(i) / 16;
+    if (digit >= d_.size())
+        return 0;
+    return (d_[digit] >> (i % 16)) & 1;
+}
+
+int
+RefInt::compare(const RefInt &o) const
+{
+    if (d_.size() != o.d_.size())
+        return d_.size() < o.d_.size() ? -1 : 1;
+    for (size_t i = d_.size(); i-- > 0;) {
+        if (d_[i] != o.d_[i])
+            return d_[i] < o.d_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+RefInt
+RefInt::add(const RefInt &o) const
+{
+    RefInt r;
+    size_t n = std::max(d_.size(), o.d_.size());
+    r.d_.resize(n + 1, 0);
+    uint32_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint32_t s = carry;
+        if (i < d_.size())
+            s += d_[i];
+        if (i < o.d_.size())
+            s += o.d_[i];
+        r.d_[i] = static_cast<uint16_t>(s);
+        carry = s >> 16;
+    }
+    r.d_[n] = static_cast<uint16_t>(carry);
+    r.trim();
+    return r;
+}
+
+RefInt
+RefInt::sub(const RefInt &o) const
+{
+    if (compare(o) < 0)
+        throw UleccError(Errc::InvalidInput, "RefInt::sub underflow");
+    RefInt r;
+    r.d_.resize(d_.size(), 0);
+    int32_t borrow = 0;
+    for (size_t i = 0; i < d_.size(); ++i) {
+        int32_t s = static_cast<int32_t>(d_[i]) - borrow
+            - (i < o.d_.size() ? o.d_[i] : 0);
+        if (s < 0) {
+            s += kBase;
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        r.d_[i] = static_cast<uint16_t>(s);
+    }
+    r.trim();
+    return r;
+}
+
+RefInt
+RefInt::mul(const RefInt &o) const
+{
+    if (d_.empty() || o.d_.empty())
+        return RefInt();
+    RefInt r;
+    r.d_.assign(d_.size() + o.d_.size(), 0);
+    for (size_t i = 0; i < d_.size(); ++i) {
+        uint32_t carry = 0;
+        for (size_t j = 0; j < o.d_.size(); ++j) {
+            uint32_t t = static_cast<uint32_t>(d_[i]) * o.d_[j]
+                + r.d_[i + j] + carry;
+            r.d_[i + j] = static_cast<uint16_t>(t);
+            carry = t >> 16;
+        }
+        r.d_[i + o.d_.size()] = static_cast<uint16_t>(carry);
+    }
+    r.trim();
+    return r;
+}
+
+RefInt
+RefInt::shiftLeft(int bits) const
+{
+    if (bits < 0)
+        throw UleccError(Errc::InvalidInput, "RefInt::shiftLeft");
+    if (d_.empty() || bits == 0)
+        return *this;
+    int digit_shift = bits / 16;
+    int bit_shift = bits % 16;
+    RefInt r;
+    r.d_.assign(d_.size() + digit_shift + 1, 0);
+    for (size_t i = 0; i < d_.size(); ++i) {
+        uint32_t v = static_cast<uint32_t>(d_[i]) << bit_shift;
+        r.d_[i + digit_shift] =
+            static_cast<uint16_t>(r.d_[i + digit_shift] | v);
+        r.d_[i + digit_shift + 1] =
+            static_cast<uint16_t>(r.d_[i + digit_shift + 1] | (v >> 16));
+    }
+    r.trim();
+    return r;
+}
+
+RefInt
+RefInt::shiftRight(int bits) const
+{
+    if (bits < 0)
+        throw UleccError(Errc::InvalidInput, "RefInt::shiftRight");
+    if (d_.empty() || bits == 0)
+        return *this;
+    size_t digit_shift = static_cast<size_t>(bits) / 16;
+    int bit_shift = bits % 16;
+    if (digit_shift >= d_.size())
+        return RefInt();
+    RefInt r;
+    r.d_.assign(d_.size() - digit_shift, 0);
+    for (size_t i = digit_shift; i < d_.size(); ++i) {
+        uint32_t v = static_cast<uint32_t>(d_[i]) >> bit_shift;
+        if (bit_shift && i + 1 < d_.size())
+            v |= static_cast<uint32_t>(d_[i + 1]) << (16 - bit_shift);
+        r.d_[i - digit_shift] = static_cast<uint16_t>(v);
+    }
+    r.trim();
+    return r;
+}
+
+RefInt::DivResult
+RefInt::divmod(const RefInt &divisor) const
+{
+    if (divisor.isZero())
+        throw UleccError(Errc::InvalidInput, "RefInt::divmod by zero");
+    DivResult res;
+    if (compare(divisor) < 0) {
+        res.remainder = *this;
+        return res;
+    }
+    // Single-digit divisor: straightforward short division.
+    if (divisor.d_.size() == 1) {
+        uint32_t dv = divisor.d_[0];
+        RefInt q;
+        q.d_.assign(d_.size(), 0);
+        uint32_t rem = 0;
+        for (size_t i = d_.size(); i-- > 0;) {
+            uint32_t cur = (rem << 16) | d_[i];
+            q.d_[i] = static_cast<uint16_t>(cur / dv);
+            rem = cur % dv;
+        }
+        q.trim();
+        res.quotient = std::move(q);
+        res.remainder = RefInt(rem);
+        return res;
+    }
+    // Knuth TAOCP vol. 2, Algorithm D, base 2^16.  Normalise so the
+    // divisor's top digit has its high bit set, estimate each quotient
+    // digit from the top two dividend digits, correct by at most two.
+    int shift = 0;
+    {
+        uint16_t top = divisor.d_.back();
+        while (!(top & 0x8000)) {
+            top = static_cast<uint16_t>(top << 1);
+            ++shift;
+        }
+    }
+    RefInt u = shiftLeft(shift);
+    RefInt v = divisor.shiftLeft(shift);
+    size_t n = v.d_.size();
+    size_t m = u.d_.size() - n;
+    u.d_.resize(u.d_.size() + 1, 0); // u gets one guard digit
+
+    RefInt q;
+    q.d_.assign(m + 1, 0);
+    for (size_t j = m + 1; j-- > 0;) {
+        uint32_t num = (static_cast<uint32_t>(u.d_[j + n]) << 16)
+            | u.d_[j + n - 1];
+        uint32_t qhat = num / v.d_[n - 1];
+        uint32_t rhat = num % v.d_[n - 1];
+        while (qhat >= kBase
+               || static_cast<uint64_t>(qhat) * v.d_[n - 2]
+                   > ((static_cast<uint64_t>(rhat) << 16)
+                      | u.d_[j + n - 2])) {
+            --qhat;
+            rhat += v.d_[n - 1];
+            if (rhat >= kBase)
+                break;
+        }
+        // Multiply-subtract u[j..j+n] -= qhat * v.
+        int64_t borrow = 0;
+        uint32_t carry = 0;
+        for (size_t i = 0; i < n; ++i) {
+            uint32_t p = qhat * v.d_[i] + carry;
+            carry = p >> 16;
+            int64_t t = static_cast<int64_t>(u.d_[j + i])
+                - static_cast<int64_t>(p & 0xFFFF) - borrow;
+            if (t < 0) {
+                t += kBase;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            u.d_[j + i] = static_cast<uint16_t>(t);
+        }
+        int64_t t = static_cast<int64_t>(u.d_[j + n])
+            - static_cast<int64_t>(carry) - borrow;
+        if (t < 0) {
+            // qhat was one too large: add v back.
+            t += kBase;
+            --qhat;
+            uint32_t c = 0;
+            for (size_t i = 0; i < n; ++i) {
+                uint32_t s = static_cast<uint32_t>(u.d_[j + i])
+                    + v.d_[i] + c;
+                u.d_[j + i] = static_cast<uint16_t>(s);
+                c = s >> 16;
+            }
+            t += c;
+            t &= 0xFFFF; // the final carry cancels the borrow
+        }
+        u.d_[j + n] = static_cast<uint16_t>(t);
+        q.d_[j] = static_cast<uint16_t>(qhat);
+    }
+    u.d_.resize(n);
+    u.trim();
+    q.trim();
+    res.quotient = std::move(q);
+    res.remainder = u.shiftRight(shift);
+    return res;
+}
+
+RefInt
+RefInt::mod(const RefInt &m) const
+{
+    return divmod(m).remainder;
+}
+
+RefInt
+RefInt::gcd(RefInt a, RefInt b)
+{
+    // Euclid via divmod -- slow and boring, which is the point.
+    while (!b.isZero()) {
+        RefInt r = a.mod(b);
+        a = std::move(b);
+        b = std::move(r);
+    }
+    return a;
+}
+
+RefInt
+RefInt::polyMul(const RefInt &o) const
+{
+    RefInt acc;
+    RefInt shifted = o;
+    int bits = bitLength();
+    for (int i = 0; i < bits; ++i) {
+        if (bit(i)) {
+            // XOR-accumulate shifted into acc.
+            RefInt r;
+            size_t n = std::max(acc.d_.size(), shifted.d_.size());
+            r.d_.assign(n, 0);
+            for (size_t k = 0; k < n; ++k) {
+                uint16_t x = k < acc.d_.size() ? acc.d_[k] : 0;
+                uint16_t y = k < shifted.d_.size() ? shifted.d_[k] : 0;
+                r.d_[k] = static_cast<uint16_t>(x ^ y);
+            }
+            r.trim();
+            acc = std::move(r);
+        }
+        shifted = shifted.shiftLeft(1);
+    }
+    return acc;
+}
+
+RefInt
+RefInt::polyMod(const RefInt &f) const
+{
+    if (f.isZero())
+        throw UleccError(Errc::InvalidInput, "RefInt::polyMod by zero");
+    RefInt r = *this;
+    int fd = f.bitLength() - 1;
+    for (int d = r.bitLength() - 1; d >= fd; d = r.bitLength() - 1) {
+        RefInt t = f.shiftLeft(d - fd);
+        // r ^= t
+        RefInt x;
+        size_t n = std::max(r.d_.size(), t.d_.size());
+        x.d_.assign(n, 0);
+        for (size_t k = 0; k < n; ++k) {
+            uint16_t a = k < r.d_.size() ? r.d_[k] : 0;
+            uint16_t b = k < t.d_.size() ? t.d_[k] : 0;
+            x.d_[k] = static_cast<uint16_t>(a ^ b);
+        }
+        x.trim();
+        r = std::move(x);
+    }
+    return r;
+}
+
+} // namespace ulecc::check

@@ -201,14 +201,18 @@ MpUint::shiftLeft(int bits) const
                          "MpUint::shiftLeft: negative count");
     if (n_ == 0 || bits == 0)
         return bits == 0 ? *this : MpUint();
+    // Overflow iff the *result* exceeds capacity; a limb-count estimate
+    // would spuriously reject in-range shifts whose top limb does not
+    // spill (e.g. a 39-limb value shifted by a limb multiple).
+    if (bitLength() + bits > maxLimbs * 32)
+        throw UleccError(Errc::OutOfRange, "MpUint::shiftLeft overflow");
     int limb_shift = bits / 32;
     int bit_shift = bits % 32;
-    if (n_ + limb_shift + 1 > maxLimbs)
-        throw UleccError(Errc::OutOfRange, "MpUint::shiftLeft overflow");
     MpUint r;
     for (int i = n_ - 1; i >= 0; --i) {
         uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
-        r.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+        if (i + limb_shift + 1 < maxLimbs)
+            r.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
         r.limbs_[i + limb_shift] |= static_cast<uint32_t>(v);
     }
     r.n_ = std::min(n_ + limb_shift + 1, maxLimbs);
@@ -267,7 +271,12 @@ MpUint::mulOperandScan(const MpUint &other) const
 {
     // Paper Algorithm 2: for each multiplier word b_i, sweep the
     // multiplicand accumulating (u,v) <- a_j * b_i + p_{i+j} + u.
-    if (n_ + other.n_ > maxLimbs)
+    // Capacity is judged on bit widths: limb-count sums over-estimate
+    // the product width by up to 31 bits and used to reject in-range
+    // products (e.g. 260 x 988 bits).  A bit-width sum of exactly
+    // capacity + 1 may still fit, so that case is resolved by the top
+    // carry word below.
+    if (bitLength() + other.bitLength() > 32 * maxLimbs + 1)
         throw UleccError(Errc::OutOfRange, "MpUint::mul overflow");
     MpUint r;
     for (int i = 0; i < other.n_; ++i) {
@@ -279,9 +288,12 @@ MpUint::mulOperandScan(const MpUint &other) const
             r.limbs_[i + j] = static_cast<uint32_t>(t);
             u = t >> 32;
         }
-        r.limbs_[i + n_] = static_cast<uint32_t>(u);
+        if (i + n_ < maxLimbs)
+            r.limbs_[i + n_] = static_cast<uint32_t>(u);
+        else if (u != 0)
+            throw UleccError(Errc::OutOfRange, "MpUint::mul overflow");
     }
-    r.n_ = n_ + other.n_;
+    r.n_ = std::min(n_ + other.n_, maxLimbs);
     r.trim();
     return r;
 }
@@ -292,7 +304,8 @@ MpUint::mulProductScan(const MpUint &other) const
     // Paper Algorithm 3: column-wise accumulation into a (t,u,v)
     // triple-word accumulator; each column step is one MADDU, each
     // column finish is one SHA in the ISA-extended microarchitecture.
-    if (n_ + other.n_ > maxLimbs)
+    // Same bit-exact capacity policy as mulOperandScan.
+    if (bitLength() + other.bitLength() > 32 * maxLimbs + 1)
         throw UleccError(Errc::OutOfRange, "MpUint::mul overflow");
     if (n_ == 0 || other.n_ == 0)
         return MpUint();
@@ -315,8 +328,14 @@ MpUint::mulProductScan(const MpUint &other) const
         uv = (uv >> 32) | (static_cast<uint64_t>(t) << 32);
         t = 0;
     }
-    r.limbs_[cols] = static_cast<uint32_t>(uv);
-    r.n_ = cols + 1;
+    if (cols < maxLimbs) {
+        r.limbs_[cols] = static_cast<uint32_t>(uv);
+        r.n_ = cols + 1;
+    } else if (uv != 0) {
+        throw UleccError(Errc::OutOfRange, "MpUint::mul overflow");
+    } else {
+        r.n_ = maxLimbs;
+    }
     r.trim();
     return r;
 }
@@ -324,8 +343,6 @@ MpUint::mulProductScan(const MpUint &other) const
 MpUint
 MpUint::mulWord(uint32_t w) const
 {
-    if (n_ + 1 > maxLimbs)
-        throw UleccError(Errc::OutOfRange, "MpUint::mulWord overflow");
     MpUint r;
     uint64_t carry = 0;
     for (int i = 0; i < n_; ++i) {
@@ -333,8 +350,16 @@ MpUint::mulWord(uint32_t w) const
         r.limbs_[i] = static_cast<uint32_t>(t);
         carry = t >> 32;
     }
-    r.limbs_[n_] = static_cast<uint32_t>(carry);
-    r.n_ = n_ + 1;
+    // A full-capacity operand is fine as long as the top carry is
+    // clear (e.g. multiplying a 1280-bit value by 1 must not throw).
+    if (n_ < maxLimbs) {
+        r.limbs_[n_] = static_cast<uint32_t>(carry);
+        r.n_ = n_ + 1;
+    } else if (carry != 0) {
+        throw UleccError(Errc::OutOfRange, "MpUint::mulWord overflow");
+    } else {
+        r.n_ = n_;
+    }
     r.trim();
     return r;
 }

@@ -5,6 +5,8 @@
 
 #include "par/thread_pool.hh"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 namespace ulecc
@@ -13,10 +15,22 @@ namespace ulecc
 unsigned
 ThreadPool::defaultThreads()
 {
+    // Strict parse: the whole string must be one base-10 integer.  A
+    // partial parse ("8x"), an empty value, or an out-of-long-range
+    // value is a configuration error and falls back to the hardware
+    // width rather than guessing.  The historical bug here was
+    // `static_cast<unsigned>(strtol(env))`: ULECC_JOBS=4294967296
+    // wrapped to a zero-worker pool (submit/wait deadlock) and
+    // ULECC_JOBS=1000000 tried to spawn a million threads.
     if (const char *env = std::getenv("ULECC_JOBS")) {
-        long n = std::strtol(env, nullptr, 10);
-        if (n >= 1)
-            return static_cast<unsigned>(n);
+        char *end = nullptr;
+        errno = 0;
+        long n = std::strtol(env, &end, 10);
+        bool clean = end != env && end != nullptr && *end == '\0'
+            && errno != ERANGE;
+        if (clean && n >= 1)
+            return static_cast<unsigned>(
+                std::min<long>(n, maxThreads));
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
@@ -26,6 +40,7 @@ ThreadPool::ThreadPool(unsigned threads)
 {
     if (threads == 0)
         threads = defaultThreads();
+    threads = std::min(threads, maxThreads);
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
         workers_.emplace_back([this] { workerLoop(); });

@@ -43,8 +43,20 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /**
-     * Pool width the environment asks for: $ULECC_JOBS when set (>= 1
-     * enforced), otherwise the hardware concurrency (>= 1).
+     * Hard ceiling on pool width.  $ULECC_JOBS values above this clamp
+     * down to it; explicit constructor arguments do too.  Far above any
+     * sensible sweep width, low enough that a fat-fingered environment
+     * cannot exhaust process resources spawning threads.
+     */
+    static constexpr unsigned maxThreads = 256;
+
+    /**
+     * Pool width the environment asks for: $ULECC_JOBS when it parses
+     * cleanly as an integer >= 1 (clamped to maxThreads), otherwise the
+     * hardware concurrency (>= 1).  Zero, negative, overflowing, or
+     * non-numeric $ULECC_JOBS values fall back to the hardware width --
+     * they can never produce a zero-worker pool (which would deadlock
+     * submit/wait) or a resource-exhausting one.
      */
     static unsigned defaultThreads();
 

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/error.hh"
 #include "mpint/mpuint.hh"
 #include "test_util.hh"
 
@@ -243,4 +244,77 @@ TEST(MpUint, XorAndProperties)
         EXPECT_EQ(a.bitAnd(a), a);
         EXPECT_TRUE(a.bitXor(a).isZero());
     }
+}
+
+TEST(MpUint, ShiftLeftBitExactCapacity)
+{
+    // Regression: the capacity guard used to count limbs, rejecting
+    // in-range shifts of wide values.  A 1248-bit value shifted by 32
+    // lands exactly on the 1280-bit capacity and must succeed.
+    std::string f1248(312, 'f');
+    MpUint wide = MpUint::fromHex(f1248);
+    MpUint shifted = wide.shiftLeft(32);
+    EXPECT_EQ(shifted.bitLength(), MpUint::maxLimbs * 32);
+    EXPECT_EQ(shifted.toHex(), f1248 + "00000000");
+    EXPECT_EQ(shifted.shiftRight(32), wide);
+
+    // ff << 1272 has bitLength 1280: the last shift that fits.
+    EXPECT_EQ(MpUint::fromHex("ff").shiftLeft(1272).bitLength(), 1280);
+    EXPECT_THROW(MpUint::fromHex("ff").shiftLeft(1273), UleccError);
+
+    // Zero stays zero under any shift distance.
+    EXPECT_TRUE(MpUint().shiftLeft(100000).isZero());
+
+    MpUint full = MpUint::fromHex(std::string(320, 'f'));
+    EXPECT_EQ(full.shiftLeft(0), full);
+    EXPECT_THROW(full.shiftLeft(1), UleccError);
+}
+
+TEST(MpUint, MulBitExactCapacity)
+{
+    // Regression: mul used to reject any operand pair whose *limb*
+    // counts summed past capacity, even when the product fits.  A
+    // 260 x 988 bit product is 1248 bits but spans 9 + 31 + 1 limbs.
+    MpUint a = MpUint::powerOfTwo(259);
+    MpUint b = MpUint::powerOfTwo(987);
+    EXPECT_EQ(a.mulOperandScan(b), MpUint::powerOfTwo(1246));
+    EXPECT_EQ(a.mulProductScan(b), MpUint::powerOfTwo(1246));
+
+    // Bit-width sum of capacity + 1 resolves via the top carry word:
+    // 2^640 * 2^639 = 2^1279 fits...
+    MpUint fits = MpUint::powerOfTwo(640).mulOperandScan(
+        MpUint::powerOfTwo(639));
+    EXPECT_EQ(fits, MpUint::powerOfTwo(1279));
+    EXPECT_EQ(MpUint::powerOfTwo(640).mulProductScan(
+                  MpUint::powerOfTwo(639)),
+              fits);
+    // ...while (2^641-1)(2^640-1) with the same width sum does not.
+    MpUint c = MpUint::powerOfTwo(641).sub(MpUint(1));
+    MpUint d = MpUint::powerOfTwo(640).sub(MpUint(1));
+    EXPECT_THROW(c.mulOperandScan(d), UleccError);
+    EXPECT_THROW(c.mulProductScan(d), UleccError);
+
+    // Far-overflowing products are rejected by the width precheck.
+    MpUint half = MpUint::powerOfTwo(800);
+    EXPECT_THROW(half.mulOperandScan(half), UleccError);
+    EXPECT_THROW(half.mulProductScan(half), UleccError);
+
+    // mulWord on a full-capacity operand is legal while the top carry
+    // stays clear (multiplying a 1280-bit value by 1 must not throw).
+    MpUint full = MpUint::fromHex(std::string(320, 'f'));
+    EXPECT_EQ(full.mulWord(1), full);
+    EXPECT_TRUE(full.mulWord(0).isZero());
+    EXPECT_THROW(full.mulWord(2), UleccError);
+}
+
+TEST(MpUint, WideDividendNarrowDivisor)
+{
+    // The shape that used to trip the limb-counted shiftLeft inside
+    // divmod's normalisation: full-width dividend, tiny divisor.
+    MpUint full = MpUint::fromHex(std::string(320, 'f')); // 2^1280 - 1
+    EXPECT_TRUE(full.mod(MpUint(3)).isZero()); // 3 | 2^1280 - 1
+    MpUint::DivResult qr = full.divmod(MpUint(0xb));
+    EXPECT_TRUE(qr.remainder < MpUint(0xb));
+    EXPECT_EQ(qr.quotient.mulWord(0xb).add(qr.remainder), full);
+    EXPECT_EQ(full.shiftRight(64).bitLength(), 1216);
 }

@@ -6,6 +6,7 @@
  * representative bench harness against its own --serial run.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -152,6 +153,45 @@ TEST(ThreadPool, DefaultThreadsHonoursUleccJobs)
     {
         EnvVar jobs("ULECC_JOBS", nullptr);
         EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+    }
+}
+
+TEST(ThreadPool, HostileUleccJobsValuesNeverDeadlockOrExplode)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    // The historical bug: a 32-bit cast wrapped 2^32 to a pool of ZERO
+    // workers, deadlocking the first wait().  Now it clamps.
+    {
+        EnvVar jobs("ULECC_JOBS", "4294967296");
+        EXPECT_EQ(ThreadPool::defaultThreads(), ThreadPool::maxThreads);
+    }
+    // Huge-but-parseable widths clamp instead of spawning thousands of
+    // threads; values beyond long's range fall back to the host width.
+    {
+        EnvVar jobs("ULECC_JOBS", "1000000");
+        EXPECT_EQ(ThreadPool::defaultThreads(), ThreadPool::maxThreads);
+    }
+    {
+        EnvVar jobs("ULECC_JOBS", "99999999999999999999999");
+        EXPECT_EQ(ThreadPool::defaultThreads(), hw);
+    }
+    // Negative, partial, and empty values are configuration errors:
+    // fall back to the hardware width, never a zero-worker pool.
+    for (const char *v : {"-2", "3x", "", "jobs"}) {
+        EnvVar jobs("ULECC_JOBS", v);
+        EXPECT_EQ(ThreadPool::defaultThreads(), hw) << "'" << v << "'";
+    }
+    // A clamped pool still runs its tasks.
+    {
+        EnvVar jobs("ULECC_JOBS", "4294967296");
+        std::atomic<int> done{0};
+        ThreadPool pool;
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&] { done.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(done.load(), 32);
     }
 }
 
@@ -303,6 +343,47 @@ TEST(EvalCache, CorruptPersistenceLinesDegradeToMisses)
     EvalResult r = evaluate(MicroArch::Baseline, CurveId::P192, {});
     EXPECT_GT(r.totalCycles(), 0u);
     EXPECT_GE(EvalCache::instance().stats().misses, 1u);
+    std::remove(path.c_str());
+    EvalCache::instance().clear();
+}
+
+TEST(EvalCache, TornFinalLineIsAMissNotAWrongHit)
+{
+    // A writer killed mid-append leaves a prefix of a valid line.  The
+    // checksum must reject it: the historical failure mode was a torn
+    // numeric field parsing "cleanly" into a WRONG cached result.
+    std::string path = testing::TempDir() + "ulecc_evalcache_torn.txt";
+    std::remove(path.c_str());
+
+    EvalResult uncached;
+    {
+        EnvVar cache("ULECC_EVAL_CACHE", "0");
+        uncached = evaluate(MicroArch::Baseline, CurveId::P192, {});
+    }
+    {
+        EnvVar cache("ULECC_EVAL_CACHE", path.c_str());
+        EvalCache::instance().clear();
+        evaluate(MicroArch::Baseline, CurveId::P192, {});
+    }
+    std::string text = readFile(path);
+    ASSERT_GT(text.size(), 40u);
+    size_t lines = static_cast<size_t>(
+        std::count(text.begin(), text.end(), '\n'));
+    {
+        // Tear the final line: drop its newline and checksum tail.
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << text.substr(0, text.size() - 17);
+    }
+    {
+        EnvVar cache("ULECC_EVAL_CACHE", path.c_str());
+        EvalCache::instance().clear();
+        EvalResult recomputed =
+            evaluate(MicroArch::Baseline, CurveId::P192, {});
+        // At most the intact lines may warm the memo; the torn line
+        // must not, and the recomputation must be bit-identical.
+        EXPECT_LT(EvalCache::instance().stats().persistedLoads, lines);
+        expectResultsIdentical(uncached, recomputed);
+    }
     std::remove(path.c_str());
     EvalCache::instance().clear();
 }

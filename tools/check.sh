@@ -3,7 +3,10 @@
 # suites, exercise the telemetry producers, and validate every emitted
 # JSON document against the checked-in schemas in tools/schemas/.
 #
-# Usage: tools/check.sh [--no-asan] [--no-tsan]
+# Usage: tools/check.sh [--no-asan] [--no-tsan] [--diffuzz N]
+#
+# --diffuzz N sets the differential-fuzz case count per target
+# (default 10000; 0 skips the diffuzz step).
 
 set -euo pipefail
 
@@ -12,10 +15,22 @@ cd "$repo"
 
 run_asan=1
 run_tsan=1
+diffuzz_cases=10000
+expect_cases=0
 for arg in "$@"; do
+    if [[ $expect_cases -eq 1 ]]; then
+        diffuzz_cases="$arg"
+        expect_cases=0
+        continue
+    fi
     [[ "$arg" == "--no-asan" ]] && run_asan=0
     [[ "$arg" == "--no-tsan" ]] && run_tsan=0
+    [[ "$arg" == "--diffuzz" ]] && expect_cases=1
 done
+if [[ $expect_cases -eq 1 ]]; then
+    echo "FAIL: --diffuzz requires a case count" >&2
+    exit 2
+fi
 
 step() { printf '\n== %s ==\n' "$*"; }
 
@@ -76,6 +91,32 @@ fi
     echo "FAIL: bench journal produced no records" >&2; exit 1; }
 "$json_check" --jsonl "$schemas/bench_record.schema.json" \
     "$work/bench.jsonl"
+
+if [[ "$diffuzz_cases" != "0" ]]; then
+    # Prefer the sanitizer build: a differential mismatch caught with
+    # ASan attached pinpoints memory misuse, not just wrong answers.
+    diffuzz_bin="$repo/build/tools/diffuzz"
+    if [[ $run_asan -eq 1 ]]; then
+        diffuzz_bin="$repo/build-asan/tools/diffuzz"
+    fi
+
+    step "diffuzz: $diffuzz_cases cases/target (seed 1)"
+    "$diffuzz_bin" --seed 1 --cases "$diffuzz_cases" \
+        --json "$work/diffuzz.json"
+    "$json_check" "$schemas/diffuzz.schema.json" "$work/diffuzz.json"
+
+    step "diffuzz: determinism (same seed, byte-identical report)"
+    "$diffuzz_bin" --seed 1 --cases "$diffuzz_cases" \
+        --json "$work/diffuzz2.json"
+    if ! cmp -s "$work/diffuzz.json" "$work/diffuzz2.json"; then
+        echo "FAIL: diffuzz report not reproducible at fixed seed" >&2
+        diff "$work/diffuzz.json" "$work/diffuzz2.json" >&2 || true
+        exit 1
+    fi
+
+    step "diffuzz: replay checked-in regression corpus"
+    "$diffuzz_bin" --replay "$repo/tests/golden/corpus/regressions.case"
+fi
 
 step "telemetry: fault campaign summary"
 "$repo/build/tools/fault_campaign" --seed 7 --campaigns 10 \

@@ -1,0 +1,414 @@
+#!/usr/bin/env python3
+"""Generate the ECDSA golden vectors under tests/golden/.
+
+This is a from-scratch ECDSA + RFC 6979 implementation in pure Python
+(stdlib hashlib/hmac only), deliberately sharing no code, no algorithms
+beyond the specifications, and no bignum representation with the C++
+library it cross-checks:
+
+  - prime curves use Python ints with pow(x, -1, p) inversion;
+  - binary curves use int-encoded GF(2)[x] polynomials with shift-xor
+    multiplication and extended-Euclidean inversion;
+  - the nonce is RFC 6979 HMAC-SHA256, written from the RFC's pseudo
+    code.
+
+Before writing anything the script validates itself against published
+RFC 6979 appendix A.2 vectors (P-192 and P-256, SHA-256) and checks
+n*G == infinity on every curve, so a bug here cannot silently become a
+"golden" file.
+
+Outputs (checked in; regenerate only when curves are added):
+  tests/golden/rfc6979_sha256.txt   RFC 6979-style named-message vectors
+  tests/golden/ecdsa_kat_sha256.txt CAVP-style vectors, derived keys
+
+Line format (one vector per line, lowercase hex, '#' comments):
+  curve=P-256 msg=<hex> d=<hex> qx=<hex> qy=<hex> k=<hex> r=<hex> s=<hex>
+"""
+
+import hashlib
+import hmac
+import os
+import sys
+
+# --------------------------------------------------------------------
+# Curve definitions (NIST SP 800-186 / FIPS 186-4 parameters).
+# --------------------------------------------------------------------
+
+
+class PrimeCurve:
+    def __init__(self, name, p, a, b, gx, gy, n):
+        self.name, self.p, self.a, self.b, self.n = name, p, a, b, n
+        self.g = (gx, gy)
+
+    def on_curve(self, pt):
+        if pt is None:
+            return True
+        x, y = pt
+        return (y * y - (x * x * x + self.a * x + self.b)) % self.p == 0
+
+    def add(self, p1, p2):
+        if p1 is None:
+            return p2
+        if p2 is None:
+            return p1
+        x1, y1 = p1
+        x2, y2 = p2
+        p = self.p
+        if x1 == x2:
+            if (y1 + y2) % p == 0:
+                return None
+            lam = (3 * x1 * x1 + self.a) * pow(2 * y1, -1, p) % p
+        else:
+            lam = (y2 - y1) * pow(x2 - x1, -1, p) % p
+        x3 = (lam * lam - x1 - x2) % p
+        y3 = (lam * (x1 - x3) - y1) % p
+        return (x3, y3)
+
+    def mul(self, k, pt):
+        acc = None
+        while k:
+            if k & 1:
+                acc = self.add(acc, pt)
+            pt = self.add(pt, pt)
+            k >>= 1
+        return acc
+
+
+def gf2_mul(a, b, f, m):
+    """Carry-less product reduced modulo the degree-m polynomial f."""
+    acc = 0
+    while b:
+        if b & 1:
+            acc ^= a
+        b >>= 1
+        a <<= 1
+    while acc.bit_length() > m:
+        acc ^= f << (acc.bit_length() - 1 - m)
+    return acc
+
+
+def gf2_inv(a, f):
+    """Polynomial extended Euclid: a^-1 mod f."""
+    u, v = a, f
+    g1, g2 = 1, 0
+    while u != 1:
+        j = u.bit_length() - v.bit_length()
+        if j < 0:
+            u, v = v, u
+            g1, g2 = g2, g1
+            j = -j
+        u ^= v << j
+        g1 ^= g2 << j
+    return g1
+
+
+class BinaryCurve:
+    """y^2 + xy = x^3 + a x^2 + b over GF(2^m)."""
+
+    def __init__(self, name, m, f, a, b, gx, gy, n):
+        self.name, self.m, self.f, self.a, self.b, self.n = \
+            name, m, f, a, b, n
+        self.g = (gx, gy)
+
+    def _mul(self, a, b):
+        return gf2_mul(a, b, self.f, self.m)
+
+    def on_curve(self, pt):
+        if pt is None:
+            return True
+        x, y = pt
+        lhs = self._mul(y, y) ^ self._mul(x, y)
+        rhs = self._mul(self._mul(x, x), x ^ self.a) ^ self.b
+        return lhs == rhs
+
+    def add(self, p1, p2):
+        if p1 is None:
+            return p2
+        if p2 is None:
+            return p1
+        x1, y1 = p1
+        x2, y2 = p2
+        mul = self._mul
+        if x1 == x2:
+            if y1 ^ y2 == x2:  # p2 == -p1  (negation is (x, x + y))
+                return None
+            if x1 == 0:
+                return None
+            lam = x1 ^ mul(y1, gf2_inv(x1, self.f))
+            x3 = mul(lam, lam) ^ lam ^ self.a
+            y3 = mul(x1, x1) ^ mul(lam ^ 1, x3)
+        else:
+            lam = mul(y1 ^ y2, gf2_inv(x1 ^ x2, self.f))
+            x3 = mul(lam, lam) ^ lam ^ x1 ^ x2 ^ self.a
+            y3 = mul(lam, x1 ^ x3) ^ x3 ^ y1
+        return (x3, y3)
+
+    def mul(self, k, pt):
+        acc = None
+        while k:
+            if k & 1:
+                acc = self.add(acc, pt)
+            pt = self.add(pt, pt)
+            k >>= 1
+        return acc
+
+
+def h(s):
+    return int(s, 16)
+
+
+CURVES = [
+    PrimeCurve(
+        "P-192",
+        p=2**192 - 2**64 - 1,
+        a=2**192 - 2**64 - 1 - 3,
+        b=h("64210519e59c80e70fa7e9ab72243049feb8deecc146b9b1"),
+        gx=h("188da80eb03090f67cbf20eb43a18800f4ff0afd82ff1012"),
+        gy=h("07192b95ffc8da78631011ed6b24cdd573f977a11e794811"),
+        n=h("ffffffffffffffffffffffff99def836146bc9b1b4d22831")),
+    PrimeCurve(
+        "P-224",
+        p=2**224 - 2**96 + 1,
+        a=2**224 - 2**96 + 1 - 3,
+        b=h("b4050a850c04b3abf54132565044b0b7d7bfd8ba270b39432355ffb4"),
+        gx=h("b70e0cbd6bb4bf7f321390b94a03c1d356c21122343280d6115c1d21"),
+        gy=h("bd376388b5f723fb4c22dfe6cd4375a05a07476444d5819985007e34"),
+        n=h("ffffffffffffffffffffffffffff16a2e0b8f03e13dd29455c5c2a3d")),
+    PrimeCurve(
+        "P-256",
+        p=2**256 - 2**224 + 2**192 + 2**96 - 1,
+        a=2**256 - 2**224 + 2**192 + 2**96 - 1 - 3,
+        b=h("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e"
+            "27d2604b"),
+        gx=h("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945"
+             "d898c296"),
+        gy=h("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb64068"
+             "37bf51f5"),
+        n=h("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2"
+            "fc632551")),
+    PrimeCurve(
+        "P-384",
+        p=2**384 - 2**128 - 2**96 + 2**32 - 1,
+        a=2**384 - 2**128 - 2**96 + 2**32 - 1 - 3,
+        b=h("b3312fa7e23ee7e4988e056be3f82d19181d9c6efe8141120314088f"
+            "5013875ac656398d8a2ed19d2a85c8edd3ec2aef"),
+        gx=h("aa87ca22be8b05378eb1c71ef320ad746e1d3b628ba79b9859f741e0"
+             "82542a385502f25dbf55296c3a545e3872760ab7"),
+        gy=h("3617de4a96262c6f5d9e98bf9292dc29f8f41dbd289a147ce9da3113"
+             "b5f0b8c00a60b1ce1d7e819d7a431d7c90ea0e5f"),
+        n=h("ffffffffffffffffffffffffffffffffffffffffffffffffc7634d81"
+            "f4372ddf581a0db248b0a77aecec196accc52973")),
+    PrimeCurve(
+        "P-521",
+        p=2**521 - 1,
+        a=2**521 - 1 - 3,
+        b=h("0051953eb9618e1c9a1f929a21a0b68540eea2da725b99b315f3b8b4"
+            "89918ef109e156193951ec7e937b1652c0bd3bb1bf073573df883d2c"
+            "34f1ef451fd46b503f00"),
+        gx=h("00c6858e06b70404e9cd9e3ecb662395b4429c648139053fb521f828"
+             "af606b4d3dbaa14b5e77efe75928fe1dc127a2ffa8de3348b3c1856a"
+             "429bf97e7e31c2e5bd66"),
+        gy=h("011839296a789a3bc0045c8a5fb42c7d1bd998f54449579b446817af"
+             "bd17273e662c97ee72995ef42640c550b9013fad0761353c7086a272"
+             "c24088be94769fd16650"),
+        n=h("01fffffffffffffffffffffffffffffffffffffffffffffffffffffff"
+            "ffffffffffa51868783bf2f966b7fcc0148f709a5d03bb5c9b8899c47"
+            "aebb6fb71e91386409")),
+    BinaryCurve(
+        "B-163", m=163,
+        f=(1 << 163) | (1 << 7) | (1 << 6) | (1 << 3) | 1,
+        a=1,
+        b=h("20a601907b8c953ca1481eb10512f78744a3205fd"),
+        gx=h("3f0eba16286a2d57ea0991168d4994637e8343e36"),
+        gy=h("0d51fbc6c71a0094fa2cdd545b11c5c0c797324f1"),
+        n=h("40000000000000000000292fe77e70c12a4234c33")),
+    BinaryCurve(
+        "B-233", m=233,
+        f=(1 << 233) | (1 << 74) | 1,
+        a=1,
+        b=h("066647ede6c332c7f8c0923bb58213b333b20e9ce4281fe115f7d8f90ad"),
+        gx=h("0fac9dfcbac8313bb2139f1bb755fef65bc391f8b36f8f8eb7371fd55"
+             "8b"),
+        gy=h("1006a08a41903350678e58528bebf8a0beff867a7ca36716f7e01f810"
+             "52"),
+        n=h("1000000000000000000000000000013e974e72f8a6922031d2603cfe0d7")),
+    BinaryCurve(
+        "B-283", m=283,
+        f=(1 << 283) | (1 << 12) | (1 << 7) | (1 << 5) | 1,
+        a=1,
+        b=h("27b680ac8b8596da5a4af8a19a0303fca97fd7645309fa2a581485af"
+            "6263e313b79a2f5"),
+        gx=h("5f939258db7dd90e1934f8c70b0dfec2eed25b8557eac9c80e2e198f"
+             "8cdbecd86b12053"),
+        gy=h("3676854fe24141cb98fe6d4b20d02b4516ff702350eddb0826779c81"
+             "3f0df45be8112f4"),
+        n=h("3ffffffffffffffffffffffffffffffffffef90399660fc938a90165"
+            "b042a7cefadb307")),
+]
+
+
+# --------------------------------------------------------------------
+# RFC 6979 (HMAC-SHA256) and ECDSA.
+# --------------------------------------------------------------------
+
+
+def bits2int(data, qlen):
+    v = int.from_bytes(data, "big")
+    blen = len(data) * 8
+    return v >> (blen - qlen) if blen > qlen else v
+
+
+def int2octets(v, rlen):
+    return v.to_bytes(rlen, "big")
+
+
+def rfc6979_k(d, digest, n):
+    qlen = n.bit_length()
+    rlen = (qlen + 7) // 8
+    h1 = int2octets(bits2int(digest, qlen) % n, rlen)
+    x = int2octets(d, rlen)
+    v = b"\x01" * 32
+    k = b"\x00" * 32
+    k = hmac.new(k, v + b"\x00" + x + h1, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    k = hmac.new(k, v + b"\x01" + x + h1, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    while True:
+        t = b""
+        while len(t) < rlen:
+            v = hmac.new(k, v, hashlib.sha256).digest()
+            t += v
+        cand = bits2int(t, qlen)
+        if 1 <= cand < n:
+            return cand
+        k = hmac.new(k, v + b"\x00", hashlib.sha256).digest()
+        v = hmac.new(k, v, hashlib.sha256).digest()
+
+
+def sign(curve, d, msg):
+    """Returns (k, r, s) for SHA-256(msg) under RFC 6979 nonces."""
+    n = curve.n
+    digest = hashlib.sha256(msg).digest()
+    e = bits2int(digest, n.bit_length()) % n
+    k = rfc6979_k(d, digest, n)
+    kk = k
+    while True:
+        x = curve.mul(kk, curve.g)[0]
+        r = x % n
+        if r != 0:
+            s = pow(kk, -1, n) * (e + r * d) % n
+            if s != 0:
+                return kk, r, s
+        kk = kk + 1 if kk + 1 < n else 1
+
+
+# --------------------------------------------------------------------
+# Self-validation against published RFC 6979 appendix A.2 vectors.
+# --------------------------------------------------------------------
+
+
+def self_check():
+    for c in CURVES:
+        assert c.on_curve(c.g), c.name + ": G not on curve"
+        assert c.mul(c.n, c.g) is None, c.name + ": n*G != infinity"
+
+    p256 = next(c for c in CURVES if c.name == "P-256")
+    d = h("C9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B"
+          "120F6721")
+    k, r, s = sign(p256, d, b"sample")
+    assert k == h("A6E3C57DD01ABE90086538398355DD4C3B17AA873382B0F24D"
+                  "6129493D8AAD60"), "P-256 sample k"
+    assert r == h("EFD48B2AACB6A8FD1140DD9CD45E81D69D2C877B56AAF991C3"
+                  "4D0EA84EAF3716"), "P-256 sample r"
+    assert s == h("F7CB1C942D657C41D436C7A1B6E29F65F3E900DBB9AFF4064D"
+                  "C4AB2F843ACDA8"), "P-256 sample s"
+    k, r, s = sign(p256, d, b"test")
+    assert k == h("D16B6AE827F17175E040871A1C7EC3500192C4C92677336EC2"
+                  "537ACAEE0008E0"), "P-256 test k"
+    assert r == h("F1ABB023518351CD71D881567B1EA663ED3EFCF6C5132B354F"
+                  "28D3B0B7D38367"), "P-256 test r"
+    assert s == h("019F4113742A2B14BD25926B49C649155F267E60D3814B4C0C"
+                  "C84250E46F0083"), "P-256 test s"
+
+    p192 = next(c for c in CURVES if c.name == "P-192")
+    d = h("6FAB034934E4C0FC9AE67F5B5659A9D7D1FEFD187EE09FD4")
+    _, r, s = sign(p192, d, b"sample")
+    assert r == h("4B0B8CE98A92866A2820E20AA6B75B56382E0F9BFD5ECB55"), \
+        "P-192 sample r"
+    assert s == h("CCDB006926EA9565CBADC840829D8C384E06DE1F1E381B85"), \
+        "P-192 sample s"
+
+
+# --------------------------------------------------------------------
+# Vector emission.
+# --------------------------------------------------------------------
+
+
+def derived_d(curve, tag):
+    """Deterministic in-range private scalar from a domain tag."""
+    seed = hashlib.sha256(
+        ("ulecc-golden-%s-%s" % (curve.name, tag)).encode()).digest()
+    wide = int.from_bytes(seed * 3, "big")
+    return wide % (curve.n - 1) + 1
+
+
+def entry_line(curve, d, msg):
+    qx, qy = curve.mul(d, curve.g)
+    k, r, s = sign(curve, d, msg)
+    fields = [
+        "curve=%s" % curve.name,
+        "msg=%s" % msg.hex(),
+        "d=%x" % d,
+        "qx=%x" % qx,
+        "qy=%x" % qy,
+        "k=%x" % k,
+        "r=%x" % r,
+        "s=%x" % s,
+    ]
+    return " ".join(fields)
+
+
+def main():
+    self_check()
+    root = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir)
+    golden = os.path.join(root, "tests", "golden")
+    os.makedirs(golden, exist_ok=True)
+
+    # RFC 6979-style file: the two appendix messages per curve, with
+    # the published private keys where the script embeds the published
+    # expected values (asserted in self_check) and derived keys
+    # elsewhere.
+    published_d = {
+        "P-192": h("6FAB034934E4C0FC9AE67F5B5659A9D7D1FEFD187EE09FD4"),
+        "P-256": h("C9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B12"
+                   "7B8A622B120F6721"),
+    }
+    path = os.path.join(golden, "rfc6979_sha256.txt")
+    with open(path, "w") as f:
+        f.write("# RFC 6979 deterministic-ECDSA vectors (SHA-256).\n")
+        f.write("# Generated by tools/gen_ecdsa_golden.py -- an\n")
+        f.write("# independent pure-Python implementation validated\n")
+        f.write("# against RFC 6979 appendix A.2 before emission.\n")
+        for curve in CURVES:
+            d = published_d.get(curve.name) or derived_d(curve, "rfc")
+            for msg in (b"sample", b"test"):
+                f.write(entry_line(curve, d, msg) + "\n")
+    print("wrote", path)
+
+    # CAVP-style file: derived keys, fixed per-curve messages.
+    path = os.path.join(golden, "ecdsa_kat_sha256.txt")
+    with open(path, "w") as f:
+        f.write("# CAVP-style ECDSA known-answer vectors (SHA-256,\n")
+        f.write("# RFC 6979 nonces).  Generated by\n")
+        f.write("# tools/gen_ecdsa_golden.py; see that script.\n")
+        for curve in CURVES:
+            for i in range(2):
+                d = derived_d(curve, "kat-%d" % i)
+                msg = ("diffuzz-%s-%d" % (curve.name, i)).encode()
+                f.write(entry_line(curve, d, msg) + "\n")
+    print("wrote", path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
