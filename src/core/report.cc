@@ -226,6 +226,15 @@ BenchJournal::recordSimSpeed(double wallSeconds, double mips)
 }
 
 void
+BenchJournal::recordBlockCache(double hitRate, double speedup)
+{
+    if (!open_)
+        return;
+    record_["block_cache_hit_rate"] = hitRate;
+    record_["block_cache_speedup"] = speedup;
+}
+
+void
 BenchJournal::note(const std::string &text)
 {
     if (!open_)

@@ -109,6 +109,11 @@ class BenchJournal
      * seconds spent simulating and retired-instruction MIPS. */
     void recordSimSpeed(double wallSeconds, double mips);
 
+    /** Captures the block-timing memo's effectiveness
+     * (bench_simspeed): replay hit rate over block dispatches and the
+     * cache-on/cache-off throughput ratio. */
+    void recordBlockCache(double hitRate, double speedup);
+
     /** Captures a free-form note line. */
     void note(const std::string &text);
 

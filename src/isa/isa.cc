@@ -115,6 +115,49 @@ const OpInfo kOps[] = {
     {Op::Badd, "cop2addb", FmtCop2, kOpCop2, 0x14},
 };
 
+/**
+ * Dispatch tables derived from kOps once at startup, so decode() is a
+ * couple of indexed loads instead of a scan over every opcode (it runs
+ * once per text word at predecode, and once per retirement when
+ * predecode is off).  kOps stays the single source of truth.
+ */
+struct DecodeTables
+{
+    Op specialFunct[64]; ///< opcode 0x00, by funct
+    Op extFunct[64];     ///< opcode 0x1C (SPECIAL2), by funct
+    Op cop2Funct[64];    ///< opcode 0x12 with the CO bit, by funct
+    Op major[64];        ///< single-op primary opcodes (FmtI/FmtJ)
+
+    DecodeTables()
+    {
+        for (int i = 0; i < 64; ++i)
+            specialFunct[i] = extFunct[i] = cop2Funct[i] = major[i] =
+                Op::Invalid;
+        for (const OpInfo &i : kOps) {
+            switch (i.format) {
+              case FmtR:
+                specialFunct[i.minor] = i.op;
+                break;
+              case FmtExt:
+                extFunct[i.minor] = i.op;
+                break;
+              case FmtCop2:
+                cop2Funct[i.minor] = i.op;
+                break;
+              case FmtI:
+              case FmtJ:
+                major[i.major] = i.op;
+                break;
+              case FmtRegimm:
+              case FmtCtc2:
+                break; // matched on rt / rs directly in decode()
+            }
+        }
+    }
+};
+
+const DecodeTables kDecode;
+
 const OpInfo *
 infoFor(Op op)
 {
@@ -142,45 +185,27 @@ decode(uint32_t word)
     uint8_t opcode = word >> 26;
     uint8_t funct = word & 0x3F;
 
-    for (const OpInfo &i : kOps) {
-        switch (i.format) {
-          case FmtR:
-          case FmtExt:
-            if (opcode == i.major && funct == i.minor) {
-                d.op = i.op;
-                return d;
-            }
-            break;
-          case FmtRegimm:
-            if (opcode == i.major && d.rt == i.minor) {
-                d.op = i.op;
-                return d;
-            }
-            break;
-          case FmtI:
-          case FmtJ:
-            if (opcode == i.major) {
-                d.op = i.op;
-                return d;
-            }
-            break;
-          case FmtCop2:
-            if (opcode == i.major && (word & (1u << 25))
-                && funct == i.minor) {
-                d.op = i.op;
-                return d;
-            }
-            break;
-          case FmtCtc2:
-            if (opcode == i.major && !(word & (1u << 25))
-                && d.rs == i.minor) {
-                d.op = i.op;
-                return d;
-            }
-            break;
-        }
+    switch (opcode) {
+      case kOpSpecial:
+        d.op = kDecode.specialFunct[funct];
+        break;
+      case kOpExt:
+        d.op = kDecode.extFunct[funct];
+        break;
+      case kOpRegimm:
+        d.op = d.rt == 0 ? Op::Bltz
+            : d.rt == 1 ? Op::Bgez : Op::Invalid;
+        break;
+      case kOpCop2:
+        if (word & (1u << 25))
+            d.op = kDecode.cop2Funct[funct];
+        else
+            d.op = d.rs == 6 ? Op::Ctc2 : Op::Invalid;
+        break;
+      default:
+        d.op = kDecode.major[opcode];
+        break;
     }
-    d.op = Op::Invalid;
     return d;
 }
 
@@ -248,6 +273,33 @@ classOf(Op op)
         return InstClass::System;
       default:
         return InstClass::Alu;
+    }
+}
+
+bool
+endsBasicBlock(Op op)
+{
+    switch (classOf(op)) {
+      case InstClass::Branch:
+      case InstClass::Jump:
+      case InstClass::System:
+        return true;
+      default:
+        return op == Op::Invalid;
+    }
+}
+
+bool
+blockReplayable(Op op)
+{
+    if (op == Op::Invalid)
+        return false;
+    switch (classOf(op)) {
+      case InstClass::Cop2:
+      case InstClass::System:
+        return false;
+      default:
+        return true;
     }
 }
 

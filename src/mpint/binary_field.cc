@@ -254,7 +254,7 @@ BinaryField::reduce(const MpUint &wide) const
     int top_words = (wide.bitLength() + 31) / 32;
     assert(top_words <= 2 * MpUint::maxLimbs);
     for (int i = 0; i < top_words; ++i)
-        c[i] = wide.limb(i);
+        c[i] = wide.limbU(i);
 
     auto fold_word = [&](uint32_t t, int bitpos) {
         // XOR t into bit position bitpos.
@@ -387,7 +387,7 @@ BinaryField::polyMulClmul(const MpUint &a, const MpUint &b) const
     uint32_t r[2 * MpUint::maxLimbs] = {0};
     for (int i = 0; i < ka; ++i) {
         for (int j = 0; j < kb; ++j) {
-            uint64_t p = clmul32(a.limb(i), b.limb(j));
+            uint64_t p = clmul32(a.limbU(i), b.limbU(j));
             r[i + j] ^= static_cast<uint32_t>(p);
             r[i + j + 1] ^= static_cast<uint32_t>(p >> 32);
         }

@@ -66,6 +66,14 @@ class MpUint
         return (i >= 0 && i < maxLimbs) ? limbs_[i] : 0;
     }
 
+    /**
+     * Unchecked limb read: @p i must be in [0, maxLimbs).  For the
+     * field kernels' inner loops, whose indices are already bounded
+     * by the field's word count -- there the checked accessor's
+     * range branch is the hottest instruction in the profile.
+     */
+    uint32_t limbU(int i) const { return limbs_[size_t(i)]; }
+
     /** Sets limb @p i (extending the significant length as needed). */
     void setLimb(int i, uint32_t v);
 

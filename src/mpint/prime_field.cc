@@ -293,9 +293,9 @@ PrimeField::montMulCios(const MpUint &a, const MpUint &b) const
     for (int i = 0; i < k; ++i) {
         // Multiplication sweep: t += a * b[i].
         uint64_t c = 0;
-        uint64_t bi = b.limb(i);
+        uint64_t bi = b.limbU(i);
         for (int j = 0; j < k; ++j) {
-            uint64_t s = static_cast<uint64_t>(a.limb(j)) * bi + t[j] + c;
+            uint64_t s = static_cast<uint64_t>(a.limbU(j)) * bi + t[j] + c;
             t[j] = static_cast<uint32_t>(s);
             c = s >> 32;
         }
@@ -305,11 +305,11 @@ PrimeField::montMulCios(const MpUint &a, const MpUint &b) const
         // Reduction sweep: fold with m = t[0] * n0' mod 2^32.
         uint32_t m = t[0] * n0prime_;
         s = static_cast<uint64_t>(t[0])
-            + static_cast<uint64_t>(m) * p_.limb(0);
+            + static_cast<uint64_t>(m) * p_.limbU(0);
         c = s >> 32;
         for (int j = 1; j < k; ++j) {
             s = static_cast<uint64_t>(t[j])
-                + static_cast<uint64_t>(m) * p_.limb(j) + c;
+                + static_cast<uint64_t>(m) * p_.limbU(j) + c;
             t[j - 1] = static_cast<uint32_t>(s);
             c = s >> 32;
         }
@@ -349,18 +349,18 @@ PrimeField::montMulFips(const MpUint &a, const MpUint &b) const
     };
     for (int i = 0; i < k; ++i) {
         for (int j = 0; j < i; ++j) {
-            acc(a.limb(j), b.limb(i - j));
-            acc(m[j], p_.limb(i - j));
+            acc(a.limbU(j), b.limbU(i - j));
+            acc(m[j], p_.limbU(i - j));
         }
-        acc(a.limb(i), b.limb(0));
+        acc(a.limbU(i), b.limbU(0));
         m[i] = static_cast<uint32_t>(uv) * n0prime_;
-        acc(m[i], p_.limb(0));
+        acc(m[i], p_.limbU(0));
         shift();
     }
     for (int i = k; i < 2 * k; ++i) {
         for (int j = i - k + 1; j < k; ++j) {
-            acc(a.limb(j), b.limb(i - j));
-            acc(m[j], p_.limb(i - j));
+            acc(a.limbU(j), b.limbU(i - j));
+            acc(m[j], p_.limbU(i - j));
         }
         x[i - k] = static_cast<uint32_t>(uv);
         shift();

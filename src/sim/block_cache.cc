@@ -1,0 +1,708 @@
+/**
+ * @file
+ * BlockCache implementation (the model is described in the header).
+ *
+ * Exactness argument, in one place: a Ready block is straight-line by
+ * construction (body ops are non-control, the only exit is the
+ * terminator), so a slow execution of it is fully determined by the
+ * entry context the key captures -- except for the terminating
+ * branch's direction and prediction, which replay resolves against
+ * live registers and the real predictor array, and charges on the
+ * spot.  Ops whose timing the key cannot pin down (Cop2, System,
+ * Invalid, mult-unit ops in a conditional delay slot) never enter a
+ * Ready block.  Recording is a real slow execution, so the captured
+ * deltas are the slow path's own numbers, and mid-record faults
+ * simply propagate with exact state.
+ */
+
+#include "sim/block_cache.hh"
+
+#include <string>
+
+#include "sim/cpu.hh"
+#include "sim/karatsuba_unit.hh"
+
+// leanExec is the replay loop's per-instruction body; an out-of-line
+// call per replayed instruction costs more than the dispatch switch
+// itself, so it is folded into replay() unconditionally.
+#if defined(__GNUC__)
+#define ULECC_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define ULECC_ALWAYS_INLINE inline
+#endif
+
+namespace ulecc
+{
+
+BlockCacheMode
+parseBlockCacheMode(const char *value)
+{
+    if (!value)
+        return BlockCacheMode::On;
+    std::string v(value);
+    if (v == "0" || v == "off")
+        return BlockCacheMode::Off;
+    if (v == "verify" || v == "shadow")
+        return BlockCacheMode::Verify;
+    // "1" / "on" / empty / anything unrecognised: the default.  A
+    // hostile value must never change simulated behaviour (replay is
+    // bit-identical to slow stepping), so degrading to On is safe.
+    return BlockCacheMode::On;
+}
+
+const char *
+blockCacheModeName(BlockCacheMode mode)
+{
+    switch (mode) {
+      case BlockCacheMode::On: return "on";
+      case BlockCacheMode::Off: return "off";
+      case BlockCacheMode::Verify: return "verify";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** Ops that load the mult/div unit's busy timer (set multReadyCycle). */
+bool
+loadsMultTimer(Op op)
+{
+    switch (op) {
+      case Op::Mult: case Op::Multu: case Op::Div: case Op::Divu:
+      case Op::Maddu: case Op::M2addu: case Op::Addau:
+      case Op::Mulgf2: case Op::Maddgf2:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Ops that interlock on the unit (Pete::waitMultUnit callers). */
+bool
+interlocksOnMultUnit(Op op)
+{
+    InstClass cls = classOf(op);
+    return cls == InstClass::MulDiv || cls == InstClass::HiLoMove;
+}
+
+/** Ops counted in PeteStats::multIssues (not Addau/Sha). */
+bool
+countsMultIssue(Op op)
+{
+    switch (op) {
+      case Op::Mult: case Op::Multu: case Op::Maddu: case Op::M2addu:
+      case Op::Mulgf2: case Op::Maddgf2:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+countsDivIssue(Op op)
+{
+    return op == Op::Div || op == Op::Divu;
+}
+
+} // namespace
+
+bool
+BlockCache::runBlock(Pete &cpu)
+{
+    stats_.lookups++;
+    uint32_t pc = cpu.pc_;
+    Block *b;
+    if (pc == lastPc_ && lastBlock_
+        && lastBlock_->generation == cpu.mem_.romGeneration()) {
+        // One-entry dispatch memo: a hot loop re-enters the same block
+        // back to back; its entry checks already passed last time.
+        b = lastBlock_;
+    } else {
+        // A misaligned or non-ROM pc faults in fetch; one slow step
+        // raises it with exact accounting and the exact message.
+        if ((pc & 3) != 0 || !MemorySystem::inRom(pc))
+            return slowWalk(cpu, 1);
+        b = blockFor(cpu, pc);
+        if (!b)
+            return slowWalk(cpu, 1); // table full: degrade gracefully
+    }
+    if (b->state == Block::State::Unmemoizable)
+        return slowWalk(cpu, b->insts.size());
+    // Icache residency: replay is only valid when every line the
+    // block touches would hit, because a hit is pure counter bumps
+    // (no cache state changes).  The slow walk below warms the lines,
+    // so the *next* visit records or replays.
+    if (cpu.icache_) {
+        uint32_t lineBytes = cpu.icache_->config().lineBytes;
+        uint32_t first = pc & ~(lineBytes - 1);
+        uint32_t last =
+            (pc + 4 * (uint32_t(b->insts.size()) - 1)) & ~(lineBytes - 1);
+        for (uint32_t la = first; la <= last; la += lineBytes) {
+            if (!cpu.icache_->resident(la))
+                return slowWalk(cpu, b->insts.size());
+        }
+    }
+    // Entry timing context: mult-unit countdown (only when the block
+    // interlocks on the unit) and load-use exposure of the first
+    // instruction (the interlock only ever looks one step back).
+    uint32_t countdown = 0;
+    if (b->waitsMultUnit && cpu.multReadyCycle_ > cpu.stats_.cycles) {
+        uint64_t cd = cpu.multReadyCycle_ - cpu.stats_.cycles;
+        if (cd > kMaxCountdown)
+            return slowWalk(cpu, b->insts.size());
+        countdown = uint32_t(cd);
+    }
+    bool loadUse0 = cpu.lastLoadDest_ != 0
+        && cpu.lastLoadInstr_ == cpu.stats_.instructions
+        && ((b->src0Mask >> cpu.lastLoadDest_) & 1u) != 0;
+    uint32_t key = countdown | (loadUse0 ? 1u << 8 : 0u);
+    Timing *t = findTiming(*b, key);
+    if (!t)
+        return record(cpu, *b, key);
+    if (mode_ == BlockCacheMode::Verify
+        && ++verifyTick_ % kVerifyPeriod == 0)
+        return shadowVerify(cpu, *b, *t);
+    return replay(cpu, *b, *t);
+}
+
+BlockCache::Block *
+BlockCache::blockFor(Pete &cpu, uint32_t pc)
+{
+    auto it = blocks_.find(pc);
+    if (it == blocks_.end()) {
+        if (blocks_.size() >= kMaxBlocks)
+            return nullptr;
+        it = blocks_.emplace(pc, Block{}).first;
+        discover(cpu, it->second, pc);
+    } else if (it->second.generation != cpu.mem_.romGeneration()) {
+        // Text changed under us (a fault-injection strike through
+        // mem().corrupt32): drop everything derived from the old
+        // image and re-scan the current words.
+        stats_.invalidations++;
+        it->second = Block{};
+        discover(cpu, it->second, pc);
+    }
+    lastPc_ = pc;
+    lastBlock_ = &it->second; // stable: unordered_map nodes don't move
+    return lastBlock_;
+}
+
+void
+BlockCache::discover(Pete &cpu, Block &b, uint32_t pc)
+{
+    b.entryPc = pc;
+    b.generation = cpu.mem_.romGeneration();
+    b.state = Block::State::Unmemoizable;
+    // Body scan: straight-line replayable ops up to the length cap.
+    uint32_t p = pc;
+    while (b.insts.size() < kMaxBlockLen) {
+        if (!MemorySystem::inRom(p))
+            return; // ran off the text; the slow walk faults exactly
+        DecodedInst inst = decode(cpu.mem_.peek32(p));
+        if (endsBasicBlock(inst.op)) {
+            b.insts.push_back(inst);
+            InstClass cls = classOf(inst.op);
+            if (cls != InstClass::Branch && cls != InstClass::Jump)
+                return; // Syscall/Break/Invalid: slow-walk territory
+            b.termIndex = int(b.insts.size()) - 1;
+            break;
+        }
+        if (!blockReplayable(inst.op)) {
+            b.insts.push_back(inst); // Cop2: slow-walk through it
+            return;
+        }
+        b.insts.push_back(inst);
+        p += 4;
+    }
+    if (b.termIndex >= 0) {
+        // The delay slot belongs to the block: it retires after the
+        // branch but before the redirect takes effect.
+        uint32_t dp = b.entryPc + 4 * uint32_t(b.termIndex) + 4;
+        if (!MemorySystem::inRom(dp))
+            return;
+        DecodedInst ds = decode(cpu.mem_.peek32(dp));
+        if (!blockReplayable(ds.op) || endsBasicBlock(ds.op))
+            return; // control flow / cop2 / system in a delay slot
+        Op term = b.insts[size_t(b.termIndex)].op;
+        bool cond = classOf(term) == InstClass::Branch;
+        if (cond && interlocksOnMultUnit(ds.op))
+            return; // its stall would depend on the branch outcome
+        b.insts.push_back(ds);
+        b.condBranch = cond;
+        b.jumpStalls = (term == Op::Jr || term == Op::Jalr) ? 1 : 0;
+    }
+    // A block that hits the cap with no terminator is a plain
+    // straight-line run: perfectly memoizable, exits at entry + 4n.
+    for (const DecodedInst &inst : b.insts) {
+        if (loadsMultTimer(inst.op))
+            b.issuesMultUnit = true;
+        if (interlocksOnMultUnit(inst.op))
+            b.waitsMultUnit = true;
+        if (countsMultIssue(inst.op))
+            b.multIssues++;
+        if (countsDivIssue(inst.op))
+            b.divIssues++;
+    }
+    int srcs[2];
+    int n = srcGprs(b.insts[0], srcs);
+    for (int i = 0; i < n; ++i)
+        b.src0Mask |= 1u << srcs[i];
+    const DecodedInst &last = b.insts.back();
+    b.exitLoadDest = classOf(last.op) == InstClass::Load
+        ? uint8_t(destGpr(last)) : 0;
+    b.state = Block::State::Ready;
+}
+
+BlockCache::Timing *
+BlockCache::findTiming(Block &b, uint32_t key)
+{
+    for (Timing &t : b.timings)
+        if (t.key == key)
+            return &t;
+    return nullptr;
+}
+
+bool
+BlockCache::slowWalk(Pete &cpu, size_t steps)
+{
+    // Walking a known extent without re-dispatching per pc is safe
+    // because everything before a block's last instruction is
+    // non-control by construction; faults and halts are the slow
+    // path's own, hence exact.
+    stats_.slowWalks++;
+    if (steps == 0)
+        steps = 1;
+    for (size_t i = 0; i < steps; ++i)
+        if (!cpu.stepUnchecked())
+            return false;
+    return true;
+}
+
+bool
+BlockCache::record(Pete &cpu, Block &b, uint32_t key)
+{
+    // First visit under this context: execute through the slow path
+    // (exact by definition) and capture what each step charged.
+    PeteStats &s = cpu.stats_;
+    const uint64_t entryCycles = s.cycles;
+    Timing t;
+    t.key = key;
+    const size_t n = b.insts.size();
+    t.steps.reserve(n);
+    bool usable = true;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t c0 = s.cycles;
+        uint64_t lu0 = s.loadUseStalls;
+        uint64_t mb0 = s.multBusyStalls;
+        uint64_t bm0 = s.branchMispredicts;
+        uint64_t ic0 = s.icacheStalls;
+        uint64_t mr0 = cpu.multReadyCycle_;
+        bool alive = cpu.stepUnchecked(); // a fault propagates: exact
+        StepTiming st;
+        st.cycles = uint32_t(s.cycles - c0);
+        st.loadUse = uint8_t(s.loadUseStalls - lu0);
+        st.multBusy = uint32_t(s.multBusyStalls - mb0);
+        st.multReadyRelAfter = cpu.multReadyCycle_ != mr0
+            ? uint32_t(cpu.multReadyCycle_ - entryCycles)
+            : kNoIssue;
+        if (int(i) == b.termIndex) {
+            // The mispredict flush is data-dependent; replay charges
+            // it live after resolving the branch direction.
+            st.cycles -= uint32_t(s.branchMispredicts - bm0);
+        }
+        // Defensive: residency was established at dispatch, so no
+        // fill stall can appear; if one somehow does, the context
+        // didn't capture this execution and the timing is unusable.
+        if (s.icacheStalls != ic0 || !alive)
+            usable = false;
+        t.steps.push_back(st);
+        t.totalCycles += st.cycles;
+        t.totalLoadUse += st.loadUse;
+        t.totalMultBusy += st.multBusy;
+    }
+    if (usable && b.issuesMultUnit)
+        t.exitMultReadyRel = uint32_t(cpu.multReadyCycle_ - entryCycles);
+    if (usable && b.timings.size() < kMaxTimingsPerBlock) {
+        b.timings.push_back(std::move(t));
+        stats_.records++;
+    }
+    return !cpu.halted_;
+}
+
+ULECC_ALWAYS_INLINE void
+BlockCache::leanExec(Pete &cpu, const DecodedInst &inst)
+{
+    auto rs = [&] { return cpu.regs_[inst.rs]; };
+    auto rt = [&] { return cpu.regs_[inst.rt]; };
+    auto wr = [&](int r, uint32_t v) { cpu.setReg(r, v); };
+    MemorySystem &mem = cpu.mem_;
+
+    switch (inst.op) {
+      case Op::Sll:
+        wr(inst.rd, rt() << inst.shamt);
+        break;
+      case Op::Srl:
+        wr(inst.rd, rt() >> inst.shamt);
+        break;
+      case Op::Sra:
+        wr(inst.rd, static_cast<uint32_t>(
+               static_cast<int32_t>(rt()) >> inst.shamt));
+        break;
+      case Op::Sllv:
+        wr(inst.rd, rt() << (rs() & 31));
+        break;
+      case Op::Srlv:
+        wr(inst.rd, rt() >> (rs() & 31));
+        break;
+      case Op::Srav:
+        wr(inst.rd, static_cast<uint32_t>(
+               static_cast<int32_t>(rt()) >> (rs() & 31)));
+        break;
+      case Op::Add:
+      case Op::Addu:
+        wr(inst.rd, rs() + rt());
+        break;
+      case Op::Sub:
+      case Op::Subu:
+        wr(inst.rd, rs() - rt());
+        break;
+      case Op::And:
+        wr(inst.rd, rs() & rt());
+        break;
+      case Op::Or:
+        wr(inst.rd, rs() | rt());
+        break;
+      case Op::Xor:
+        wr(inst.rd, rs() ^ rt());
+        break;
+      case Op::Nor:
+        wr(inst.rd, ~(rs() | rt()));
+        break;
+      case Op::Slt:
+        wr(inst.rd, static_cast<int32_t>(rs()) < static_cast<int32_t>(rt())
+           ? 1 : 0);
+        break;
+      case Op::Sltu:
+        wr(inst.rd, rs() < rt() ? 1 : 0);
+        break;
+      case Op::Addi:
+      case Op::Addiu:
+        wr(inst.rt, rs() + static_cast<uint32_t>(inst.simm));
+        break;
+      case Op::Slti:
+        wr(inst.rt, static_cast<int32_t>(rs()) < inst.simm ? 1 : 0);
+        break;
+      case Op::Sltiu:
+        wr(inst.rt, rs() < static_cast<uint32_t>(inst.simm) ? 1 : 0);
+        break;
+      case Op::Andi:
+        wr(inst.rt, rs() & inst.uimm);
+        break;
+      case Op::Ori:
+        wr(inst.rt, rs() | inst.uimm);
+        break;
+      case Op::Xori:
+        wr(inst.rt, rs() ^ inst.uimm);
+        break;
+      case Op::Lui:
+        wr(inst.rt, inst.uimm << 16);
+        break;
+      case Op::Lb:
+        wr(inst.rt, static_cast<uint32_t>(static_cast<int32_t>(
+               static_cast<int8_t>(mem.read8(rs() + inst.simm)))));
+        break;
+      case Op::Lbu:
+        wr(inst.rt, mem.read8(rs() + inst.simm));
+        break;
+      case Op::Lh:
+        wr(inst.rt, static_cast<uint32_t>(static_cast<int32_t>(
+               static_cast<int16_t>(mem.read16(rs() + inst.simm)))));
+        break;
+      case Op::Lhu:
+        wr(inst.rt, mem.read16(rs() + inst.simm));
+        break;
+      case Op::Lw:
+        wr(inst.rt, mem.read32(rs() + inst.simm));
+        break;
+      case Op::Sb:
+        mem.write8(rs() + inst.simm, rt());
+        break;
+      case Op::Sh:
+        mem.write16(rs() + inst.simm, rt());
+        break;
+      case Op::Sw:
+        mem.write32(rs() + inst.simm, rt());
+        break;
+      case Op::Mult:
+      case Op::Multu: {
+        KaratsubaUnit unit;
+        unit.set(cpu.hi_, cpu.lo_, cpu.ovflo_);
+        unit.execute(inst.op == Op::Mult ? KaratsubaOp::Mult
+                                         : KaratsubaOp::Multu,
+                     rs(), rt());
+        cpu.hi_ = unit.hi();
+        cpu.lo_ = unit.lo();
+        break;
+      }
+      case Op::Div: {
+        int32_t a = static_cast<int32_t>(rs());
+        int32_t b = static_cast<int32_t>(rt());
+        cpu.lo_ = b ? static_cast<uint32_t>(a / b) : 0;
+        cpu.hi_ = b ? static_cast<uint32_t>(a % b) : 0;
+        break;
+      }
+      case Op::Divu: {
+        uint32_t a = rs(), b = rt();
+        cpu.lo_ = b ? a / b : 0;
+        cpu.hi_ = b ? a % b : 0;
+        break;
+      }
+      case Op::Mfhi:
+        wr(inst.rd, cpu.hi_);
+        break;
+      case Op::Mflo:
+        wr(inst.rd, cpu.lo_);
+        break;
+      case Op::Mthi:
+        cpu.hi_ = rs();
+        break;
+      case Op::Mtlo:
+        cpu.lo_ = rs();
+        break;
+      case Op::Maddu:
+      case Op::M2addu: {
+        KaratsubaUnit unit;
+        unit.set(cpu.hi_, cpu.lo_, cpu.ovflo_);
+        unit.execute(inst.op == Op::Maddu ? KaratsubaOp::Maddu
+                                          : KaratsubaOp::M2addu,
+                     rs(), rt());
+        cpu.hi_ = unit.hi();
+        cpu.lo_ = unit.lo();
+        cpu.ovflo_ = unit.ovflo();
+        break;
+      }
+      case Op::Addau: {
+        uint64_t p = (static_cast<uint64_t>(rs()) << 32) | rt();
+        uint64_t old = (static_cast<uint64_t>(cpu.hi_) << 32) | cpu.lo_;
+        uint64_t sum = old + p;
+        if (sum < old)
+            cpu.ovflo_ += 1;
+        cpu.lo_ = static_cast<uint32_t>(sum);
+        cpu.hi_ = static_cast<uint32_t>(sum >> 32);
+        break;
+      }
+      case Op::Sha:
+        cpu.lo_ = cpu.hi_;
+        cpu.hi_ = cpu.ovflo_;
+        cpu.ovflo_ = 0;
+        break;
+      case Op::Mulgf2:
+      case Op::Maddgf2: {
+        KaratsubaUnit unit;
+        unit.set(cpu.hi_, cpu.lo_, cpu.ovflo_);
+        unit.execute(inst.op == Op::Mulgf2 ? KaratsubaOp::Mulgf2
+                                           : KaratsubaOp::Maddgf2,
+                     rs(), rt());
+        cpu.hi_ = unit.hi();
+        cpu.lo_ = unit.lo();
+        cpu.ovflo_ = unit.ovflo();
+        break;
+      }
+      default:
+        // Unreachable: discover() only admits replayable body ops.
+        throw UleccError(Errc::Internal,
+                         "BlockCache: non-replayable op in block body");
+    }
+}
+
+bool
+BlockCache::replay(Pete &cpu, Block &b, const Timing &t)
+{
+    PeteStats &s = cpu.stats_;
+    const uint64_t entryCycles = s.cycles;
+    const size_t n = b.insts.size();
+    const uint32_t entryPc = b.entryPc;
+    bool mispredicted = false;
+    uint32_t nextPc = entryPc + 4 * uint32_t(n);
+    try {
+        // Fault-point bookkeeping lives in members (not locals read
+        // by the catch block), so the loop's induction variable can
+        // stay in a register across the potentially-throwing memory
+        // accesses; the only per-step overhead is one store.
+        const DecodedInst *insts = b.insts.data();
+        const size_t bodyEnd = b.termIndex >= 0 ? size_t(b.termIndex) : n;
+        for (size_t i = 0; i < bodyEnd; ++i) {
+            replayStep_ = i;
+            leanExec(cpu, insts[i]);
+        }
+        if (b.termIndex >= 0) {
+            replayStep_ = bodyEnd;
+            TermResult r = resolveTerminator(cpu, b, insts[bodyEnd]);
+            nextPc = replayNextPc_ = r.nextPc;
+            mispredicted = replayMispredicted_ = r.mispredicted;
+            if (bodyEnd + 1 < n) {
+                replayStep_ = bodyEnd + 1; // the delay slot
+                leanExec(cpu, insts[bodyEnd + 1]);
+            }
+        }
+    } catch (const UleccError &) {
+        // Reconstruct the exact slow-path accounting at the fault
+        // point: steps 0..i-1 retired fully; step i fetched, charged
+        // its base cycle plus any load-use slip, then faulted in
+        // execute.  Only memory ops throw out of leanExec, and those
+        // charge nothing further before the access, so step i's
+        // recorded deltas *are* its pre-fault deltas.
+        const size_t i = replayStep_;
+        const bool pastTerm = b.termIndex >= 0 && i > size_t(b.termIndex);
+        for (size_t j = 0; j <= i && j < t.steps.size(); ++j) {
+            s.cycles += t.steps[j].cycles;
+            s.loadUseStalls += t.steps[j].loadUse;
+            s.multBusyStalls += t.steps[j].multBusy;
+        }
+        s.instructions += i + 1;
+        if (pastTerm) {
+            if (b.condBranch) {
+                s.branches++;
+                if (replayMispredicted_) {
+                    s.branchMispredicts++;
+                    s.cycles++;
+                }
+            }
+            s.jumpStalls += b.jumpStalls;
+        }
+        uint32_t mrel = kNoIssue;
+        for (size_t j = 0; j < i && j < t.steps.size(); ++j) {
+            Op op = b.insts[j].op;
+            if (countsMultIssue(op))
+                s.multIssues++;
+            if (countsDivIssue(op))
+                s.divIssues++;
+            if (t.steps[j].multReadyRelAfter != kNoIssue)
+                mrel = t.steps[j].multReadyRelAfter;
+        }
+        if (mrel != kNoIssue)
+            cpu.multReadyCycle_ = entryCycles + mrel;
+        if (cpu.icache_)
+            cpu.icache_->creditResidentFetches(i + 1);
+        else
+            cpu.mem_.romFetchCounters().reads += i + 1;
+        if (i > 0) {
+            const DecodedInst &prev = b.insts[i - 1];
+            cpu.lastLoadDest_ = classOf(prev.op) == InstClass::Load
+                ? destGpr(prev) : 0;
+            cpu.lastLoadInstr_ = s.instructions - 1;
+        }
+        cpu.pc_ = entryPc + 4 * uint32_t(i);
+        cpu.npc_ = (pastTerm && i + 1 == n) ? replayNextPc_ : cpu.pc_ + 4;
+        throw;
+    }
+    s.cycles += t.totalCycles;
+    s.instructions += n;
+    s.loadUseStalls += t.totalLoadUse;
+    s.multBusyStalls += t.totalMultBusy;
+    s.jumpStalls += b.jumpStalls;
+    if (b.condBranch) {
+        s.branches++;
+        if (mispredicted) {
+            s.branchMispredicts++;
+            s.cycles++;
+        }
+    }
+    s.multIssues += b.multIssues;
+    s.divIssues += b.divIssues;
+    if (cpu.icache_)
+        cpu.icache_->creditResidentFetches(n);
+    else
+        cpu.mem_.romFetchCounters().reads += n;
+    if (b.issuesMultUnit)
+        cpu.multReadyCycle_ = entryCycles + t.exitMultReadyRel;
+    cpu.lastLoadDest_ = b.exitLoadDest;
+    cpu.lastLoadInstr_ = s.instructions;
+    cpu.pc_ = nextPc;
+    cpu.npc_ = nextPc + 4;
+    stats_.replays++;
+    stats_.replayedInstructions += n;
+    return true; // Ready blocks contain no halting op
+}
+
+bool
+BlockCache::shadowVerify(Pete &cpu, Block &b, const Timing &t)
+{
+    // Execute through the slow path (authoritative), then cross-check
+    // the memoized deltas against what it actually charged.  A
+    // mismatch is a simulator invariant breach, not a simulated
+    // fault: Errc::Internal.
+    stats_.shadowVerifies++;
+    PeteStats before = cpu.stats_;
+    const size_t n = b.insts.size();
+    for (size_t i = 0; i < n; ++i)
+        if (!cpu.stepUnchecked())
+            return false; // defensive; Ready blocks never halt
+    const PeteStats &s = cpu.stats_;
+    uint64_t mispredicts = s.branchMispredicts - before.branchMispredicts;
+    bool okay = s.instructions - before.instructions == n
+        && s.cycles - before.cycles == t.totalCycles + mispredicts
+        && s.loadUseStalls - before.loadUseStalls == t.totalLoadUse
+        && s.multBusyStalls - before.multBusyStalls == t.totalMultBusy
+        && s.jumpStalls - before.jumpStalls == b.jumpStalls
+        && s.branches - before.branches == (b.condBranch ? 1u : 0u)
+        && s.icacheStalls == before.icacheStalls
+        && s.multIssues - before.multIssues == b.multIssues
+        && s.divIssues - before.divIssues == b.divIssues
+        && (!b.issuesMultUnit
+            || cpu.multReadyCycle_ == before.cycles + t.exitMultReadyRel);
+    if (!okay)
+        throw UleccError(Errc::Internal,
+                         "BlockCache: shadow-verify divergence at pc="
+                         + std::to_string(b.entryPc));
+    return !cpu.halted_;
+}
+
+BlockCache::TermResult
+BlockCache::resolveTerminator(Pete &cpu, const Block &b,
+                              const DecodedInst &inst)
+{
+    uint32_t branchPc = b.entryPc + 4 * uint32_t(b.termIndex);
+    auto rs = [&] { return cpu.regs_[inst.rs]; };
+    auto rt = [&] { return cpu.regs_[inst.rt]; };
+    // Semi-live conditional branch: predict and train the real
+    // bimodal array exactly as doBranch does, but let the caller
+    // charge the branches/mispredict counters (bulk application on
+    // the success path, reconstruction on the fault path).
+    auto branch = [&](bool taken) {
+        bool predicted = cpu.predictTaken(branchPc);
+        cpu.trainPredictor(branchPc, taken);
+        uint32_t target =
+            branchPc + 4 + (static_cast<uint32_t>(inst.simm) << 2);
+        return TermResult{taken ? target : branchPc + 8,
+                          predicted != taken};
+    };
+    switch (inst.op) {
+      case Op::Beq: return branch(rs() == rt());
+      case Op::Bne: return branch(rs() != rt());
+      case Op::Blez: return branch(static_cast<int32_t>(rs()) <= 0);
+      case Op::Bgtz: return branch(static_cast<int32_t>(rs()) > 0);
+      case Op::Bltz: return branch(static_cast<int32_t>(rs()) < 0);
+      case Op::Bgez: return branch(static_cast<int32_t>(rs()) >= 0);
+      case Op::J:
+        return {((branchPc + 4) & 0xF0000000u) | (inst.target << 2),
+                false};
+      case Op::Jal:
+        cpu.setReg(31, branchPc + 8);
+        return {((branchPc + 4) & 0xF0000000u) | (inst.target << 2),
+                false};
+      case Op::Jr:
+        return {rs(), false};
+      case Op::Jalr:
+        // Link first, then read the target -- the slow path's order,
+        // which matters when rd aliases rs.
+        cpu.setReg(inst.rd, branchPc + 8);
+        return {rs(), false};
+      default:
+        throw UleccError(Errc::Internal,
+                         "BlockCache: non-terminator in terminator slot");
+    }
+}
+
+} // namespace ulecc

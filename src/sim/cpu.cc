@@ -5,6 +5,8 @@
 
 #include "sim/cpu.hh"
 
+#include <cstdlib>
+
 #include "mpint/binary_field.hh" // clmul32 for the GF(2) extensions
 #include "sim/karatsuba_unit.hh"
 
@@ -89,6 +91,12 @@ Pete::Pete(const Program &program, const PeteConfig &config)
         icache_ = std::make_unique<ICache>(config_.icache);
         icache_->invalidateAll();
     }
+    if (config_.blockCache) {
+        BlockCacheMode mode =
+            parseBlockCacheMode(std::getenv("ULECC_BLOCK_CACHE"));
+        if (mode != BlockCacheMode::Off)
+            blockCache_ = std::make_unique<BlockCache>(mode);
+    }
     predictor_.fill(1); // weakly not-taken
     // Bare-metal convention: stack at the top of RAM.
     regs_[29] = MemoryMap::ramBase + MemoryMap::ramSize - 16;
@@ -115,22 +123,6 @@ Pete::fetch(uint32_t addr)
     stats_.cycles += stall;
     mem_.romFetchCounters().wideReads = icache_->romWideReads();
     return mem_.peek32(addr);
-}
-
-bool
-Pete::predictTaken(uint32_t pc)
-{
-    return predictor_[(pc >> 2) % predictor_.size()] >= 2;
-}
-
-void
-Pete::trainPredictor(uint32_t pc, bool taken)
-{
-    uint8_t &ctr = predictor_[(pc >> 2) % predictor_.size()];
-    if (taken && ctr < 3)
-        ++ctr;
-    else if (!taken && ctr > 0)
-        --ctr;
 }
 
 void
@@ -266,6 +258,18 @@ Pete::runChecked()
                 if (budgetExhausted())
                     return budgetError();
                 step();
+            }
+        } else if (blockCache_) {
+            // Block-memoized fast path (hook-free only): hot basic
+            // blocks retire as one memo lookup plus a lean
+            // architectural replay.  The budget is polled once per
+            // block, so a diverging program can coast at most one
+            // block (BlockCache::kMaxBlockLen + 1 instructions) past
+            // the limit -- tighter than the batched interval below.
+            while (!halted_) {
+                if (budgetExhausted())
+                    return budgetError();
+                blockCache_->runBlock(*this);
             }
         } else {
             // Hook-free fast path: the hook dispatch and the budget

@@ -31,6 +31,7 @@
 #include "asmkit/assembler.hh"
 #include "base/error.hh"
 #include "isa/isa.hh"
+#include "sim/block_cache.hh"
 #include "sim/icache.hh"
 #include "sim/memory.hh"
 
@@ -89,6 +90,17 @@ struct PeteConfig
      * validated against the fetched word and re-decoded on mismatch.
      */
     bool predecode = true;
+    /**
+     * Memoize hot basic blocks' timing so steady-state loop
+     * iterations retire as one lookup plus a lean architectural
+     * replay (src/sim/block_cache.hh).  Bit-identical PeteStats and
+     * architectural state either way; also gated by the
+     * $ULECC_BLOCK_CACHE tri-state ("0"/"off" disables, "verify"
+     * adds sampled shadow re-execution).  Only the hook-free
+     * runChecked loop engages it, so tracers, profilers, and fault
+     * injectors (all StepHooks) transparently get the slow path.
+     */
+    bool blockCache = true;
 };
 
 /**
@@ -180,6 +192,10 @@ class Pete
 
     uint32_t pc() const { return pc_; }
     void setPc(uint32_t pc);
+
+    /** Raises (or lowers) the cycle budget; lets a caller resume a
+     *  run that stopped on Errc::SimTimeout. */
+    void setMaxCycles(uint64_t maxCycles) { config_.maxCycles = maxCycles; }
     uint32_t hi() const { return hi_; }
     uint32_t lo() const { return lo_; }
     void setHi(uint32_t v) { hi_ = v; }
@@ -193,6 +209,20 @@ class Pete
 
     const PeteStats &stats() const { return stats_; }
     const ICache *icache() const { return icache_.get(); }
+
+    /** Block-timing memo counters, or nullptr when it is disabled. */
+    const BlockCacheStats *
+    blockCacheStats() const
+    {
+        return blockCache_ ? &blockCache_->stats() : nullptr;
+    }
+
+    /** The memo's effective operating mode (Off when disabled). */
+    BlockCacheMode
+    blockCacheMode() const
+    {
+        return blockCache_ ? blockCache_->mode() : BlockCacheMode::Off;
+    }
 
     /** Current cycle count (monotonic simulated time). */
     uint64_t cycle() const { return stats_.cycles; }
@@ -238,15 +268,35 @@ class Pete
 
     void waitMultUnit();
     void execute(const DecodedInst &inst);
-    bool predictTaken(uint32_t pc);
-    void trainPredictor(uint32_t pc, bool taken);
+
+    bool
+    predictTaken(uint32_t pc)
+    {
+        return predictor_[(pc >> 2) % predictor_.size()] >= 2;
+    }
+
+    void
+    trainPredictor(uint32_t pc, bool taken)
+    {
+        uint8_t &ctr = predictor_[(pc >> 2) % predictor_.size()];
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+    }
+
     void doBranch(bool taken, int32_t disp);
+
+    /// The block-timing memo reaches into the pipeline state (it must
+    /// replicate the slow path's accounting bit-for-bit).
+    friend class BlockCache;
 
     PeteConfig config_;
     MemorySystem mem_;
     std::vector<DecodedInst> predecoded_; ///< one entry per text word
     DecodedInst scratchInst_; ///< slow-path decode target
     std::unique_ptr<ICache> icache_;
+    std::unique_ptr<BlockCache> blockCache_; ///< null when disabled
     Cop2 *cop2_ = nullptr;
     StepHook *hook_ = nullptr;
 

@@ -1,6 +1,8 @@
 /**
  * @file
- * KaratsubaUnit implementation.
+ * KaratsubaUnit: the carry-less (GF(2)) datapath.  The integer
+ * datapath lives inline in the header so the simulator's hot loops
+ * can fold away the trace bookkeeping.
  */
 
 #include "sim/karatsuba_unit.hh"
@@ -12,31 +14,6 @@ namespace ulecc
 
 namespace
 {
-
-/** Unsigned 32x32 product via three 17x17 products (Eq. 5.1). */
-uint64_t
-karatsubaU32(uint32_t a, uint32_t b, KaratsubaTrace &trace)
-{
-    uint32_t ah = a >> 16, al = a & 0xFFFF;
-    uint32_t bh = b >> 16, bl = b & 0xFFFF;
-    // Cycle 1: low product.
-    int64_t p_lo = static_cast<int64_t>(al) * bl;
-    // Cycle 2: high product.
-    int64_t p_hi = static_cast<int64_t>(ah) * bh;
-    // Cycle 3: signed middle product (AH-AL)*(BL-BH), 17x17.
-    int64_t p_mid = (static_cast<int64_t>(ah) - al)
-        * (static_cast<int64_t>(bl) - bh);
-    trace.halfMultiplies += 3;
-    trace.subProducts[0] = p_lo;
-    trace.subProducts[1] = p_hi;
-    trace.subProducts[2] = p_mid;
-    // Cycle 4: the four-port adder recombines:
-    //   P = p_hi << 32 + (p_mid + p_hi + p_lo) << 16 + p_lo.
-    int64_t mid = p_mid + p_hi + p_lo; // == AH*BL + AL*BH
-    return static_cast<uint64_t>(
-        (static_cast<int64_t>(p_hi) << 32)
-        + (mid << 16) + p_lo);
-}
 
 /** Carry-less 32x32 product via three 16x16 carry-less products. */
 uint64_t
@@ -59,46 +36,11 @@ karatsubaGf2(uint32_t a, uint32_t b, KaratsubaTrace &trace)
 
 } // namespace
 
-KaratsubaTrace
-KaratsubaUnit::execute(KaratsubaOp op, uint32_t rs, uint32_t rt)
+void
+KaratsubaUnit::executeGf2(KaratsubaOp op, uint32_t rs, uint32_t rt,
+                          KaratsubaTrace &trace)
 {
-    KaratsubaTrace trace;
-    trace.cycles = 4;
     switch (op) {
-      case KaratsubaOp::Mult: {
-        // Signed: run the unsigned datapath on magnitudes; the sign
-        // fix-up shares the final adder cycle.
-        bool neg = (static_cast<int32_t>(rs) < 0)
-            != (static_cast<int32_t>(rt) < 0);
-        uint32_t ma = static_cast<int32_t>(rs) < 0 ? 0u - rs : rs;
-        uint32_t mb = static_cast<int32_t>(rt) < 0 ? 0u - rt : rt;
-        uint64_t p = karatsubaU32(ma, mb, trace);
-        if (neg)
-            p = 0ull - p;
-        lo_ = static_cast<uint32_t>(p);
-        hi_ = static_cast<uint32_t>(p >> 32);
-        break;
-      }
-      case KaratsubaOp::Multu: {
-        uint64_t p = karatsubaU32(rs, rt, trace);
-        lo_ = static_cast<uint32_t>(p);
-        hi_ = static_cast<uint32_t>(p >> 32);
-        break;
-      }
-      case KaratsubaOp::Maddu:
-      case KaratsubaOp::M2addu: {
-        uint64_t p = karatsubaU32(rs, rt, trace);
-        int reps = (op == KaratsubaOp::M2addu) ? 2 : 1;
-        for (int r = 0; r < reps; ++r) {
-            uint64_t acc = (static_cast<uint64_t>(hi_) << 32) | lo_;
-            uint64_t sum = acc + p;
-            if (sum < acc)
-                ovflo_ += 1;
-            lo_ = static_cast<uint32_t>(sum);
-            hi_ = static_cast<uint32_t>(sum >> 32);
-        }
-        break;
-      }
       case KaratsubaOp::Mulgf2: {
         uint64_t p = karatsubaGf2(rs, rt, trace);
         lo_ = static_cast<uint32_t>(p);
@@ -112,8 +54,9 @@ KaratsubaUnit::execute(KaratsubaOp op, uint32_t rs, uint32_t rt)
         hi_ ^= static_cast<uint32_t>(p >> 32);
         break;
       }
+      default:
+        break; // integer ops are handled inline in execute()
     }
-    return trace;
 }
 
 } // namespace ulecc

@@ -44,6 +44,9 @@ MemorySystem::loadRom(const std::vector<uint32_t> &words)
         throw UleccError(Errc::MemFault, "program too large for 256KB ROM");
     for (size_t i = 0; i < words.size(); ++i)
         std::memcpy(&rom_[4 * i], &words[i], 4);
+    // ROM below the image is now initialised; the rest stays
+    // unmaterialised until something actually reaches past the text.
+    rom_.markWritten(words.size() * 4);
 }
 
 uint8_t *
@@ -54,6 +57,10 @@ MemorySystem::locate(uint32_t addr, uint32_t size, bool write)
             memFault("write to ROM", addr);
         if (addr + size > MemoryMap::romSize)
             memFault("ROM access out of range", addr);
+        // One-time zero-fill when an access reaches past the loaded
+        // image (ROM above the program reads as zeros).
+        if (addr + size > rom_.valid())
+            rom_.materialize();
         return &rom_[addr];
     }
     if (inRam(addr)) {
@@ -66,7 +73,7 @@ MemorySystem::locate(uint32_t addr, uint32_t size, bool write)
 }
 
 uint32_t
-MemorySystem::fetch(uint32_t addr)
+MemorySystem::fetchGeneral(uint32_t addr)
 {
     checkAlign(addr, 4, "fetch");
     uint32_t v;
@@ -84,7 +91,7 @@ MemorySystem::fetchLine(uint32_t addr, uint32_t out[4])
 }
 
 uint32_t
-MemorySystem::peek32(uint32_t addr)
+MemorySystem::peek32General(uint32_t addr)
 {
     checkAlign(addr, 4, "peek32");
     uint32_t v;
@@ -109,10 +116,12 @@ MemorySystem::corrupt32(uint32_t addr, uint32_t mask)
     std::memcpy(&v, p, 4);
     v ^= mask;
     std::memcpy(p, &v, 4);
+    if (inRom(addr))
+        romGeneration_++;
 }
 
 uint32_t
-MemorySystem::read32(uint32_t addr)
+MemorySystem::read32General(uint32_t addr)
 {
     checkAlign(addr, 4, "read32");
     uint32_t v;
@@ -140,7 +149,7 @@ MemorySystem::read16(uint32_t addr)
 }
 
 void
-MemorySystem::write32(uint32_t addr, uint32_t value)
+MemorySystem::write32General(uint32_t addr, uint32_t value)
 {
     checkAlign(addr, 4, "write32");
     std::memcpy(locate(addr, 4, true), &value, 4);

@@ -10,12 +10,111 @@
 #define ULECC_SIM_MEMORY_HH
 
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
 #include <vector>
 
 #include "base/error.hh"
 
 namespace ulecc
 {
+
+/**
+ * Byte buffer with zero-on-demand semantics.  Reads are only valid
+ * below the watermark set by zeroTo(); materialize() zero-fills the
+ * remainder once, on first use.
+ *
+ * Rationale: a MemorySystem is built per simulated kernel (the
+ * design-space sweeps build thousands), and eagerly clearing the
+ * 256 KB ROM dominated short kernels' wall time even though a program
+ * occupies -- and almost always stays within -- a few KB of it.  The
+ * ROM therefore starts uninitialised with the watermark at the loaded
+ * image's end, and only an access beyond the image pays the one-time
+ * fill.  (calloc cannot deliver this: glibc's adaptive mmap threshold
+ * sends repeated 256 KB allocations to the heap, where calloc must
+ * memset; direct mmap's syscall pair is itself microseconds on some
+ * hosts.)
+ */
+class LazyZeroBytes
+{
+  public:
+    explicit LazyZeroBytes(size_t size)
+        : data_(static_cast<uint8_t *>(std::malloc(size))), size_(size)
+    {
+        if (!data_)
+            throw std::bad_alloc();
+    }
+
+    ~LazyZeroBytes() { std::free(data_); }
+
+    LazyZeroBytes(const LazyZeroBytes &) = delete;
+    LazyZeroBytes &operator=(const LazyZeroBytes &) = delete;
+
+    LazyZeroBytes(LazyZeroBytes &&other) noexcept
+        : data_(other.data_), size_(other.size_), valid_(other.valid_)
+    {
+        other.data_ = nullptr;
+        other.size_ = 0;
+        other.valid_ = 0;
+    }
+
+    LazyZeroBytes &
+    operator=(LazyZeroBytes &&other) noexcept
+    {
+        if (this != &other) {
+            std::free(data_);
+            data_ = other.data_;
+            size_ = other.size_;
+            valid_ = other.valid_;
+            other.data_ = nullptr;
+            other.size_ = 0;
+            other.valid_ = 0;
+        }
+        return *this;
+    }
+
+    uint8_t &operator[](size_t i) { return data_[i]; }
+    const uint8_t &operator[](size_t i) const { return data_[i]; }
+    size_t size() const { return size_; }
+
+    /** First byte not yet guaranteed zero-or-written. */
+    size_t valid() const { return valid_; }
+
+    /** Declares [0, end) initialised (zeroing [valid, end) if the
+     *  caller has not already written it). */
+    void
+    zeroTo(size_t end)
+    {
+        if (end > valid_) {
+            std::memset(data_ + valid_, 0, end - valid_);
+            valid_ = end;
+        }
+    }
+
+    /** Raises the watermark over a range the caller just wrote. */
+    void
+    markWritten(size_t end)
+    {
+        if (end > valid_)
+            valid_ = end;
+    }
+
+    /** Zero-fills everything above the watermark (one-time). */
+    void
+    materialize()
+    {
+        if (valid_ < size_) {
+            std::memset(data_ + valid_, 0, size_ - valid_);
+            valid_ = size_;
+        }
+    }
+
+  private:
+    uint8_t *data_ = nullptr;
+    size_t size_ = 0;
+    size_t valid_ = 0; ///< bytes below this are zeroed or written
+};
 
 /** Per-memory access counters consumed by the energy model. */
 struct MemCounters
@@ -45,23 +144,67 @@ class MemorySystem
 {
   public:
     MemorySystem()
-        : rom_(MemoryMap::romSize, 0), ram_(MemoryMap::ramSize, 0)
-    {}
+        : rom_(MemoryMap::romSize), ram_(MemoryMap::ramSize)
+    {
+        // RAM is small and accessed scattershot: zero it eagerly.
+        // ROM stays unmaterialised beyond the loaded image; accesses
+        // past the watermark take the general paths, which zero-fill
+        // the remainder once (LazyZeroBytes::materialize).
+        ram_.materialize();
+    }
 
     /** Loads a program image into ROM starting at address 0. */
     void loadRom(const std::vector<uint32_t> &words);
 
-    /** Instruction fetch (counted separately from data reads). */
-    uint32_t fetch(uint32_t addr);
+    /**
+     * Instruction fetch (counted separately from data reads).
+     *
+     * The aligned in-ROM case -- every fetch of a running program --
+     * is inlined; anything else (a wild pc) takes the general path,
+     * which raises the fault.  Same split for read32/write32 below:
+     * the inline branch handles exactly the accesses that cannot
+     * fault, so counters and fault behaviour are identical to the
+     * general path.
+     */
+    uint32_t
+    fetch(uint32_t addr)
+    {
+        if ((addr & 3) == 0 && uint64_t(addr) + 4 <= rom_.valid()) {
+            uint32_t v;
+            std::memcpy(&v, &rom_[addr], 4);
+            romFetch_.reads++;
+            return v;
+        }
+        return fetchGeneral(addr);
+    }
 
     /** Wide 128-bit fetch for cache fills (counts one wide read). */
     void fetchLine(uint32_t addr, uint32_t out[4]);
 
     /** Data read (32-bit). */
-    uint32_t read32(uint32_t addr);
+    uint32_t
+    read32(uint32_t addr)
+    {
+        if ((addr & 3) == 0 && inRam(addr)) {
+            uint32_t v;
+            std::memcpy(&v, &ram_[addr - MemoryMap::ramBase], 4);
+            ramCnt_.reads++;
+            return v;
+        }
+        return read32General(addr);
+    }
 
     /** Functional peek (no access counting; cache-served fetches). */
-    uint32_t peek32(uint32_t addr);
+    uint32_t
+    peek32(uint32_t addr)
+    {
+        if ((addr & 3) == 0 && uint64_t(addr) + 4 <= rom_.valid()) {
+            uint32_t v;
+            std::memcpy(&v, &rom_[addr], 4);
+            return v;
+        }
+        return peek32General(addr);
+    }
 
     /** Functional poke (no access counting; testbench data setup). */
     void poke32(uint32_t addr, uint32_t value);
@@ -81,7 +224,16 @@ class MemorySystem
     uint32_t read16(uint32_t addr);
 
     /** Data write (32-bit); ROM writes are rejected. */
-    void write32(uint32_t addr, uint32_t value);
+    void
+    write32(uint32_t addr, uint32_t value)
+    {
+        if ((addr & 3) == 0 && inRam(addr)) {
+            std::memcpy(&ram_[addr - MemoryMap::ramBase], &value, 4);
+            ramCnt_.writes++;
+            return;
+        }
+        write32General(addr, value);
+    }
 
     void write8(uint32_t addr, uint32_t value);
     void write16(uint32_t addr, uint32_t value);
@@ -101,6 +253,16 @@ class MemorySystem
         return addr < MemoryMap::romSize;
     }
 
+    /**
+     * Generation counter of the program text: bumped every time a word
+     * inside ROM changes after loadRom.  Architectural stores cannot
+     * reach ROM (write32 faults), so only the corrupt32 fault-injection
+     * backdoor advances it.  Consumers that cache derived forms of the
+     * text (the predecoded i-text, the block-timing memo) compare
+     * generations instead of re-reading the image.
+     */
+    uint64_t romGeneration() const { return romGeneration_; }
+
     MemCounters &romFetchCounters() { return romFetch_; }
     MemCounters &romDataCounters() { return romData_; }
     MemCounters &ramCounters() { return ramCnt_; }
@@ -111,8 +273,16 @@ class MemorySystem
   private:
     uint8_t *locate(uint32_t addr, uint32_t size, bool write);
 
-    std::vector<uint8_t> rom_;
-    std::vector<uint8_t> ram_;
+    /** Out-of-line continuations of the inline accessors above: the
+     *  cases that can fault (ROM data, unmapped, misaligned). */
+    uint32_t fetchGeneral(uint32_t addr);
+    uint32_t peek32General(uint32_t addr);
+    uint32_t read32General(uint32_t addr);
+    void write32General(uint32_t addr, uint32_t value);
+
+    LazyZeroBytes rom_;
+    LazyZeroBytes ram_;
+    uint64_t romGeneration_ = 0;
     MemCounters romFetch_;
     MemCounters romData_;
     MemCounters ramCnt_;

@@ -592,3 +592,337 @@ TEST(Predecode, TimeoutEquivalentOnFastAndSlowPaths)
         }
     }
 }
+
+namespace
+{
+
+/** Scoped environment override (mirrors the test_par.cpp helper). */
+class EnvVar
+{
+  public:
+    EnvVar(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name)) {
+            hadOld_ = true;
+            old_ = old;
+        }
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+
+    ~EnvVar()
+    {
+        if (hadOld_)
+            setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string old_;
+    bool hadOld_ = false;
+};
+
+/** Runs @p src with the block cache on and off (all else equal) and
+ *  expects bit-identical PeteStats and architectural state.  Returns
+ *  the cache-on Pete for extra assertions. */
+Pete
+expectCacheEquivalent(const std::string &src, PeteConfig base = {})
+{
+    PeteConfig on = base, off = base;
+    on.blockCache = true;
+    off.blockCache = false;
+    Pete fast(assemble(src), on);
+    Pete slow(assemble(src), off);
+    Result<uint64_t> rf = fast.runChecked();
+    Result<uint64_t> rs = slow.runChecked();
+    EXPECT_EQ(rf.ok(), rs.ok());
+    if (!rf.ok() && !rs.ok()) {
+        EXPECT_EQ(rf.code(), rs.code());
+        EXPECT_EQ(rf.error().context, rs.error().context);
+    }
+    expectStatsEqual(fast.stats(), slow.stats());
+    for (int r = 0; r < 32; ++r)
+        EXPECT_EQ(fast.reg(r), slow.reg(r)) << "reg " << r;
+    EXPECT_EQ(fast.hi(), slow.hi());
+    EXPECT_EQ(fast.lo(), slow.lo());
+    EXPECT_EQ(fast.ovflo(), slow.ovflo());
+    EXPECT_EQ(fast.pc(), slow.pc());
+    return fast;
+}
+
+} // namespace
+
+TEST(BlockCache, StatsBitIdenticalOnLoopProgram)
+{
+    Pete fast = expectCacheEquivalent(kPredecodeWorkload);
+    const BlockCacheStats *bc = fast.blockCacheStats();
+    ASSERT_NE(bc, nullptr);
+    EXPECT_GT(bc->replays, 0u); // the loop actually took the memo
+    EXPECT_GT(bc->replayedInstructions, 0u);
+}
+
+TEST(BlockCache, StatsBitIdenticalWithIcache)
+{
+    PeteConfig cfg;
+    cfg.icacheEnabled = true;
+    cfg.icache.sizeBytes = 1024;
+    Pete fast = expectCacheEquivalent(kPredecodeWorkload, cfg);
+    const BlockCacheStats *bc = fast.blockCacheStats();
+    ASSERT_NE(bc, nullptr);
+    EXPECT_GT(bc->replays, 0u); // resident lines still replay
+}
+
+TEST(BlockCache, MultCountdownCrossesBlockBoundary)
+{
+    // The multiply issues in the jump's delay slot, so the busy
+    // countdown is live when the next block's MFLO interlocks on it:
+    // the entry-context key (not the static block) must carry it.
+    expectCacheEquivalent(R"(
+        addiu $t0, $zero, 30
+        addiu $t1, $zero, 0
+        addiu $t2, $zero, 7
+    loop:
+        j     body
+        mult  $t2, $t0
+    body:
+        mflo  $t3
+        addu  $t1, $t1, $t3
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )");
+}
+
+TEST(BlockCache, DataDependentBranchDirections)
+{
+    // The inner branch alternates taken/not-taken with the counter's
+    // parity, so the bimodal predictor keeps mispredicting; replay
+    // resolves it against the live predictor, never from the memo.
+    expectCacheEquivalent(R"(
+        addiu $t0, $zero, 40
+        addiu $t1, $zero, 0
+    loop:
+        andi  $t3, $t0, 1
+        beq   $t3, $zero, even
+        nop
+        addiu $t1, $t1, 100
+    even:
+        addiu $t1, $t1, 1
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )");
+}
+
+TEST(BlockCache, JrLoopReplays)
+{
+    // A call loop: JAL enters the leaf, JR returns through a
+    // register target; both are block terminators resolved live.
+    Pete fast = expectCacheEquivalent(R"(
+        addiu $t0, $zero, 25
+        addiu $t1, $zero, 0
+    loop:
+        jal   leaf
+        nop
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    leaf:
+        jr    $ra
+        addiu $t1, $t1, 2
+    )");
+    ASSERT_NE(fast.blockCacheStats(), nullptr);
+    EXPECT_GT(fast.blockCacheStats()->replays, 0u);
+    EXPECT_EQ(fast.reg(9), 50u);
+}
+
+TEST(BlockCache, StoreToTextFaultsInsideReplayedBlock)
+{
+    // Iteration 1 stores to RAM (and records the block); iteration 2
+    // replays the same block and the store lands on program text,
+    // which must fault out of the lean replay with the slow path's
+    // exact message, stats, and architectural state.
+    expectCacheEquivalent(R"(
+        lui   $t4, 0x1000
+        addiu $t4, $t4, 0x10
+        lui   $t7, 0x1000
+        addiu $t0, $zero, 4
+        addiu $t1, $zero, 0
+    loop:
+        sw    $t1, 0($t4)
+        addiu $t1, $t1, 1
+        subu  $t4, $t4, $t7
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )");
+}
+
+TEST(BlockCache, TextStrikeInvalidatesMemoizedBlock)
+{
+    // Pause the run mid-loop on the cycle budget, strike the
+    // post-loop text through the fault-injection backdoor, and
+    // resume: the loop block's memo entry is stale (text generation
+    // moved) and must be dropped and re-recorded, and the corrupted
+    // instruction must take effect -- identically with the cache off.
+    const char *src = R"(
+        addiu $t0, $zero, 4000
+        addiu $t1, $zero, 0
+    loop:
+        addiu $t1, $t1, 1
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        addiu $t6, $zero, 1
+        break
+    )";
+    auto run = [&](bool blockCache) {
+        PeteConfig cfg;
+        cfg.blockCache = blockCache;
+        cfg.maxCycles = 2'000; // pauses well inside the loop
+        Pete cpu(assemble(src), cfg);
+        Result<uint64_t> paused = cpu.runChecked();
+        EXPECT_FALSE(paused.ok());
+        EXPECT_EQ(paused.code(), Errc::SimTimeout);
+        // Flip `addiu $t6, $zero, 1` (7th word) into `..., 9`.  The
+        // pause point may differ by a few instructions between the
+        // two configurations, but both are still inside the loop, so
+        // the executed instruction stream is identical either way.
+        cpu.mem().corrupt32(6 * 4, 0x8);
+        cfg.maxCycles = 500'000'000;
+        cpu.setMaxCycles(cfg.maxCycles);
+        EXPECT_TRUE(cpu.run());
+        return cpu;
+    };
+    Pete fast = run(true);
+    Pete slow = run(false);
+    expectStatsEqual(fast.stats(), slow.stats());
+    EXPECT_EQ(fast.reg(14), 9u); // the strike's immediate took effect
+    EXPECT_EQ(slow.reg(14), 9u);
+    for (int r = 0; r < 32; ++r)
+        EXPECT_EQ(fast.reg(r), slow.reg(r)) << "reg " << r;
+    ASSERT_NE(fast.blockCacheStats(), nullptr);
+    EXPECT_GE(fast.blockCacheStats()->invalidations, 1u);
+}
+
+TEST(BlockCache, HookForcesSlowPathTransparently)
+{
+    // Any attached StepHook keeps runChecked on the exact per-step
+    // loop: the memo must see no traffic at all, and a mid-run text
+    // strike behaves identically with the cache compiled in or out.
+    auto run = [&](bool blockCache) {
+        PeteConfig cfg;
+        cfg.blockCache = blockCache;
+        Pete cpu(assemble(R"(
+            addiu $t0, $zero, 10
+            addiu $t1, $zero, 0
+        loop:
+            addiu $t1, $t1, 1
+            addiu $t0, $t0, -1
+            bne   $t0, $zero, loop
+            nop
+            break
+        )"),
+                 cfg);
+        CorruptingHook hook(14, 8, 0x2);
+        cpu.attachStepHook(&hook);
+        EXPECT_TRUE(cpu.run());
+        return cpu;
+    };
+    Pete fast = run(true);
+    Pete slow = run(false);
+    expectStatsEqual(fast.stats(), slow.stats());
+    EXPECT_EQ(fast.reg(9), slow.reg(9));
+    ASSERT_NE(fast.blockCacheStats(), nullptr);
+    EXPECT_EQ(fast.blockCacheStats()->lookups, 0u);
+    EXPECT_EQ(fast.blockCacheStats()->replays, 0u);
+}
+
+TEST(BlockCache, EnvParseNeverErrors)
+{
+    // Direct parses: the documented values, then hostile ones, which
+    // must degrade to the default (On) -- the ULECC_JOBS contract.
+    EXPECT_EQ(parseBlockCacheMode(nullptr), BlockCacheMode::On);
+    EXPECT_EQ(parseBlockCacheMode(""), BlockCacheMode::On);
+    EXPECT_EQ(parseBlockCacheMode("1"), BlockCacheMode::On);
+    EXPECT_EQ(parseBlockCacheMode("on"), BlockCacheMode::On);
+    EXPECT_EQ(parseBlockCacheMode("0"), BlockCacheMode::Off);
+    EXPECT_EQ(parseBlockCacheMode("off"), BlockCacheMode::Off);
+    EXPECT_EQ(parseBlockCacheMode("verify"), BlockCacheMode::Verify);
+    EXPECT_EQ(parseBlockCacheMode("shadow"), BlockCacheMode::Verify);
+    EXPECT_EQ(parseBlockCacheMode("ON"), BlockCacheMode::On);
+    EXPECT_EQ(parseBlockCacheMode("bogus"), BlockCacheMode::On);
+    EXPECT_EQ(parseBlockCacheMode("99999999999999999999"),
+              BlockCacheMode::On);
+    EXPECT_EQ(parseBlockCacheMode("-1"), BlockCacheMode::On);
+    EXPECT_EQ(parseBlockCacheMode("off "), BlockCacheMode::On);
+}
+
+TEST(BlockCache, HostileEnvValuesRunIdentically)
+{
+    // Whatever $ULECC_BLOCK_CACHE says, simulated behaviour is
+    // bit-identical; only the simulator's own path choice may change.
+    PeteConfig off;
+    off.blockCache = false;
+    Pete reference = runProgram(kPredecodeWorkload, off);
+    for (const char *value :
+         {"", "1", "on", "ON", "0", "off", "verify", "shadow", "bogus",
+          "99999999999999999999"}) {
+        EnvVar env("ULECC_BLOCK_CACHE", value);
+        Pete cpu = runProgram(kPredecodeWorkload);
+        expectStatsEqual(cpu.stats(), reference.stats());
+        for (int r = 0; r < 32; ++r)
+            EXPECT_EQ(cpu.reg(r), reference.reg(r))
+                << "reg " << r << " under value '" << value << "'";
+    }
+}
+
+TEST(BlockCache, ShadowVerifyModeCleanOnLoopProgram)
+{
+    EnvVar env("ULECC_BLOCK_CACHE", "verify");
+    PeteConfig cfg;
+    // A long enough loop that the sampled shadow check (every 64th
+    // memo hit) actually fires several times.
+    Pete cpu = runProgram(R"(
+        addiu $t0, $zero, 1000
+        addiu $t1, $zero, 0
+    loop:
+        addiu $t1, $t1, 1
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )",
+                          cfg);
+    ASSERT_NE(cpu.blockCacheStats(), nullptr);
+    EXPECT_EQ(cpu.blockCacheMode(), BlockCacheMode::Verify);
+    EXPECT_GT(cpu.blockCacheStats()->shadowVerifies, 0u);
+    EXPECT_EQ(cpu.reg(9), 1000u);
+}
+
+TEST(BlockCache, TimeoutOvershootBounded)
+{
+    const char *src = R"(
+    spin:
+        beq $zero, $zero, spin
+        nop
+    )";
+    PeteConfig cfg;
+    cfg.maxCycles = 10'000;
+    Pete cpu(assemble(src), cfg);
+    Result<uint64_t> r = cpu.runChecked();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), Errc::SimTimeout);
+    // The budget is polled once per block dispatch, so the overshoot
+    // is bounded by one block plus its delay slot.
+    EXPECT_GE(cpu.stats().cycles, cfg.maxCycles);
+    EXPECT_LT(cpu.stats().cycles, cfg.maxCycles + 512);
+}

@@ -526,3 +526,38 @@ TEST(Pete, AddStallAttributesTheCause)
     EXPECT_EQ(totalStallCycles(cpu.stats()), 9u);
     EXPECT_EQ(stallCycles(cpu.stats(), StallCause::External), 7u);
 }
+
+TEST(BlockCache, TraceAndProfileUnchangedByBlockCacheFlag)
+{
+    // Tracing and profiling attach StepHooks, which force the exact
+    // per-step loop; the blockCache config flag must therefore leave
+    // every observability artefact byte-identical.
+    auto capture = [&](bool blockCache, std::string &trace_json,
+                       std::string &profile_text, PeteStats &stats) {
+        PeteConfig cfg;
+        cfg.blockCache = blockCache;
+        Pete cpu(assemble(kStallMix), cfg);
+        PipelineTracer tracer;
+        CycleProfiler profiler(assemble(kStallMix));
+        StepHookList hooks;
+        hooks.add(&tracer);
+        hooks.add(&profiler);
+        cpu.attachStepHook(&hooks);
+        ASSERT_TRUE(cpu.run());
+        tracer.finish(cpu);
+        profiler.finish(cpu);
+        trace_json = tracer.toJson().dump();
+        profile_text = profiler.report().renderText();
+        stats = cpu.stats();
+    };
+    std::string trace_on, trace_off, prof_on, prof_off;
+    PeteStats stats_on, stats_off;
+    capture(true, trace_on, prof_on, stats_on);
+    capture(false, trace_off, prof_off, stats_off);
+    EXPECT_EQ(trace_on, trace_off);
+    EXPECT_EQ(prof_on, prof_off);
+    EXPECT_EQ(stats_on.cycles, stats_off.cycles);
+    EXPECT_EQ(stats_on.instructions, stats_off.instructions);
+    ASSERT_FALSE(trace_on.empty());
+    ASSERT_FALSE(prof_on.empty());
+}

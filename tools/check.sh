@@ -3,10 +3,16 @@
 # suites, exercise the telemetry producers, and validate every emitted
 # JSON document against the checked-in schemas in tools/schemas/.
 #
-# Usage: tools/check.sh [--no-asan] [--no-tsan] [--diffuzz N]
+# Usage: tools/check.sh [--no-asan] [--no-tsan] [--diffuzz N] [--bench]
 #
 # --diffuzz N sets the differential-fuzz case count per target
 # (default 10000; 0 skips the diffuzz step).
+#
+# --bench additionally runs bench_simspeed, validates its journal
+# record, and compares sim_mips / block_cache_hit_rate /
+# block_cache_speedup against the committed BENCH_simspeed.json
+# baseline.  Timings are host-dependent, so a slowdown merely warns
+# unless it exceeds 25%; hit rate is deterministic and checked tight.
 
 set -euo pipefail
 
@@ -15,6 +21,7 @@ cd "$repo"
 
 run_asan=1
 run_tsan=1
+run_bench=0
 diffuzz_cases=10000
 expect_cases=0
 for arg in "$@"; do
@@ -25,6 +32,7 @@ for arg in "$@"; do
     fi
     [[ "$arg" == "--no-asan" ]] && run_asan=0
     [[ "$arg" == "--no-tsan" ]] && run_tsan=0
+    [[ "$arg" == "--bench" ]] && run_bench=1
     [[ "$arg" == "--diffuzz" ]] && expect_cases=1
 done
 if [[ $expect_cases -eq 1 ]]; then
@@ -61,7 +69,7 @@ if [[ $run_tsan -eq 1 ]]; then
 
     step "test (tsan preset: parallel suite)"
     ctest --preset tsan -j "$(nproc)" \
-        -R '^(ThreadPool|Sweep|EvalCache|BenchSweep|Predecode)'
+        -R '^(ThreadPool|Sweep|EvalCache|BenchSweep|Predecode|BlockCache)'
 fi
 
 json_check="$repo/build/tools/json_check"
@@ -91,6 +99,60 @@ fi
     echo "FAIL: bench journal produced no records" >&2; exit 1; }
 "$json_check" --jsonl "$schemas/bench_record.schema.json" \
     "$work/bench.jsonl"
+
+if [[ $run_bench -eq 1 ]]; then
+    step "bench: simulator throughput vs committed baseline"
+    : > "$work/bench_ss.jsonl"
+    ULECC_BENCH_METRICS="$work/bench_ss.jsonl" \
+        "$repo/build/bench/bench_simspeed" > "$work/bench_ss.txt"
+    "$json_check" --jsonl "$schemas/bench_record.schema.json" \
+        "$work/bench_ss.jsonl"
+    python3 - "$repo/BENCH_simspeed.json" "$work/bench_ss.jsonl" <<'EOF'
+import json, sys
+
+base = json.load(open(sys.argv[1]))
+fresh = json.loads(open(sys.argv[2]).read().splitlines()[0])
+fail = False
+
+def timing(name, higher_is_better=True):
+    global fail
+    b, f = base.get(name), fresh.get(name)
+    if b is None or f is None:
+        print(f"FAIL: {name} missing from baseline or fresh record")
+        fail = True
+        return
+    ratio = f / b if higher_is_better else b / f
+    if ratio >= 1.0:
+        print(f"ok:   {name} {f:.3g} (baseline {b:.3g})")
+    elif ratio >= 0.75:
+        # Timings are host-dependent; a small shortfall is noise.
+        print(f"warn: {name} {f:.3g} below baseline {b:.3g} "
+              f"({100 * (1 - ratio):.0f}% slower)")
+    else:
+        print(f"FAIL: {name} {f:.3g} vs baseline {b:.3g} "
+              f"(>25% regression)")
+        fail = True
+
+timing("sim_mips")
+timing("block_cache_speedup")
+timing("sim_wall_seconds", higher_is_better=False)
+
+# The replay hit rate is deterministic (same kernel, same block
+# structure), so any drift means the memo stopped covering the
+# steady state.
+b, f = base.get("block_cache_hit_rate"), fresh.get("block_cache_hit_rate")
+if b is None or f is None:
+    print("FAIL: block_cache_hit_rate missing")
+    fail = True
+elif abs(f - b) > 1e-9:
+    print(f"FAIL: block_cache_hit_rate {f} != baseline {b}")
+    fail = True
+else:
+    print(f"ok:   block_cache_hit_rate {f:.4f}")
+
+sys.exit(1 if fail else 0)
+EOF
+fi
 
 if [[ "$diffuzz_cases" != "0" ]]; then
     # Prefer the sanitizer build: a differential mismatch caught with

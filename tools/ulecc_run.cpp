@@ -11,6 +11,9 @@
  *     --max-cycles N cycle budget (default 500M)
  *     --no-predecode decode at every retirement (the pre-fast-path
  *                    behaviour; for simulator-speed A/B runs)
+ *     --no-block-cache
+ *                    disable the hot-block timing memo (same A/B use;
+ *                    also reachable via ULECC_BLOCK_CACHE=off)
  *     --dump A N     after halt, hex-dump N words from address A
  *     --energy       print the energy estimate for the run
  *     --trace FILE   write a Chrome trace-event JSON of the pipeline
@@ -51,7 +54,8 @@ usage()
     std::fprintf(stderr,
                  "usage: ulecc-run [--icache KB] [--prefetch] [--monte] "
                  "[--billie]\n"
-                 "                 [--max-cycles N] [--no-predecode]\n"
+                 "                 [--max-cycles N] [--no-predecode] "
+                 "[--no-block-cache]\n"
                  "                 [--dump ADDR WORDS] [--energy]\n"
                  "                 [--trace FILE] [--profile] "
                  "[--metrics FILE] program.s\n");
@@ -134,6 +138,8 @@ main(int argc, char **argv)
             config.maxCycles = std::strtoull(argv[++i], nullptr, 0);
         } else if (!std::strcmp(argv[i], "--no-predecode")) {
             config.predecode = false;
+        } else if (!std::strcmp(argv[i], "--no-block-cache")) {
+            config.blockCache = false;
         } else if (!std::strcmp(argv[i], "--dump") && i + 2 < argc) {
             dump_addr = std::strtoul(argv[++i], nullptr, 0);
             dump_words = std::strtoul(argv[++i], nullptr, 0);
@@ -242,6 +248,15 @@ main(int argc, char **argv)
                         100.0 * ic.missRate(),
                         (unsigned long)ic.prefetchHits);
         }
+        if (const BlockCacheStats *bc = cpu.blockCacheStats()) {
+            std::printf("block cache: %lu replays / %lu dispatches "
+                        "(%.1f%% hit), %lu recorded, %lu slow walks\n",
+                        (unsigned long)bc->replays,
+                        (unsigned long)bc->lookups,
+                        100.0 * bc->hitRate(),
+                        (unsigned long)bc->records,
+                        (unsigned long)bc->slowWalks);
+        }
         if (use_monte) {
             std::printf("monte: %lu mul, %lu add/sub, FFAU %lu cy, "
                         "DMA %lu cy, %lu forwarded loads\n",
@@ -311,6 +326,21 @@ main(int argc, char **argv)
                 ic["accesses"] = cpu.icache()->stats().accesses;
                 ic["miss_rate"] = cpu.icache()->stats().missRate();
                 reg.set("icache", std::move(ic));
+            }
+            if (const BlockCacheStats *bc = cpu.blockCacheStats()) {
+                Json cache = Json::object();
+                cache["mode"] =
+                    blockCacheModeName(cpu.blockCacheMode());
+                cache["lookups"] = bc->lookups;
+                cache["replays"] = bc->replays;
+                cache["replayed_instructions"] =
+                    bc->replayedInstructions;
+                cache["records"] = bc->records;
+                cache["slow_walks"] = bc->slowWalks;
+                cache["invalidations"] = bc->invalidations;
+                cache["shadow_verifies"] = bc->shadowVerifies;
+                cache["hit_rate"] = bc->hitRate();
+                reg.set("block_cache", std::move(cache));
             }
             EnergyLedger ledger;
             ledger.addPhase("run", ev);
