@@ -49,6 +49,8 @@ enum class Errc
     FaultDetected,      ///< a countermeasure caught corrupted state
     Unsupported,        ///< configuration/arch combination not modelled
     Internal,           ///< library invariant broken (a bug)
+    Overloaded,         ///< service shed the request (admission control)
+    DeadlineExceeded,   ///< request deadline expired before completion
 };
 
 /** Stable short name of an error code (used in logs and JSON). */
@@ -66,8 +68,64 @@ errcName(Errc code)
       case Errc::FaultDetected: return "fault-detected";
       case Errc::Unsupported: return "unsupported";
       case Errc::Internal: return "internal";
+      case Errc::Overloaded: return "overloaded";
+      case Errc::DeadlineExceeded: return "deadline-exceeded";
     }
     return "unknown";
+}
+
+/**
+ * True for the *transient* error classes: failures expected to clear
+ * on their own, where re-running the same request with the same inputs
+ * can legitimately succeed.  This is the classifier retry policy keys
+ * off, so the audit of every code lives here:
+ *
+ *  - SimTimeout / MemFault / IllegalInstruction: simulation faults --
+ *    under fault injection these are one-shot upsets (a bit flip, a
+ *    stall storm, a runaway) that a clean re-run does not repeat;
+ *  - FaultDetected: a countermeasure caught corrupted state and
+ *    withheld the output; the fault-free retry produces it;
+ *  - Overloaded: admission control shed the request; the condition is
+ *    load, not the request, so backing off and retrying is the point.
+ *
+ * Permanent (never retried):
+ *
+ *  - InvalidInput / OutOfRange / AsmSyntax: the caller's data is
+ *    outside the contract; the identical retry fails identically;
+ *  - Unsupported: the (arch, curve) combination is not modelled;
+ *  - DeadlineExceeded: the request's time budget is spent -- retrying
+ *    after expiry only burns more of someone else's budget;
+ *  - Internal: a library bug; retrying reruns the bug;
+ *  - Ok: not an error.
+ */
+constexpr bool
+errcTransient(Errc code)
+{
+    switch (code) {
+      case Errc::SimTimeout:
+      case Errc::MemFault:
+      case Errc::IllegalInstruction:
+      case Errc::FaultDetected:
+      case Errc::Overloaded:
+        return true;
+      case Errc::Ok:
+      case Errc::InvalidInput:
+      case Errc::OutOfRange:
+      case Errc::AsmSyntax:
+      case Errc::Unsupported:
+      case Errc::Internal:
+      case Errc::DeadlineExceeded:
+        return false;
+    }
+    return false;
+}
+
+/** Retry policy alias: a request may be retried iff the failure is
+ * transient.  Kept as its own name so call sites read as policy. */
+constexpr bool
+errcRetryable(Errc code)
+{
+    return errcTransient(code);
 }
 
 /** An error code plus human-readable context. */

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * SplitMix64: the deterministic PRNG of the whole stack.
+ *
+ * Tiny, seedable, and platform-stable -- the same seed produces the
+ * same stream on every host, which is what makes fault campaigns,
+ * differential fuzz runs, and service traffic replays reproducible
+ * artifacts.  Shared by the fault injector, the diffuzz engine, and
+ * the crypto-as-a-service traffic generators.
+ */
+
+#ifndef ULECC_BASE_PRNG_HH
+#define ULECC_BASE_PRNG_HH
+
+#include <cstdint>
+
+namespace ulecc
+{
+
+/** SplitMix64: the campaign PRNG (tiny, seedable, platform-stable). */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+/**
+ * One-shot stateless mix of up to three words -- the canonical way to
+ * derive an independent per-item seed (per request, per attempt, per
+ * user) from one campaign seed without sharing stream state.
+ */
+inline uint64_t
+splitmix64Mix(uint64_t a, uint64_t b = 0, uint64_t c = 0)
+{
+    SplitMix64 rng(a ^ (b * 0x9E3779B97F4A7C15ull)
+                   ^ (c * 0xC2B2AE3D27D4EB4Full));
+    return rng.next();
+}
+
+} // namespace ulecc
+
+#endif // ULECC_BASE_PRNG_HH

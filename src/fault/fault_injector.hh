@@ -30,36 +30,11 @@
 #include <cstdint>
 #include <string>
 
+#include "base/prng.hh"
 #include "sim/cpu.hh"
 
 namespace ulecc
 {
-
-/** SplitMix64: the campaign PRNG (tiny, seedable, platform-stable). */
-class SplitMix64
-{
-  public:
-    explicit SplitMix64(uint64_t seed) : state_(seed) {}
-
-    uint64_t
-    next()
-    {
-        uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
-        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-        return z ^ (z >> 31);
-    }
-
-    /** Uniform value in [0, bound); bound must be non-zero. */
-    uint64_t
-    below(uint64_t bound)
-    {
-        return next() % bound;
-    }
-
-  private:
-    uint64_t state_;
-};
 
 /** The modelled fault classes. */
 enum class FaultKind

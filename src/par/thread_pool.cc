@@ -36,7 +36,8 @@ ThreadPool::defaultThreads()
     return hw ? hw : 1;
 }
 
-ThreadPool::ThreadPool(unsigned threads)
+ThreadPool::ThreadPool(unsigned threads, size_t maxQueued)
+    : maxQueued_(maxQueued)
 {
     if (threads == 0)
         threads = defaultThreads();
@@ -48,24 +49,39 @@ ThreadPool::ThreadPool(unsigned threads)
 
 ThreadPool::~ThreadPool()
 {
-    {
-        std::lock_guard<std::mutex> lock(mtx_);
-        stop_ = true;
-    }
-    wake_.notify_all();
-    for (std::thread &w : workers_)
-        w.join();
+    shutdown(Shutdown::Drain);
 }
 
-void
+bool
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mtx_);
+        std::unique_lock<std::mutex> lock(mtx_);
+        if (maxQueued_)
+            space_.wait(lock, [this] {
+                return stop_ || queue_.size() < maxQueued_;
+            });
+        if (stop_)
+            return false;
         queue_.push_back(std::move(task));
         ++inFlight_;
     }
     wake_.notify_one();
+    return true;
+}
+
+bool
+ThreadPool::trySubmit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        if (stop_ || (maxQueued_ && queue_.size() >= maxQueued_))
+            return false;
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    wake_.notify_one();
+    return true;
 }
 
 void
@@ -73,6 +89,53 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mtx_);
     drained_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+size_t
+ThreadPool::shutdown(Shutdown mode)
+{
+    size_t dropped = 0;
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        if (mode == Shutdown::Cancel) {
+            dropped = queue_.size();
+            queue_.clear();
+            inFlight_ -= dropped;
+        }
+        stop_ = true;
+        if (inFlight_ == 0)
+            drained_.notify_all();
+    }
+    wake_.notify_all();
+    space_.notify_all();
+    for (std::thread &w : workers_) {
+        if (w.joinable())
+            w.join();
+    }
+    return dropped;
+}
+
+size_t
+ThreadPool::cancelPending()
+{
+    size_t dropped = 0;
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        dropped = queue_.size();
+        queue_.clear();
+        inFlight_ -= dropped;
+        if (inFlight_ == 0)
+            drained_.notify_all();
+    }
+    space_.notify_all();
+    return dropped;
+}
+
+size_t
+ThreadPool::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return queue_.size();
 }
 
 void
@@ -89,6 +152,7 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        space_.notify_one();
         task();
         {
             std::lock_guard<std::mutex> lock(mtx_);

@@ -1,13 +1,29 @@
 /**
  * @file
- * A small fixed-size thread pool.
+ * A small fixed-size thread pool: the task substrate for the parallel
+ * sweep runner and the crypto-as-a-service engine.
  *
- * Deliberately work-stealing-free: the sweep workloads this serves
- * are a few dozen coarse, independent, CPU-bound tasks (whole design-
- * point evaluations, tens of milliseconds each), so a single locked
- * deque is contention-free in practice and keeps the scheduling
- * deterministic enough to reason about.  Sized explicitly, via
- * $ULECC_JOBS, or from the host's hardware concurrency.
+ * Deliberately work-stealing-free: the workloads this serves are
+ * coarse, independent, CPU-bound tasks (whole design-point
+ * evaluations, whole service requests -- tens of microseconds to tens
+ * of milliseconds each), so a single locked deque is contention-free
+ * in practice and keeps the scheduling deterministic enough to reason
+ * about.  Sized explicitly, via $ULECC_JOBS, or from the host's
+ * hardware concurrency.
+ *
+ * Robustness contract (pinned by tests/test_par.cpp):
+ *
+ *  - The queue may be *bounded*.  A bounded pool exerts backpressure:
+ *    submit() blocks until space frees, trySubmit() refuses instead of
+ *    blocking -- the primitive admission control builds load shedding
+ *    on.  An unbounded pool (the default) never blocks a producer.
+ *  - Shutdown is *explicit and deterministic*.  shutdown(Drain) -- and
+ *    the destructor, which calls it -- runs every queued task before
+ *    the workers exit, in submission order.  shutdown(Cancel) discards
+ *    tasks that have not started and returns how many were dropped;
+ *    tasks already executing always run to completion.  After either,
+ *    submit()/trySubmit() refuse new work instead of deadlocking.
+ *  - wait() observes cancellation: discarded tasks count as finished.
  */
 
 #ifndef ULECC_PAR_THREAD_POOL_HH
@@ -33,14 +49,25 @@ class ThreadPool
      * one still runs tasks on its worker, preserving the submit/wait
      * contract; callers that want true inline execution should simply
      * not use a pool.
+     *
+     * @param maxQueued  Bound on *queued* (not yet executing) tasks;
+     *                   0 = unbounded.  When the bound is reached,
+     *                   submit() blocks and trySubmit() returns false.
      */
-    explicit ThreadPool(unsigned threads = 0);
+    explicit ThreadPool(unsigned threads = 0, size_t maxQueued = 0);
 
-    /** Drains the queue, then joins the workers. */
+    /** Equivalent to shutdown(Shutdown::Drain). */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** How shutdown treats tasks still sitting in the queue. */
+    enum class Shutdown
+    {
+        Drain,  ///< run every queued task, then join the workers
+        Cancel, ///< discard queued tasks, finish running ones, join
+    };
 
     /**
      * Hard ceiling on pool width.  $ULECC_JOBS values above this clamp
@@ -60,27 +87,63 @@ class ThreadPool
      */
     static unsigned defaultThreads();
 
-    /** Enqueues one task.  Tasks must not throw; wrap fallible work
-     * in a Result-shaped closure (SweepRunner does exactly this). */
-    void submit(std::function<void()> task);
+    /**
+     * Enqueues one task, blocking while a bounded queue is full
+     * (backpressure).  Returns false -- without running or keeping the
+     * task -- if the pool has been shut down.  Tasks must not throw;
+     * wrap fallible work in a Result-shaped closure (SweepRunner and
+     * the service engine do exactly this).
+     */
+    bool submit(std::function<void()> task);
 
-    /** Blocks until every submitted task has finished running. */
+    /**
+     * Non-blocking submit: false when the queue is full or the pool
+     * has been shut down.  The admission-control primitive: a refused
+     * task is the caller's cue to shed load instead of queueing it.
+     */
+    bool trySubmit(std::function<void()> task);
+
+    /** Blocks until every submitted task has finished running (tasks
+     * discarded by Cancel count as finished). */
     void wait();
+
+    /**
+     * Stops the pool.  Drain runs the queue dry first; Cancel discards
+     * queued-not-started tasks.  Idempotent; concurrent submitters are
+     * woken and refused.  Returns the number of tasks discarded (always
+     * 0 for Drain).
+     */
+    size_t shutdown(Shutdown mode);
+
+    /**
+     * Discards every queued-not-started task without stopping the
+     * workers; returns how many were dropped.  Currently-executing
+     * tasks finish normally and the pool accepts new work afterwards.
+     */
+    size_t cancelPending();
+
+    /** Tasks queued but not yet picked up by a worker. */
+    size_t queueDepth() const;
 
     unsigned threads() const
     {
         return static_cast<unsigned>(workers_.size());
     }
 
+    /** The queue bound this pool was built with (0 = unbounded). */
+    size_t maxQueued() const { return maxQueued_; }
+
   private:
     void workerLoop();
 
-    std::mutex mtx_;
-    std::condition_variable wake_;   ///< workers: queue non-empty/stop
+    mutable std::mutex mtx_;
+    std::condition_variable wake_;    ///< workers: queue non-empty/stop
     std::condition_variable drained_; ///< waiters: all tasks finished
+    std::condition_variable space_;   ///< producers: queue below bound
     std::deque<std::function<void()>> queue_;
     std::vector<std::thread> workers_;
-    size_t inFlight_ = 0; ///< queued + currently executing
+    size_t maxQueued_ = 0; ///< 0 = unbounded
+    size_t inFlight_ = 0;  ///< queued + currently executing
     bool stop_ = false;
 };
 

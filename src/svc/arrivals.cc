@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Arrival process implementation.
+ */
+
+#include "svc/arrivals.hh"
+
+#include <cmath>
+
+namespace ulecc
+{
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Poisson: return "poisson";
+      case ArrivalKind::Bursty: return "bursty";
+    }
+    return "unknown";
+}
+
+ArrivalGen::ArrivalGen(const ArrivalConfig &config, uint64_t seed)
+    : cfg_(config), rng_(seed)
+{
+    // A non-positive rate would stall virtual time forever; clamp to
+    // something harmlessly slow instead of dividing by zero.
+    if (!(cfg_.ratePerSec > 0))
+        cfg_.ratePerSec = 1.0;
+    if (!(cfg_.burstFactor >= 1))
+        cfg_.burstFactor = 1.0;
+}
+
+double
+ArrivalGen::currentRate(uint64_t tNs) const
+{
+    if (cfg_.kind == ArrivalKind::Poisson)
+        return cfg_.ratePerSec;
+    uint64_t period = cfg_.burstNs + cfg_.idleNs;
+    if (period == 0)
+        return cfg_.ratePerSec;
+    uint64_t phase = tNs % period;
+    return phase < cfg_.burstNs ? cfg_.ratePerSec * cfg_.burstFactor
+                                : cfg_.ratePerSec / cfg_.burstFactor;
+}
+
+uint64_t
+ArrivalGen::nextBoundary(uint64_t tNs) const
+{
+    uint64_t period = cfg_.burstNs + cfg_.idleNs;
+    if (cfg_.kind == ArrivalKind::Poisson || period == 0)
+        return UINT64_MAX;
+    uint64_t phase = tNs % period;
+    uint64_t toBoundary =
+        phase < cfg_.burstNs ? cfg_.burstNs - phase : period - phase;
+    // A draw landing exactly on the boundary belongs to the next
+    // phase, so the boundary itself is at least 1 ns away.
+    return tNs + (toBoundary ? toBoundary : period);
+}
+
+double
+ArrivalGen::expDrawSeconds(double rate)
+{
+    // 53-bit uniform in (0, 1]: never 0, so log() is finite.
+    double u = (static_cast<double>(rng_.next() >> 11) + 1.0)
+        * (1.0 / 9007199254740992.0);
+    return -std::log(u) / rate;
+}
+
+uint64_t
+ArrivalGen::next()
+{
+    for (;;) {
+        double rate = currentRate(tNs_);
+        double dtNs = expDrawSeconds(rate) * 1e9;
+        // Saturate absurd draws so virtual time cannot overflow.
+        if (dtNs > 9e15)
+            dtNs = 9e15;
+        uint64_t step = static_cast<uint64_t>(dtNs);
+        uint64_t boundary = nextBoundary(tNs_);
+        if (boundary == UINT64_MAX || tNs_ + step < boundary) {
+            tNs_ += step;
+            return tNs_;
+        }
+        // Crossed a phase boundary: restart the draw from the
+        // boundary at the new rate (exact by memorylessness).
+        tNs_ = boundary;
+    }
+}
+
+} // namespace ulecc

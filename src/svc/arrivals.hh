@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic request-arrival processes, in virtual time.
+ *
+ * The service engine drives its admission control and deadline
+ * machinery from a modelled arrival stream rather than the wall
+ * clock, so overload scenarios are reproducible artifacts: the same
+ * seed produces the same arrival timestamps on every run, serial or
+ * parallel.
+ *
+ * Two processes are modelled:
+ *
+ *  - Poisson: memoryless arrivals at a constant rate -- the baseline
+ *    open-loop traffic assumption;
+ *  - Bursty: a piecewise-constant modulated Poisson process that
+ *    alternates between a burst phase (rate x burstFactor) and an
+ *    idle phase (rate / burstFactor).  Phase boundaries exploit the
+ *    exponential's memorylessness: a draw that crosses a boundary is
+ *    re-drawn from the boundary at the new rate, which is exact for a
+ *    piecewise-constant intensity.
+ */
+
+#ifndef ULECC_SVC_ARRIVALS_HH
+#define ULECC_SVC_ARRIVALS_HH
+
+#include <cstdint>
+
+#include "base/prng.hh"
+
+namespace ulecc
+{
+
+/** Arrival process selector. */
+enum class ArrivalKind
+{
+    Poisson,
+    Bursty,
+};
+
+/** Stable short name (logs/JSON). */
+const char *arrivalKindName(ArrivalKind kind);
+
+/** Arrival process parameters (rates are virtual-time rates). */
+struct ArrivalConfig
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+    double ratePerSec = 500.0;    ///< mean arrival rate
+    double burstFactor = 8.0;     ///< bursty: burst/idle rate multiplier
+    uint64_t burstNs = 20'000'000; ///< bursty: burst phase length
+    uint64_t idleNs = 80'000'000;  ///< bursty: idle phase length
+};
+
+/** Deterministic arrival-timestamp generator. */
+class ArrivalGen
+{
+  public:
+    ArrivalGen(const ArrivalConfig &config, uint64_t seed);
+
+    /** Next arrival timestamp in virtual ns (non-decreasing). */
+    uint64_t next();
+
+  private:
+    double currentRate(uint64_t tNs) const;
+    uint64_t nextBoundary(uint64_t tNs) const;
+    double expDrawSeconds(double rate);
+
+    ArrivalConfig cfg_;
+    SplitMix64 rng_;
+    uint64_t tNs_ = 0;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_SVC_ARRIVALS_HH

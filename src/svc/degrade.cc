@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Degradation tier implementation.
+ */
+
+#include "svc/degrade.hh"
+
+#include <cmath>
+
+namespace ulecc
+{
+
+const char *
+serviceTierName(ServiceTier tier)
+{
+    switch (tier) {
+      case ServiceTier::FullSim: return "full-sim";
+      case ServiceTier::Memoized: return "memoized";
+      case ServiceTier::Analytic: return "analytic";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** Karatsuba scalar-mult scaling exponent: bits x words^1.585. */
+constexpr double kScaleExp = 2.585;
+
+/** Fallback when an anchor never calibrated: pessimistic constants
+ * in the regime of the paper's worst software design points. */
+constexpr double kFallbackCyclesPerBit = 600'000.0;
+constexpr double kFallbackUjPerBit = 30.0;
+
+} // namespace
+
+void
+AnalyticModel::calibrate()
+{
+    const CurveId anchorCurve[2] = {CurveId::P192, CurveId::B163};
+    for (int a = 0; a < kNumArch; ++a) {
+        MicroArch arch = static_cast<MicroArch>(a);
+        for (int fam = 0; fam < 2; ++fam) {
+            if (!archSupportsCurve(arch, anchorCurve[fam]))
+                continue;
+            Result<EvalResult> r =
+                evaluateChecked(arch, anchorCurve[fam]);
+            if (!r.ok())
+                continue;
+            Anchor &anchor = anchors_[a][fam];
+            anchor.valid = true;
+            anchor.bits = curveIdBits(anchorCurve[fam]);
+            anchor.sign = {
+                static_cast<double>(r.value().sign.cycles),
+                r.value().sign.energy.totalUj()};
+            anchor.verify = {
+                static_cast<double>(r.value().verify.cycles),
+                r.value().verify.energy.totalUj()};
+        }
+    }
+    calibrated_ = true;
+}
+
+AnalyticModel::Estimate
+AnalyticModel::estimate(MicroArch arch, CurveId curve,
+                        bool verifyOp) const
+{
+    int fam = curveIdIsBinary(curve) ? 1 : 0;
+    double bits = curveIdBits(curve);
+    const Anchor &anchor = anchors_[static_cast<int>(arch)][fam];
+    if (!anchor.valid) {
+        return {bits * kFallbackCyclesPerBit, bits * kFallbackUjPerBit};
+    }
+    double scale = std::pow(bits / anchor.bits, kScaleExp);
+    const Estimate &base = verifyOp ? anchor.verify : anchor.sign;
+    return {base.cycles * scale, base.uj * scale};
+}
+
+} // namespace ulecc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Retry policy: exponential backoff with deterministic jitter.
+ *
+ * Retrying is reserved for the *transient* error classes
+ * (errcRetryable in base/error.hh): injected simulation faults,
+ * countermeasure-withheld outputs, and admission-control sheds.  The
+ * schedule is the textbook capped exponential -- delay doubles per
+ * failed attempt up to a ceiling -- plus a jitter term so that a
+ * burst of simultaneously shed requests does not re-arrive as the
+ * same thundering herd one backoff period later.
+ *
+ * Everything is wall-clock free: delays are *virtual* nanoseconds in
+ * the service engine's simulated timeline, and the jitter is drawn
+ * from SplitMix64 seeded by (request id, attempt), so the same
+ * campaign seed replays the same schedule bit-for-bit.
+ */
+
+#ifndef ULECC_SVC_RETRY_HH
+#define ULECC_SVC_RETRY_HH
+
+#include <cstdint>
+
+#include "base/prng.hh"
+
+namespace ulecc
+{
+
+/** Capped exponential backoff with deterministic jitter. */
+struct BackoffPolicy
+{
+    /** Delay before the second attempt (i.e. after the first failure). */
+    uint64_t baseNs = 1'000'000; // 1 virtual ms
+    /** Ceiling on the exponential term. */
+    uint64_t capNs = 64'000'000; // 64 virtual ms
+    /** Total tries per request, including the first. */
+    uint32_t maxAttempts = 4;
+    /** Jitter window: a uniform draw from [0, jitterNs] is added. */
+    uint64_t jitterNs = 250'000; // 0.25 virtual ms
+
+    /**
+     * Delay scheduled after failed attempt @p attempt (1-based: the
+     * delay between attempt 1 and attempt 2 is delayNs(1, ...)).
+     * Exponential term: min(capNs, baseNs << (attempt - 1)), computed
+     * without overflow; jitter is deterministic in (@p jitterSeed,
+     * @p attempt).
+     */
+    uint64_t
+    delayNs(uint32_t attempt, uint64_t jitterSeed) const
+    {
+        uint64_t exp = capNs;
+        if (attempt >= 1 && attempt - 1 < 63) {
+            uint64_t shifted = baseNs << (attempt - 1);
+            // Detect shift overflow: un-shifting must round-trip.
+            if ((shifted >> (attempt - 1)) == baseNs && shifted < capNs)
+                exp = shifted;
+        }
+        uint64_t jitter =
+            jitterNs ? splitmix64Mix(jitterSeed, attempt) % (jitterNs + 1)
+                     : 0;
+        return exp + jitter;
+    }
+};
+
+} // namespace ulecc
+
+#endif // ULECC_SVC_RETRY_HH

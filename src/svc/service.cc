@@ -1,0 +1,1002 @@
+/**
+ * @file
+ * The crypto-as-a-service engine implementation.
+ *
+ * Shape: a discrete-event coordinator owns *all* virtual-time state
+ * (arrival heap, admission queue, worker free times, retry schedule)
+ * and processes events in strict (time, sequence) order; admitted
+ * requests are executed for real -- checked crypto, chaos strikes,
+ * co-simulations -- as pure functions of (seed, id, attempt) on a
+ * ThreadPool.  The coordinator blocks on an execution's future only
+ * when it processes that request's completion event, so parallelism
+ * overlaps real work without ever influencing a decision.
+ */
+
+#include "svc/service.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+
+#include "ecdsa/ecdh.hh"
+#include "ecdsa/ecdsa.hh"
+#include "energy/power_model.hh"
+#include "obs/energy_ledger.hh"
+#include "par/sweep.hh"
+#include "par/thread_pool.hh"
+#include "svc/session.hh"
+
+namespace ulecc
+{
+
+const char *
+opKindName(OpKind op)
+{
+    switch (op) {
+      case OpKind::Sign: return "sign";
+      case OpKind::Verify: return "verify";
+      case OpKind::Ecdh: return "ecdh";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+constexpr double kClockNs = 3.0; ///< 333 MHz system clock
+constexpr int kNumOps = 3;
+
+constexpr MicroArch kAllArchs[] = {
+    MicroArch::Baseline, MicroArch::IsaExt, MicroArch::IsaExtIcache,
+    MicroArch::Monte, MicroArch::Billie,
+};
+
+/** One synthetic request (attempt state included). */
+struct Request
+{
+    uint64_t id = 0;
+    uint64_t userId = 0;
+    OpKind op = OpKind::Sign;
+    CurveId curve = CurveId::P192;
+    MicroArch arch = MicroArch::Baseline;
+    uint32_t attempt = 1;
+    uint64_t firstArrivalNs = 0;
+    uint64_t deadlineNs = 0; ///< absolute, end-to-end across retries
+};
+
+/** Outcome of one real execution (pure in (seed, id, attempt)). */
+struct ExecOutcome
+{
+    Errc errc = Errc::Ok;
+    ChaosClass chaos = ChaosClass::None;
+    const char *chaosKind = "none";
+    bool wrongAnswer = false;    ///< oracle mismatch, no structured error
+    bool unstructured = false;   ///< a non-UleccError escaped
+};
+
+/** Everything bound to one curve of the traffic mix. */
+struct CurveCtx
+{
+    const Curve &curve;
+    Ecdsa ecdsa;
+    Ecdh ecdh;
+    KeyPair serverKey;
+    std::vector<MicroArch> archs; ///< archs that model this curve
+
+    explicit CurveCtx(const Curve &c) : curve(c), ecdsa(c), ecdh(c) {}
+};
+
+/** Modelled cost of serving one request at one fidelity tier. */
+struct ServiceCost
+{
+    uint64_t serviceNs = 0;
+    double uj = 0;
+    EventCounts events;   ///< empty for the analytic tier
+    bool analytic = false;
+};
+
+struct Event
+{
+    enum class Kind
+    {
+        Arrival,
+        Completion,
+    };
+
+    uint64_t t = 0;
+    uint64_t seq = 0;
+    Kind kind = Kind::Arrival;
+    Request req;
+
+    // Completion-only payload.
+    ServiceTier tier = ServiceTier::FullSim;
+    ServiceCost cost;
+    uint64_t chargedNs = 0; ///< < cost.serviceNs when cancelled
+    int64_t slot = -1;      ///< execution slot, -1 = pre-resolved
+    Errc preResolved = Errc::Ok;
+};
+
+struct EventAfter
+{
+    bool
+    operator()(const Event &a, const Event &b) const
+    {
+        if (a.t != b.t)
+            return a.t > b.t;
+        return a.seq > b.seq;
+    }
+};
+
+} // namespace
+
+struct Server::Impl
+{
+    explicit Impl(const SvcConfig &config)
+        : cfg(config), sessions(config.seed)
+    {}
+
+    SvcConfig cfg;
+    SvcCounters counters;
+    SessionCache sessions;
+    AnalyticModel analytic;
+    std::map<CurveId, std::unique_ptr<CurveCtx>> curves;
+
+    // Virtual-time machinery (coordinator-only state).
+    std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+    uint64_t nextSeq = 0;
+    std::vector<uint64_t> workerFreeNs;
+    struct PendingEntry
+    {
+        Request req;
+        ServiceTier tier;
+        uint64_t estNs;
+    };
+    std::deque<PendingEntry> pending;
+    uint64_t pendingEstSumNs = 0;
+    uint64_t virtualEndNs = 0;
+    uint64_t finals = 0;
+
+    // Real execution.
+    std::optional<ThreadPool> pool;
+    std::deque<std::future<ExecOutcome>> slots;
+
+    // Timing-free accumulators (mutated only by the coordinator, in
+    // deterministic event order).
+    std::vector<uint64_t> okLatenciesNs;
+    EventCounts opEvents[kNumOps];
+    double opUj[kNumOps] = {0, 0, 0};
+    uint64_t opServed[kNumOps] = {0, 0, 0};
+    double analyticUj = 0;
+    double cancelledUj = 0;
+    bool ran = false;
+
+    // --- setup -------------------------------------------------------
+
+    void
+    buildCurves()
+    {
+        for (CurveId id : cfg.curves) {
+            if (curves.count(id))
+                continue;
+            auto ctx = std::make_unique<CurveCtx>(standardCurve(id));
+            for (MicroArch arch : kAllArchs) {
+                if (archSupportsCurve(arch, id))
+                    ctx->archs.push_back(arch);
+            }
+            // Server-side key: the peer every ECDH request agrees with.
+            const MpUint &n = ctx->curve.order();
+            SplitMix64 rng(splitmix64Mix(
+                cfg.seed, 0xC0FFEEull,
+                static_cast<uint64_t>(id) + 1));
+            MpUint d;
+            int limbs = (curveIdBits(id) + 31) / 32;
+            for (int i = 0; i < limbs; ++i)
+                d.setLimb(i, static_cast<uint32_t>(rng.next()));
+            d = d.mod(n);
+            if (d.isZero())
+                d = MpUint(2);
+            ctx->serverKey = ctx->ecdsa.keyFromPrivate(d);
+            curves.emplace(id, std::move(ctx));
+        }
+    }
+
+    void
+    warmEvalCache()
+    {
+        std::vector<SweepPoint> points;
+        for (auto &[id, ctx] : curves) {
+            for (MicroArch arch : ctx->archs)
+                points.push_back(SweepPoint{arch, id, {}});
+        }
+        SweepConfig sc;
+        sc.jobs = cfg.jobs;
+        sc.serial = cfg.serial;
+        SweepRunner(sc).run(points); // results land in the eval memo
+    }
+
+    // --- request generation ------------------------------------------
+
+    uint64_t
+    analyticEstNs(const Request &req) const
+    {
+        AnalyticModel::Estimate est = analytic.estimate(
+            req.arch, req.curve, req.op == OpKind::Verify);
+        double ns = est.cycles * kClockNs;
+        return ns < 1 ? 1 : static_cast<uint64_t>(ns);
+    }
+
+    void
+    generate()
+    {
+        ArrivalGen gen(cfg.arrivals, splitmix64Mix(cfg.seed, 0xA221));
+        SplitMix64 attrs(splitmix64Mix(cfg.seed, 0x5EED));
+        uint64_t population = cfg.users ? cfg.users : 1;
+        uint64_t hot = population / 10 ? population / 10 : 1;
+        for (uint64_t id = 0; id < cfg.requests; ++id) {
+            Request r;
+            r.id = id;
+            r.firstArrivalNs = gen.next();
+            // 80/20 skew: most traffic from a hot tenth of the
+            // population, so the session cache sees real reuse.
+            r.userId = attrs.below(100) < 80 ? attrs.below(hot)
+                                             : attrs.below(population);
+            uint64_t op = attrs.below(100);
+            r.op = op < 40 ? OpKind::Sign
+                 : op < 75 ? OpKind::Verify
+                           : OpKind::Ecdh;
+            r.curve = cfg.curves[attrs.below(cfg.curves.size())];
+            const CurveCtx &ctx = *curves.at(r.curve);
+            r.arch = ctx.archs[attrs.below(ctx.archs.size())];
+            uint64_t est = analyticEstNs(r);
+            double budget = cfg.deadlineFactor * static_cast<double>(est);
+            uint64_t deadline = static_cast<uint64_t>(budget);
+            if (deadline < cfg.deadlineFloorNs)
+                deadline = cfg.deadlineFloorNs;
+            r.deadlineNs = r.firstArrivalNs + deadline;
+
+            Event ev;
+            ev.t = r.firstArrivalNs;
+            ev.seq = nextSeq++;
+            ev.kind = Event::Kind::Arrival;
+            ev.req = r;
+            events.push(ev);
+            ++counters.generated;
+        }
+    }
+
+    // --- real execution (pure per (seed, id, attempt)) ----------------
+
+    void
+    normalPath(const CurveCtx &ctx, const Session &s,
+               const Request &req, ExecOutcome &out) const
+    {
+        switch (req.op) {
+          case OpKind::Sign: {
+            Result<Signature> r =
+                ctx.ecdsa.signDigestChecked(s.key.d, s.digest);
+            if (!r.ok())
+                out.errc = r.error().code;
+            break;
+          }
+          case OpKind::Verify: {
+            Result<bool> v = ctx.ecdsa.verifyDigestChecked(
+                s.key.q, s.digest, s.goldenSig);
+            if (!v.ok())
+                out.errc = v.error().code;
+            else if (!v.value())
+                out.wrongAnswer = true; // golden signature must verify
+            break;
+          }
+          case OpKind::Ecdh: {
+            Result<EcdhShared> a =
+                ctx.ecdh.agreeChecked(s.key.d, ctx.serverKey.q);
+            if (!a.ok()) {
+                out.errc = a.error().code;
+                break;
+            }
+            Result<EcdhShared> b =
+                ctx.ecdh.agreeChecked(ctx.serverKey.d, s.key.q);
+            if (!b.ok()) {
+                out.errc = b.error().code;
+                break;
+            }
+            // Both sides must derive the same session key.
+            if (!a.value().valid || !b.value().valid
+                || a.value().sessionKey != b.value().sessionKey)
+                out.wrongAnswer = true;
+            break;
+          }
+        }
+    }
+
+    void
+    chaosPath(const CurveCtx &ctx, const Session &s,
+              const Request &req, SplitMix64 &rng,
+              ExecOutcome &out) const
+    {
+        uint64_t pick = rng.below(4);
+        if (pick == 0) {
+            SimStrikeResult sr = chaosSimStrike(rng);
+            out.errc = sr.errc;
+            out.chaos = sr.cls;
+            out.chaosKind = sr.kind;
+            // A masked strike left the device unharmed: the request's
+            // real answer is still produced.
+            if (sr.cls == ChaosClass::Masked)
+                normalPath(ctx, s, req, out);
+            return;
+        }
+        if (pick == 1) {
+            SimStrikeResult sr = chaosBudgetStrike(rng);
+            out.errc = sr.errc;
+            out.chaos = sr.cls;
+            out.chaosKind = sr.kind;
+            if (sr.cls == ChaosClass::Masked)
+                normalPath(ctx, s, req, out);
+            return;
+        }
+        switch (req.op) {
+          case OpKind::Sign: {
+            if (rng.below(2) == 0) {
+                // Emulated glitched signer: a corrupted signature must
+                // be withheld by verify-after-sign.
+                out.chaosKind = "crypto-glitched-sign";
+                Signature glitched = s.goldenSig;
+                int bit = static_cast<int>(
+                    rng.below(curveIdBits(req.curve)));
+                glitched.s = glitched.s.bitXor(MpUint::powerOfTwo(bit));
+                bool ok = ctx.ecdsa.verifyDigest(s.key.q, s.digest,
+                                                 glitched);
+                if (ok) {
+                    out.wrongAnswer = true;
+                    out.chaos = ChaosClass::SilentCaught;
+                } else {
+                    out.errc = Errc::FaultDetected;
+                    out.chaos = ChaosClass::Detected;
+                }
+            } else {
+                // Glitched scalar: out-of-range d must be rejected.
+                out.chaosKind = "crypto-scalar-range";
+                MpUint bad = ctx.curve.order().add(s.key.d);
+                Result<Signature> r =
+                    ctx.ecdsa.signDigestChecked(bad, s.digest);
+                if (!r.ok()) {
+                    out.errc = r.error().code;
+                    out.chaos = ChaosClass::Detected;
+                } else {
+                    out.wrongAnswer = true;
+                    out.chaos = ChaosClass::SilentCaught;
+                }
+            }
+            break;
+          }
+          case OpKind::Verify: {
+            // Bit-flipped signature must fail verification -- a
+            // *false* verdict is the correct result here.
+            out.chaosKind = "crypto-corrupt-signature";
+            Signature bad = s.goldenSig;
+            int bit =
+                static_cast<int>(rng.below(curveIdBits(req.curve)));
+            if (rng.below(2))
+                bad.r = bad.r.bitXor(MpUint::powerOfTwo(bit));
+            else
+                bad.s = bad.s.bitXor(MpUint::powerOfTwo(bit));
+            Result<bool> v = ctx.ecdsa.verifyDigestChecked(
+                s.key.q, s.digest, bad);
+            if (!v.ok() || !v.value()) {
+                out.chaos = ChaosClass::Detected;
+            } else {
+                out.wrongAnswer = true;
+                out.chaos = ChaosClass::SilentCaught;
+            }
+            break;
+          }
+          case OpKind::Ecdh: {
+            // Bit-flipped peer point must fail validation.
+            out.chaosKind = "crypto-corrupt-ecdh-peer";
+            AffinePoint bad = ctx.serverKey.q;
+            bad.y.setLimb(
+                static_cast<int>(rng.below(
+                    (curveIdBits(req.curve) + 31) / 32)),
+                bad.y.limb(0) ^ (1u << rng.below(32)));
+            Result<EcdhShared> r = ctx.ecdh.agreeChecked(s.key.d, bad);
+            if (!r.ok()) {
+                out.errc = r.error().code;
+                out.chaos = ChaosClass::Detected;
+            } else {
+                out.wrongAnswer = true;
+                out.chaos = ChaosClass::SilentCaught;
+            }
+            break;
+          }
+        }
+    }
+
+    ExecOutcome
+    execOne(const Request &req, ServiceTier tier)
+    {
+        ExecOutcome out;
+        try {
+            SplitMix64 rng(
+                splitmix64Mix(cfg.seed, req.id + 1, req.attempt));
+            const CurveCtx &ctx = *curves.at(req.curve);
+            Session s = sessions.get(ctx.ecdsa, req.curve, req.userId);
+            bool struck = cfg.chaos.percent != 0
+                && rng.below(100) < cfg.chaos.percent;
+            if (struck)
+                chaosPath(ctx, s, req, rng, out);
+            else
+                normalPath(ctx, s, req, out);
+            if (tier == ServiceTier::FullSim) {
+                // Per-request co-simulation: the FullSim tier anchors
+                // its telemetry with a real Pete run, cross-checked
+                // against the native bignum.
+                bool mismatch = false;
+                chaosCosim(rng, &mismatch);
+                if (mismatch)
+                    out.wrongAnswer = true;
+            }
+        } catch (const UleccError &e) {
+            out.errc = e.code();
+        } catch (...) {
+            out.errc = Errc::Internal;
+            out.unstructured = true;
+        }
+        // The silent-corruption countermeasure: an oracle mismatch
+        // without a structured error becomes one, so no request ever
+        // returns a wrong answer marked "ok".
+        if (out.wrongAnswer && out.errc == Errc::Ok)
+            out.errc = Errc::FaultDetected;
+        return out;
+    }
+
+    int64_t
+    launch(const Request &req, ServiceTier tier)
+    {
+        int64_t slot = static_cast<int64_t>(slots.size());
+        ++counters.executed;
+        if (!pool) {
+            std::promise<ExecOutcome> p;
+            p.set_value(execOne(req, tier));
+            slots.push_back(p.get_future());
+        } else {
+            auto task =
+                std::make_shared<std::packaged_task<ExecOutcome()>>(
+                    [this, req, tier] { return execOne(req, tier); });
+            slots.push_back(task->get_future());
+            pool->submit([task] { (*task)(); });
+        }
+        return slot;
+    }
+
+    // --- coordinator --------------------------------------------------
+
+    ServiceCost
+    dispatchCost(const Request &req, ServiceTier tier)
+    {
+        ServiceCost c;
+        if (tier != ServiceTier::Analytic) {
+            Result<EvalResult> r = evaluateChecked(req.arch, req.curve);
+            if (r.ok()) {
+                const OperationEval &oe = req.op == OpKind::Verify
+                    ? r.value().verify
+                    : r.value().sign; // ECDH: one scalar mult ~ sign
+                c.serviceNs = static_cast<uint64_t>(
+                    static_cast<double>(oe.cycles) * kClockNs);
+                c.uj = oe.energy.totalUj();
+                c.events = oe.events;
+                return c;
+            }
+            // Graceful degradation *within* the tier: an evaluator
+            // failure (not an invalid request) downgrades this one
+            // request to the analytic estimate instead of failing it.
+            ++counters.evalFallbacks;
+        }
+        AnalyticModel::Estimate est = analytic.estimate(
+            req.arch, req.curve, req.op == OpKind::Verify);
+        c.serviceNs = static_cast<uint64_t>(est.cycles * kClockNs);
+        if (c.serviceNs < 1)
+            c.serviceNs = 1;
+        c.uj = est.uj;
+        c.analytic = true;
+        return c;
+    }
+
+    void
+    scheduleRetry(const Request &req, uint64_t now)
+    {
+        ++counters.retriesScheduled;
+        Event ev;
+        ev.t = now
+            + cfg.backoff.delayNs(req.attempt,
+                                  splitmix64Mix(cfg.seed, req.id + 1));
+        ev.seq = nextSeq++;
+        ev.kind = Event::Kind::Arrival;
+        ev.req = req;
+        ev.req.attempt = req.attempt + 1;
+        events.push(ev);
+    }
+
+    void
+    recordFinal(const Request &req, uint64_t now, Errc errc)
+    {
+        ++finals;
+        if (req.attempt >= 1
+            && req.attempt <= counters.retriesByAttempt.size())
+            ++counters.retriesByAttempt[req.attempt - 1];
+        if (errc == Errc::Ok) {
+            ++counters.completedOk;
+            okLatenciesNs.push_back(now - req.firstArrivalNs);
+        } else {
+            ++counters.failed;
+            ++counters.failedByErrc[errcName(errc)];
+            if (errcRetryable(errc)
+                && req.attempt >= cfg.backoff.maxAttempts)
+                ++counters.retriesExhausted;
+        }
+    }
+
+    /** Retry when policy allows, otherwise make @p errc final. */
+    void
+    resolve(const Request &req, uint64_t now, Errc errc)
+    {
+        if (errc != Errc::Ok && errcRetryable(errc)
+            && req.attempt < cfg.backoff.maxAttempts)
+            scheduleRetry(req, now);
+        else
+            recordFinal(req, now, errc);
+    }
+
+    uint64_t
+    estStartDelayNs(uint64_t now) const
+    {
+        uint64_t minFree = workerFreeNs[0];
+        for (uint64_t f : workerFreeNs)
+            minFree = std::min(minFree, f);
+        uint64_t base = minFree > now ? minFree - now : 0;
+        return base + pendingEstSumNs / workerFreeNs.size();
+    }
+
+    void
+    onArrival(const Event &ev)
+    {
+        ++counters.arrivals;
+        const Request &req = ev.req;
+        uint64_t now = ev.t;
+        if (now >= req.deadlineNs) {
+            // The end-to-end budget is already spent (typically a
+            // retry whose backoff overshot the deadline).
+            ++counters.expiredAtArrival;
+            recordFinal(req, now, Errc::DeadlineExceeded);
+            return;
+        }
+        size_t depth = pending.size();
+        if (depth >= cfg.queueCap) {
+            ++counters.shedDepth;
+            resolve(req, now, Errc::Overloaded);
+            return;
+        }
+        uint64_t est = analyticEstNs(req);
+        if (now + estStartDelayNs(now) + est > req.deadlineNs) {
+            // Deadline-aware admission: if the request cannot plausibly
+            // finish inside its budget, shedding now is cheaper than
+            // timing out later.
+            ++counters.shedDeadlineBudget;
+            resolve(req, now, Errc::Overloaded);
+            return;
+        }
+        ServiceTier tier = cfg.degrade.select(depth);
+        switch (tier) {
+          case ServiceTier::FullSim: ++counters.tierFullSim; break;
+          case ServiceTier::Memoized: ++counters.tierMemoized; break;
+          case ServiceTier::Analytic: ++counters.tierAnalytic; break;
+        }
+        ++counters.admitted;
+        pending.push_back(PendingEntry{req, tier, est});
+        pendingEstSumNs += est;
+        tryDispatch(now);
+    }
+
+    void
+    tryDispatch(uint64_t now)
+    {
+        while (!pending.empty()) {
+            // Earliest-free worker, lowest index on ties.
+            unsigned w = 0;
+            for (unsigned i = 1; i < workerFreeNs.size(); ++i) {
+                if (workerFreeNs[i] < workerFreeNs[w])
+                    w = i;
+            }
+            if (workerFreeNs[w] > now)
+                return; // all workers busy; completions re-dispatch
+            PendingEntry pe = pending.front();
+            pending.pop_front();
+            pendingEstSumNs -= pe.estNs;
+            const Request &req = pe.req;
+            if (now >= req.deadlineNs) {
+                ++counters.expiredInQueue;
+                recordFinal(req, now, Errc::DeadlineExceeded);
+                continue;
+            }
+            ServiceCost cost = dispatchCost(req, pe.tier);
+            uint64_t budget = req.deadlineNs - now;
+            Event done;
+            done.kind = Event::Kind::Completion;
+            done.req = req;
+            done.tier = pe.tier;
+            done.cost = cost;
+            if (cost.serviceNs > budget) {
+                // The deadline lands mid-service: cancel at the next
+                // safe point (phase boundaries at 1/8 granularity)
+                // instead of either hanging on or dropping mid-phase.
+                uint64_t sp = cost.serviceNs / 8;
+                if (sp == 0)
+                    sp = 1;
+                uint64_t charged = ((budget + sp - 1) / sp) * sp;
+                if (charged > cost.serviceNs)
+                    charged = cost.serviceNs;
+                done.chargedNs = charged;
+                done.slot = -1;
+                done.preResolved = Errc::DeadlineExceeded;
+                ++counters.cancelledMidService;
+            } else {
+                done.chargedNs = cost.serviceNs;
+                done.slot = launch(req, pe.tier);
+            }
+            done.t = now + done.chargedNs;
+            done.seq = nextSeq++;
+            workerFreeNs[w] = done.t;
+            events.push(done);
+        }
+    }
+
+    void
+    onCompletion(const Event &ev)
+    {
+        const Request &req = ev.req;
+        ExecOutcome out;
+        if (ev.slot >= 0) {
+            out = slots[static_cast<size_t>(ev.slot)].get();
+        } else {
+            out.errc = ev.preResolved;
+        }
+
+        // Chaos bookkeeping.
+        if (out.chaos != ChaosClass::None) {
+            ++counters.chaosStrikes;
+            ++counters.chaosByKind[out.chaosKind];
+            switch (out.chaos) {
+              case ChaosClass::Detected:
+                ++counters.chaosDetected;
+                break;
+              case ChaosClass::Masked:
+                ++counters.chaosMasked;
+                break;
+              case ChaosClass::SilentCaught:
+                ++counters.chaosSilentCaught;
+                break;
+              case ChaosClass::None:
+                break;
+            }
+        } else if (out.wrongAnswer) {
+            ++counters.wrongAnswers; // chaos-free oracle mismatch: a bug
+        }
+        if (out.unstructured)
+            ++counters.unstructuredExceptions;
+
+        // Energy attribution, charged in completion order.
+        int op = static_cast<int>(req.op);
+        if (ev.slot < 0) {
+            // Cancelled at a safe point: pro-rata charge.
+            cancelledUj += ev.cost.uj
+                * (static_cast<double>(ev.chargedNs)
+                   / static_cast<double>(ev.cost.serviceNs));
+        } else if (ev.cost.analytic) {
+            analyticUj += ev.cost.uj;
+            ++opServed[op];
+        } else {
+            opEvents[op] += ev.cost.events;
+            opUj[op] += ev.cost.uj;
+            ++opServed[op];
+        }
+
+        resolve(req, ev.t, out.errc);
+        tryDispatch(ev.t);
+    }
+
+    void
+    run()
+    {
+        buildCurves();
+        analytic.calibrate();
+        if (cfg.warmEvalCache)
+            warmEvalCache();
+        if (!cfg.serial)
+            pool.emplace(cfg.jobs);
+        workerFreeNs.assign(
+            cfg.virtualWorkers ? cfg.virtualWorkers : 1, 0);
+        counters.retriesByAttempt.assign(
+            cfg.backoff.maxAttempts ? cfg.backoff.maxAttempts : 1, 0);
+        generate();
+        while (!events.empty()) {
+            Event ev = events.top();
+            events.pop();
+            virtualEndNs = std::max(virtualEndNs, ev.t);
+            if (ev.kind == Event::Kind::Arrival)
+                onArrival(ev);
+            else
+                onCompletion(ev);
+        }
+        if (pool) {
+            pool->wait();
+            pool->shutdown(ThreadPool::Shutdown::Drain);
+        }
+        ran = true;
+    }
+
+    // --- reporting ----------------------------------------------------
+
+    uint64_t
+    percentileNs(unsigned permille) const
+    {
+        if (okLatenciesNs.empty())
+            return 0;
+        std::vector<uint64_t> sorted = okLatenciesNs;
+        std::sort(sorted.begin(), sorted.end());
+        size_t idx = (sorted.size() - 1)
+            * static_cast<size_t>(permille) / 1000;
+        return sorted[idx];
+    }
+
+    Json
+    report() const
+    {
+        Json root = Json::object();
+        root["schema"] = "ulecc.svc.v1";
+        root["seed"] = cfg.seed;
+
+        Json config = Json::object();
+        config["requests"] = cfg.requests;
+        config["users"] = cfg.users;
+        config["virtual_workers"] = cfg.virtualWorkers;
+        config["queue_cap"] = static_cast<uint64_t>(cfg.queueCap);
+        config["deadline_factor"] = cfg.deadlineFactor;
+        config["deadline_floor_ns"] = cfg.deadlineFloorNs;
+        Json arrivals = Json::object();
+        arrivals["kind"] = arrivalKindName(cfg.arrivals.kind);
+        arrivals["rate_per_sec"] = cfg.arrivals.ratePerSec;
+        arrivals["burst_factor"] = cfg.arrivals.burstFactor;
+        arrivals["burst_ns"] = cfg.arrivals.burstNs;
+        arrivals["idle_ns"] = cfg.arrivals.idleNs;
+        config["arrivals"] = arrivals;
+        Json backoff = Json::object();
+        backoff["base_ns"] = cfg.backoff.baseNs;
+        backoff["cap_ns"] = cfg.backoff.capNs;
+        backoff["max_attempts"] = cfg.backoff.maxAttempts;
+        backoff["jitter_ns"] = cfg.backoff.jitterNs;
+        config["backoff"] = backoff;
+        Json degrade = Json::object();
+        degrade["memoized_depth"] =
+            static_cast<uint64_t>(cfg.degrade.memoizedDepth);
+        degrade["analytic_depth"] =
+            static_cast<uint64_t>(cfg.degrade.analyticDepth);
+        config["degrade"] = degrade;
+        config["chaos_percent"] = cfg.chaos.percent;
+        Json curveNames = Json::array();
+        for (CurveId id : cfg.curves)
+            curveNames.push(curveIdName(id));
+        config["curves"] = curveNames;
+        root["config"] = config;
+
+        Json totals = Json::object();
+        totals["generated"] = counters.generated;
+        totals["arrivals"] = counters.arrivals;
+        totals["admitted"] = counters.admitted;
+        totals["executed"] = counters.executed;
+        totals["completed_ok"] = counters.completedOk;
+        totals["failed"] = counters.failed;
+        totals["finals"] = finals;
+        root["totals"] = totals;
+
+        Json shed = Json::object();
+        shed["queue_depth"] = counters.shedDepth;
+        shed["deadline_budget"] = counters.shedDeadlineBudget;
+        root["shed"] = shed;
+
+        Json deadline = Json::object();
+        deadline["expired_at_arrival"] = counters.expiredAtArrival;
+        deadline["expired_in_queue"] = counters.expiredInQueue;
+        deadline["cancelled_mid_service"] =
+            counters.cancelledMidService;
+        root["deadline"] = deadline;
+
+        Json retry = Json::object();
+        retry["scheduled"] = counters.retriesScheduled;
+        retry["exhausted"] = counters.retriesExhausted;
+        Json byAttempt = Json::array();
+        for (uint64_t n : counters.retriesByAttempt)
+            byAttempt.push(n);
+        retry["finals_by_attempt"] = byAttempt;
+        root["retry"] = retry;
+
+        Json degradeOut = Json::object();
+        degradeOut["full_sim"] = counters.tierFullSim;
+        degradeOut["memoized"] = counters.tierMemoized;
+        degradeOut["analytic"] = counters.tierAnalytic;
+        degradeOut["eval_fallbacks"] = counters.evalFallbacks;
+        root["degrade"] = degradeOut;
+
+        Json chaos = Json::object();
+        chaos["strikes"] = counters.chaosStrikes;
+        chaos["detected"] = counters.chaosDetected;
+        chaos["masked"] = counters.chaosMasked;
+        chaos["silent_caught"] = counters.chaosSilentCaught;
+        Json byKind = Json::object();
+        for (const auto &[kind, n] : counters.chaosByKind)
+            byKind[kind] = n;
+        chaos["by_kind"] = byKind;
+        root["chaos"] = chaos;
+
+        Json errors = Json::object();
+        errors["wrong_answers"] = counters.wrongAnswers;
+        errors["unstructured_exceptions"] =
+            counters.unstructuredExceptions;
+        Json byErrc = Json::object();
+        for (const auto &[name, n] : counters.failedByErrc)
+            byErrc[name] = n;
+        errors["failed_by_errc"] = byErrc;
+        root["errors"] = errors;
+
+        Json session = Json::object();
+        session["derivations"] = sessions.derivations();
+        session["hits"] = sessions.hits();
+        session["shards"] = sessions.shards();
+        root["session"] = session;
+
+        Json latency = Json::object();
+        latency["count"] =
+            static_cast<uint64_t>(okLatenciesNs.size());
+        latency["p50_ns"] = percentileNs(500);
+        latency["p99_ns"] = percentileNs(990);
+        latency["p999_ns"] = percentileNs(999);
+        uint64_t maxNs = 0;
+        double sumNs = 0;
+        for (uint64_t v : okLatenciesNs) {
+            maxNs = std::max(maxNs, v);
+            sumNs += static_cast<double>(v);
+        }
+        latency["max_ns"] = maxNs;
+        latency["mean_ns"] = okLatenciesNs.empty()
+            ? 0.0
+            : sumNs / static_cast<double>(okLatenciesNs.size());
+        root["latency"] = latency;
+
+        // Energy: the exact per-request sums per op kind, plus the
+        // EnergyLedger decomposition of the modelled event activity.
+        Json energy = Json::object();
+        double totalUj = analyticUj + cancelledUj;
+        Json perOp = Json::object();
+        for (int op = 0; op < kNumOps; ++op) {
+            Json o = Json::object();
+            o["served"] = opServed[op];
+            o["uj"] = opUj[op];
+            perOp[opKindName(static_cast<OpKind>(op))] = o;
+            totalUj += opUj[op];
+        }
+        energy["per_op"] = perOp;
+        energy["analytic_uj"] = analyticUj;
+        energy["cancelled_uj"] = cancelledUj;
+        energy["total_uj"] = totalUj;
+        energy["uj_per_ok_request"] = counters.completedOk
+            ? totalUj / static_cast<double>(counters.completedOk)
+            : 0.0;
+        EnergyLedger ledger;
+        for (int op = 0; op < kNumOps; ++op) {
+            if (opEvents[op].cycles)
+                ledger.addPhase(opKindName(static_cast<OpKind>(op)),
+                                opEvents[op]);
+        }
+        energy["ledger"] = ledger.toJson();
+        root["energy"] = energy;
+
+        root["virtual_ns"] = virtualEndNs;
+        return root;
+    }
+
+    std::string
+    reportText() const
+    {
+        char buf[512];
+        std::string out;
+        auto line = [&out, &buf](const char *fmt, auto... args) {
+            std::snprintf(buf, sizeof(buf), fmt, args...);
+            out += buf;
+            out += '\n';
+        };
+        line("svc: %llu requests, %llu ok, %llu failed "
+             "(%llu finals, %llu arrivals)",
+             (unsigned long long)counters.generated,
+             (unsigned long long)counters.completedOk,
+             (unsigned long long)counters.failed,
+             (unsigned long long)finals,
+             (unsigned long long)counters.arrivals);
+        line("  shed: %llu depth, %llu deadline-budget; deadline: "
+             "%llu at-arrival, %llu in-queue, %llu cancelled",
+             (unsigned long long)counters.shedDepth,
+             (unsigned long long)counters.shedDeadlineBudget,
+             (unsigned long long)counters.expiredAtArrival,
+             (unsigned long long)counters.expiredInQueue,
+             (unsigned long long)counters.cancelledMidService);
+        line("  retry: %llu scheduled, %llu exhausted",
+             (unsigned long long)counters.retriesScheduled,
+             (unsigned long long)counters.retriesExhausted);
+        line("  tiers: %llu full-sim, %llu memoized, %llu analytic",
+             (unsigned long long)counters.tierFullSim,
+             (unsigned long long)counters.tierMemoized,
+             (unsigned long long)counters.tierAnalytic);
+        line("  chaos: %llu strikes (%llu detected, %llu masked, "
+             "%llu silent-caught); %llu wrong answers, "
+             "%llu unstructured",
+             (unsigned long long)counters.chaosStrikes,
+             (unsigned long long)counters.chaosDetected,
+             (unsigned long long)counters.chaosMasked,
+             (unsigned long long)counters.chaosSilentCaught,
+             (unsigned long long)counters.wrongAnswers,
+             (unsigned long long)counters.unstructuredExceptions);
+        line("  latency: p50 %.3f ms, p99 %.3f ms, p999 %.3f ms "
+             "(%zu samples)",
+             percentileNs(500) * 1e-6, percentileNs(990) * 1e-6,
+             percentileNs(999) * 1e-6, okLatenciesNs.size());
+        double totalUj = analyticUj + cancelledUj + opUj[0] + opUj[1]
+            + opUj[2];
+        line("  energy: %.1f uJ total, %.3f uJ/ok-request",
+             totalUj,
+             counters.completedOk
+                 ? totalUj / static_cast<double>(counters.completedOk)
+                 : 0.0);
+        line("  sessions: %llu derived, %llu hits",
+             (unsigned long long)sessions.derivations(),
+             (unsigned long long)sessions.hits());
+        return out;
+    }
+};
+
+Server::Server(const SvcConfig &config) : impl_(new Impl(config)) {}
+
+Server::~Server()
+{
+    delete impl_;
+}
+
+void
+Server::run()
+{
+    if (impl_->ran)
+        throw UleccError(Errc::InvalidInput,
+                         "Server::run is single-shot");
+    impl_->run();
+}
+
+const SvcCounters &
+Server::counters() const
+{
+    return impl_->counters;
+}
+
+Json
+Server::report() const
+{
+    return impl_->report();
+}
+
+std::string
+Server::reportText() const
+{
+    return impl_->reportText();
+}
+
+} // namespace ulecc

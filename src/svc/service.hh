@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The crypto-as-a-service request engine.
+ *
+ * A long-lived serving substrate in front of the whole stack:
+ * sign/verify/ECDH requests drawn from a synthetic user population
+ * (lazily derived per-user keys, Poisson or bursty arrivals,
+ * per-request curve + microarchitecture selection) flow through
+ * admission control, a bounded queue, a fleet of modelled device
+ * workers, and the checked cryptographic entry points -- with
+ * robustness as the headline:
+ *
+ *  - admission control sheds on queue depth and on deadline budget
+ *    (a request that cannot start in time is refused immediately);
+ *  - per-request end-to-end deadlines with cancellation at safe
+ *    points (phase boundaries in virtual time; the 256-instruction
+ *    budget check inside Pete for real simulations);
+ *  - taxonomy-driven retry (errcRetryable) with capped exponential
+ *    backoff and deterministic jitter;
+ *  - graceful degradation tiers (svc/degrade.hh) selected by load;
+ *  - chaos mode (svc/chaos.hh) injecting faults into live request
+ *    paths, with the invariant that every request ends in a correct
+ *    result or a structured Errc -- never a crash, hang, or silent
+ *    wrong answer.
+ *
+ * Determinism architecture: all timing, admission, retry, and
+ * degradation decisions are made by a discrete-event coordinator in
+ * *virtual time*; real execution of admitted requests (the host-side
+ * cryptography, chaos strikes, co-simulations) is a pure function of
+ * (seed, request id, attempt) farmed out to a ThreadPool.  Parallel
+ * and serial runs therefore produce byte-identical timing-free
+ * reports: threads change wall-clock, never outcomes.
+ */
+
+#ifndef ULECC_SVC_SERVICE_HH
+#define ULECC_SVC_SERVICE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/json.hh"
+#include "svc/arrivals.hh"
+#include "svc/chaos.hh"
+#include "svc/degrade.hh"
+#include "svc/retry.hh"
+
+namespace ulecc
+{
+
+/** Request operation. */
+enum class OpKind
+{
+    Sign,
+    Verify,
+    Ecdh,
+};
+
+/** Stable short name (logs/JSON). */
+const char *opKindName(OpKind op);
+
+/** Service engine configuration. */
+struct SvcConfig
+{
+    uint64_t seed = 1;
+    uint64_t requests = 1000; ///< synthetic requests to generate
+    uint64_t users = 256;     ///< population size (keys lazily derived)
+
+    /** Modelled device-fleet width (virtual servers, not threads). */
+    unsigned virtualWorkers = 4;
+    /** Real executor width (0 = ThreadPool::defaultThreads()). */
+    unsigned jobs = 0;
+    /** Execute requests inline on the coordinator (--serial). */
+    bool serial = false;
+
+    /** Admission control: max requests waiting for a worker. */
+    size_t queueCap = 64;
+    /**
+     * Per-request deadline: max(deadlineFloorNs, deadlineFactor x
+     * analytic service estimate), measured end-to-end from first
+     * arrival (retries share the budget).
+     */
+    double deadlineFactor = 16.0;
+    uint64_t deadlineFloorNs = 2'000'000;
+
+    BackoffPolicy backoff;
+    DegradePolicy degrade;
+    ArrivalConfig arrivals;
+    ChaosConfig chaos;
+
+    /** Curves traffic is drawn from (uniform mix). */
+    std::vector<CurveId> curves{CurveId::P192, CurveId::B163,
+                                CurveId::P256};
+
+    /** Pre-warm the evaluation memo for every (arch, curve) cell the
+     * traffic can touch, in parallel, before the clock starts. */
+    bool warmEvalCache = true;
+};
+
+/** Timing-free outcome counters (everything the report aggregates). */
+struct SvcCounters
+{
+    uint64_t generated = 0;        ///< synthetic requests (== config)
+    uint64_t arrivals = 0;         ///< arrival events incl. retries
+    uint64_t admitted = 0;         ///< passed admission control
+    uint64_t shedDepth = 0;        ///< refused: queue full
+    uint64_t shedDeadlineBudget = 0; ///< refused: cannot start in time
+    uint64_t expiredAtArrival = 0; ///< deadline already spent (retries)
+    uint64_t expiredInQueue = 0;   ///< deadline passed while queued
+    uint64_t cancelledMidService = 0; ///< cancelled at a safe point
+    uint64_t executed = 0;         ///< real executions performed
+    uint64_t completedOk = 0;      ///< final: correct result
+    uint64_t failed = 0;           ///< final: structured error
+    uint64_t retriesScheduled = 0;
+    uint64_t retriesExhausted = 0;
+    uint64_t tierFullSim = 0;
+    uint64_t tierMemoized = 0;
+    uint64_t tierAnalytic = 0;
+    uint64_t evalFallbacks = 0;    ///< evaluator error -> analytic
+    uint64_t chaosStrikes = 0;
+    uint64_t chaosDetected = 0;
+    uint64_t chaosMasked = 0;
+    uint64_t chaosSilentCaught = 0;
+    uint64_t wrongAnswers = 0;     ///< oracle mismatches (chaos-free)
+    uint64_t unstructuredExceptions = 0; ///< escaped non-Errc throws
+    std::map<std::string, uint64_t> failedByErrc;
+    std::map<std::string, uint64_t> chaosByKind;
+    std::vector<uint64_t> retriesByAttempt; ///< [i]: finals at attempt i+1
+};
+
+/** The request engine. */
+class Server
+{
+  public:
+    explicit Server(const SvcConfig &config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Runs the whole synthetic campaign to completion.  Deterministic
+     * in config.seed; callable once per Server. */
+    void run();
+
+    const SvcCounters &counters() const;
+
+    /** Timing-free JSON report ("ulecc.svc.v1"): byte-identical for
+     * the same seed across runs and serial/parallel modes. */
+    Json report() const;
+
+    /** Human-readable summary of the same numbers. */
+    std::string reportText() const;
+
+  private:
+    struct Impl;
+    Impl *impl_;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_SVC_SERVICE_HH

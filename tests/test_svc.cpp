@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Service-engine tests: the Errc retry taxonomy, backoff schedule,
+ * degradation-tier selection, analytic-model sanity, arrival-stream
+ * determinism, session-cache determinism, deadline/shed behaviour,
+ * the chaos soak invariant (every request ends in a correct result or
+ * a structured error), and byte-identical reports across repeated
+ * runs and across serial/parallel execution.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/error.hh"
+#include "svc/arrivals.hh"
+#include "svc/degrade.hh"
+#include "svc/retry.hh"
+#include "svc/service.hh"
+#include "svc/session.hh"
+
+using namespace ulecc;
+
+namespace
+{
+
+/** A config sized for test runtime: small, chaotic, overloaded. */
+SvcConfig
+soakConfig(uint64_t seed, uint64_t requests)
+{
+    SvcConfig cfg;
+    cfg.seed = seed;
+    cfg.requests = requests;
+    cfg.users = 64;
+    cfg.chaos.percent = 25;
+    cfg.arrivals.kind = ArrivalKind::Bursty;
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Errc taxonomy (src/base/error.hh)
+
+TEST(SvcErrc, TransientClassification)
+{
+    // Transient: a retry may genuinely succeed.
+    EXPECT_TRUE(errcTransient(Errc::SimTimeout));
+    EXPECT_TRUE(errcTransient(Errc::MemFault));
+    EXPECT_TRUE(errcTransient(Errc::IllegalInstruction));
+    EXPECT_TRUE(errcTransient(Errc::FaultDetected));
+    EXPECT_TRUE(errcTransient(Errc::Overloaded));
+    // Deterministic: the same request fails the same way every time.
+    EXPECT_FALSE(errcTransient(Errc::Ok));
+    EXPECT_FALSE(errcTransient(Errc::InvalidInput));
+    EXPECT_FALSE(errcTransient(Errc::OutOfRange));
+    EXPECT_FALSE(errcTransient(Errc::AsmSyntax));
+    EXPECT_FALSE(errcTransient(Errc::Unsupported));
+    EXPECT_FALSE(errcTransient(Errc::Internal));
+    // A spent deadline cannot be fixed by spending more time.
+    EXPECT_FALSE(errcTransient(Errc::DeadlineExceeded));
+    // Retry policy mirrors transience exactly.
+    EXPECT_TRUE(errcRetryable(Errc::Overloaded));
+    EXPECT_FALSE(errcRetryable(Errc::InvalidInput));
+}
+
+TEST(SvcErrc, NewValuesHaveStableNames)
+{
+    EXPECT_STREQ(errcName(Errc::Overloaded), "overloaded");
+    EXPECT_STREQ(errcName(Errc::DeadlineExceeded), "deadline-exceeded");
+}
+
+// ---------------------------------------------------------------------
+// Backoff schedule (src/svc/retry.hh)
+
+TEST(SvcBackoff, ExponentialScheduleWithCapAndJitterBounds)
+{
+    BackoffPolicy p;
+    p.baseNs = 1000;
+    p.capNs = 8000;
+    p.jitterNs = 100;
+    p.maxAttempts = 10;
+    for (uint32_t attempt = 1; attempt <= 9; ++attempt) {
+        uint64_t d = p.delayNs(attempt, 42);
+        uint64_t exp = attempt <= 3 ? (1000ull << (attempt - 1)) : 8000;
+        EXPECT_GE(d, exp) << "attempt " << attempt;
+        EXPECT_LE(d, exp + 100) << "attempt " << attempt;
+    }
+}
+
+TEST(SvcBackoff, JitterIsDeterministicAndSeedDependent)
+{
+    BackoffPolicy p;
+    EXPECT_EQ(p.delayNs(2, 7), p.delayNs(2, 7));
+    // Different attempts decorrelate even under the same seed.
+    std::set<uint64_t> seen;
+    for (uint32_t attempt = 4; attempt < 12; ++attempt)
+        seen.insert(p.delayNs(attempt, 7)); // all capped, jitter only
+    EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(SvcBackoff, HugeAttemptNumbersSaturateAtCap)
+{
+    BackoffPolicy p;
+    // Shifts that would overflow 64 bits must cap, not wrap to tiny
+    // (or zero) delays that turn backoff into a retry storm.
+    for (uint32_t attempt : {40u, 63u, 64u, 65u, 1000u}) {
+        uint64_t d = p.delayNs(attempt, 1);
+        EXPECT_GE(d, p.capNs) << "attempt " << attempt;
+        EXPECT_LE(d, p.capNs + p.jitterNs) << "attempt " << attempt;
+    }
+}
+
+TEST(SvcBackoff, ZeroJitterIsExact)
+{
+    BackoffPolicy p;
+    p.baseNs = 500;
+    p.capNs = 1u << 20;
+    p.jitterNs = 0;
+    EXPECT_EQ(p.delayNs(1, 9), 500u);
+    EXPECT_EQ(p.delayNs(2, 9), 1000u);
+    EXPECT_EQ(p.delayNs(3, 9), 2000u);
+}
+
+// ---------------------------------------------------------------------
+// Degradation tiers and the analytic model (src/svc/degrade.hh)
+
+TEST(SvcDegrade, TierSelectionThresholds)
+{
+    DegradePolicy p;
+    p.memoizedDepth = 4;
+    p.analyticDepth = 10;
+    EXPECT_EQ(p.select(0), ServiceTier::FullSim);
+    EXPECT_EQ(p.select(3), ServiceTier::FullSim);
+    EXPECT_EQ(p.select(4), ServiceTier::Memoized);
+    EXPECT_EQ(p.select(9), ServiceTier::Memoized);
+    EXPECT_EQ(p.select(10), ServiceTier::Analytic);
+    EXPECT_EQ(p.select(10000), ServiceTier::Analytic);
+}
+
+TEST(SvcDegrade, AnalyticModelTracksTheEvaluatorWithinABand)
+{
+    AnalyticModel model;
+    model.calibrate();
+    ASSERT_TRUE(model.calibrated());
+    // At the anchor itself the model is exact.
+    Result<EvalResult> anchor =
+        evaluateChecked(MicroArch::Baseline, CurveId::P192);
+    ASSERT_TRUE(anchor.ok());
+    AnalyticModel::Estimate e =
+        model.estimate(MicroArch::Baseline, CurveId::P192, false);
+    EXPECT_DOUBLE_EQ(e.cycles,
+                     static_cast<double>(anchor.value().sign.cycles));
+    // Extrapolated to P-256 it must stay within a factor-of-3 band of
+    // the real evaluation -- coarse by design, bounded by contract.
+    Result<EvalResult> real =
+        evaluateChecked(MicroArch::Baseline, CurveId::P256);
+    ASSERT_TRUE(real.ok());
+    AnalyticModel::Estimate est =
+        model.estimate(MicroArch::Baseline, CurveId::P256, true);
+    double ratio =
+        est.cycles / static_cast<double>(real.value().verify.cycles);
+    EXPECT_GT(ratio, 1.0 / 3.0);
+    EXPECT_LT(ratio, 3.0);
+}
+
+TEST(SvcDegrade, UncalibratedModelFallsBackPessimistically)
+{
+    AnalyticModel model; // never calibrated
+    AnalyticModel::Estimate e =
+        model.estimate(MicroArch::Baseline, CurveId::P192, false);
+    EXPECT_GT(e.cycles, 0.0);
+    EXPECT_GT(e.uj, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Arrival streams (src/svc/arrivals.hh)
+
+TEST(SvcArrivals, DeterministicAndMonotonic)
+{
+    for (ArrivalKind kind : {ArrivalKind::Poisson, ArrivalKind::Bursty}) {
+        ArrivalConfig cfg;
+        cfg.kind = kind;
+        ArrivalGen a(cfg, 99), b(cfg, 99);
+        uint64_t prev = 0;
+        for (int i = 0; i < 2000; ++i) {
+            uint64_t ta = a.next();
+            EXPECT_EQ(ta, b.next());
+            EXPECT_GE(ta, prev);
+            prev = ta;
+        }
+    }
+}
+
+TEST(SvcArrivals, PoissonRateIsRoughlyHonoured)
+{
+    ArrivalConfig cfg;
+    cfg.ratePerSec = 10000.0;
+    ArrivalGen gen(cfg, 5);
+    uint64_t last = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        last = gen.next();
+    double observed = n / (static_cast<double>(last) * 1e-9);
+    EXPECT_GT(observed, cfg.ratePerSec * 0.9);
+    EXPECT_LT(observed, cfg.ratePerSec * 1.1);
+}
+
+// ---------------------------------------------------------------------
+// Session cache (src/svc/session.hh)
+
+TEST(SvcSession, DerivationIsDeterministicAndCached)
+{
+    const Curve &curve = standardCurve(CurveId::P192);
+    Ecdsa ecdsa(curve);
+    SessionCache cacheA(7), cacheB(7);
+    Session a = cacheA.get(ecdsa, CurveId::P192, 3);
+    Session b = cacheB.get(ecdsa, CurveId::P192, 3);
+    EXPECT_TRUE(a.key.d == b.key.d);
+    EXPECT_TRUE(a.goldenSig.r == b.goldenSig.r);
+    EXPECT_TRUE(a.goldenSig.s == b.goldenSig.s);
+    // The golden signature verifies -- it is the Verify workload.
+    EXPECT_TRUE(ecdsa.verifyDigest(a.key.q, a.digest, a.goldenSig));
+    // Second touch is a hit, not a re-derivation.
+    cacheA.get(ecdsa, CurveId::P192, 3);
+    EXPECT_EQ(cacheA.derivations(), 1u);
+    EXPECT_EQ(cacheA.hits(), 1u);
+    // A different seed derives different material.
+    SessionCache other(8);
+    Session c = other.get(ecdsa, CurveId::P192, 3);
+    EXPECT_FALSE(a.key.d == c.key.d);
+}
+
+// ---------------------------------------------------------------------
+// Engine behaviour
+
+TEST(SvcServer, DeadlinesExpireUnderServedLoad)
+{
+    // One modelled worker, a deadline floor far below one service
+    // time, and no retry headroom: deadline machinery must fire, and
+    // every miss must be a structured deadline-exceeded failure.
+    SvcConfig cfg;
+    cfg.seed = 3;
+    cfg.requests = 40;
+    cfg.virtualWorkers = 1;
+    cfg.serial = true;
+    cfg.deadlineFactor = 0.5; // deadline < one service time
+    cfg.deadlineFloorNs = 1;
+    cfg.backoff.maxAttempts = 1;
+    cfg.queueCap = 1000;
+    Server server(cfg);
+    server.run();
+    const SvcCounters &c = server.counters();
+    EXPECT_EQ(c.completedOk + c.failed, cfg.requests);
+    EXPECT_EQ(c.completedOk, 0u);
+    uint64_t expired = c.expiredAtArrival + c.expiredInQueue
+        + c.cancelledMidService + c.shedDeadlineBudget;
+    EXPECT_EQ(expired, c.arrivals);
+}
+
+TEST(SvcServer, QueueCapSheds)
+{
+    // Generous deadlines so depth -- not budget -- is the binding
+    // constraint, a tiny queue, and a burst of work.
+    SvcConfig cfg;
+    cfg.seed = 4;
+    cfg.requests = 120;
+    cfg.virtualWorkers = 1;
+    cfg.serial = true;
+    cfg.queueCap = 2;
+    cfg.deadlineFactor = 1e9;
+    cfg.deadlineFloorNs = ~0ull / 2;
+    cfg.arrivals.ratePerSec = 20000.0;
+    cfg.backoff.maxAttempts = 1;
+    Server server(cfg);
+    server.run();
+    const SvcCounters &c = server.counters();
+    EXPECT_GT(c.shedDepth, 0u);
+    EXPECT_EQ(c.shedDeadlineBudget, 0u);
+    EXPECT_EQ(c.completedOk + c.failed, cfg.requests);
+    auto it = c.failedByErrc.find("overloaded");
+    ASSERT_NE(it, c.failedByErrc.end());
+    EXPECT_EQ(it->second, c.failed);
+}
+
+TEST(SvcServer, RetriesRecoverTransientChaosFailures)
+{
+    // Light load (no shedding) with heavy chaos: detected strikes are
+    // transient, so retries must recover some requests -- visible as
+    // finals at attempt > 1.
+    SvcConfig cfg;
+    cfg.seed = 5;
+    cfg.requests = 80;
+    cfg.serial = true;
+    cfg.chaos.percent = 60;
+    cfg.arrivals.ratePerSec = 50.0;
+    Server server(cfg);
+    server.run();
+    const SvcCounters &c = server.counters();
+    EXPECT_GT(c.chaosStrikes, 0u);
+    EXPECT_GT(c.retriesScheduled, 0u);
+    uint64_t lateFinals = 0;
+    for (size_t i = 1; i < c.retriesByAttempt.size(); ++i)
+        lateFinals += c.retriesByAttempt[i];
+    EXPECT_GT(lateFinals, 0u);
+    EXPECT_EQ(c.completedOk + c.failed, cfg.requests);
+    EXPECT_GT(c.completedOk, cfg.requests / 2);
+}
+
+TEST(SvcServer, DegradationTiersFollowLoad)
+{
+    SvcConfig cfg;
+    cfg.seed = 6;
+    cfg.requests = 150;
+    cfg.serial = true;
+    cfg.arrivals.ratePerSec = 5000.0;
+    cfg.queueCap = 200;
+    cfg.degrade.memoizedDepth = 2;
+    cfg.degrade.analyticDepth = 8;
+    Server server(cfg);
+    server.run();
+    const SvcCounters &c = server.counters();
+    // Overload this deep must reach every tier.
+    EXPECT_GT(c.tierFullSim, 0u);
+    EXPECT_GT(c.tierMemoized, 0u);
+    EXPECT_GT(c.tierAnalytic, 0u);
+    EXPECT_EQ(c.tierFullSim + c.tierMemoized + c.tierAnalytic,
+              c.admitted);
+}
+
+// ---------------------------------------------------------------------
+// The soak: chaos on, full engine, the robustness invariant
+
+TEST(SvcSoak, EveryRequestEndsInAResultOrAStructuredError)
+{
+    SvcConfig cfg = soakConfig(2026, 1500);
+    Server server(cfg);
+    server.run();
+    const SvcCounters &c = server.counters();
+    // The headline invariant: no request lost, none double-counted,
+    // no silent corruption, no unstructured escape -- under fault
+    // injection on live request paths.
+    EXPECT_EQ(c.generated, cfg.requests);
+    EXPECT_EQ(c.completedOk + c.failed, c.generated);
+    EXPECT_EQ(c.wrongAnswers, 0u);
+    EXPECT_EQ(c.unstructuredExceptions, 0u);
+    EXPECT_GT(c.chaosStrikes, 0u);
+    // Every failure carries a name from the Errc taxonomy.
+    uint64_t named = 0;
+    for (const auto &[name, n] : c.failedByErrc) {
+        EXPECT_NE(name, "internal") << "unexpected internal failures";
+        named += n;
+    }
+    EXPECT_EQ(named, c.failed);
+    // Bookkeeping closes: every arrival is accounted for exactly once.
+    uint64_t resolved = c.admitted + c.shedDepth + c.shedDeadlineBudget
+        + c.expiredAtArrival;
+    EXPECT_EQ(resolved, c.arrivals);
+    EXPECT_EQ(c.arrivals, c.generated + c.retriesScheduled);
+}
+
+TEST(SvcSoak, ReportIsByteIdenticalAcrossRunsAndModes)
+{
+    SvcConfig cfg = soakConfig(11, 400);
+    std::string first;
+    // Two independent parallel runs, then a serial run: all three
+    // timing-free reports must match byte for byte.
+    for (int mode = 0; mode < 3; ++mode) {
+        SvcConfig run = cfg;
+        run.serial = mode == 2;
+        run.jobs = mode == 1 ? 3 : 0;
+        Server server(run);
+        server.run();
+        std::string doc = server.report().dump(2);
+        if (mode == 0)
+            first = doc;
+        else
+            EXPECT_EQ(doc, first) << "mode " << mode;
+    }
+    EXPECT_FALSE(first.empty());
+}

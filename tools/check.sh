@@ -4,9 +4,17 @@
 # JSON document against the checked-in schemas in tools/schemas/.
 #
 # Usage: tools/check.sh [--no-asan] [--no-tsan] [--diffuzz N] [--bench]
+#                       [--soak]
 #
 # --diffuzz N sets the differential-fuzz case count per target
 # (default 10000; 0 skips the diffuzz step).
+#
+# --soak additionally runs a large chaos-mode crypto-as-a-service
+# campaign (svc_run, under the ASan build when enabled): every request
+# must end in a correct result or a structured error, the JSON report
+# must validate against its schema, and the same seed must produce a
+# byte-identical timing-free report across two runs and across
+# --serial/parallel execution.
 #
 # --bench additionally runs bench_simspeed, validates its journal
 # record, and compares sim_mips / block_cache_hit_rate /
@@ -22,6 +30,7 @@ cd "$repo"
 run_asan=1
 run_tsan=1
 run_bench=0
+run_soak=0
 diffuzz_cases=10000
 expect_cases=0
 for arg in "$@"; do
@@ -33,6 +42,7 @@ for arg in "$@"; do
     [[ "$arg" == "--no-asan" ]] && run_asan=0
     [[ "$arg" == "--no-tsan" ]] && run_tsan=0
     [[ "$arg" == "--bench" ]] && run_bench=1
+    [[ "$arg" == "--soak" ]] && run_soak=1
     [[ "$arg" == "--diffuzz" ]] && expect_cases=1
 done
 if [[ $expect_cases -eq 1 ]]; then
@@ -60,16 +70,17 @@ fi
 
 if [[ $run_tsan -eq 1 ]]; then
     # ThreadSanitizer covers the concurrency layer: the thread pool,
-    # the parallel sweep runner, the evaluation memo, and the predecode
-    # fast path they all drive (test_par).  The serial suites add
-    # nothing under TSan, so only the parallel tests run here.
+    # the parallel sweep runner, the evaluation memo, the predecode
+    # fast path they all drive (test_par), and the multi-threaded
+    # service engine (test_svc).  The serial suites add nothing under
+    # TSan, so only the concurrent tests run here.
     step "configure + build (tsan preset)"
     cmake --preset tsan
-    cmake --build --preset tsan -j "$(nproc)" --target test_par
+    cmake --build --preset tsan -j "$(nproc)" --target test_par test_svc
 
-    step "test (tsan preset: parallel suite)"
+    step "test (tsan preset: parallel suites)"
     ctest --preset tsan -j "$(nproc)" \
-        -R '^(ThreadPool|Sweep|EvalCache|BenchSweep|Predecode|BlockCache)'
+        -R '^(ThreadPool|Sweep|EvalCache|BenchSweep|Predecode|BlockCache|Svc)'
 fi
 
 json_check="$repo/build/tools/json_check"
@@ -178,6 +189,38 @@ if [[ "$diffuzz_cases" != "0" ]]; then
 
     step "diffuzz: replay checked-in regression corpus"
     "$diffuzz_bin" --replay "$repo/tests/golden/corpus/regressions.case"
+fi
+
+if [[ $run_soak -eq 1 ]]; then
+    soak_args=(--seed 2026 --requests 2000 --users 400 --chaos 25
+               --arrival bursty --quiet)
+
+    # The memory-safety half runs once under the sanitizer build when
+    # available: nothing -- not even an injected fault -- may corrupt
+    # memory or escape the structured error taxonomy.
+    svc_bin="$repo/build/tools/svc_run"
+    if [[ $run_asan -eq 1 ]]; then
+        svc_bin="$repo/build-asan/tools/svc_run"
+    fi
+    step "svc soak: 2000 chaos-mode requests (seed 2026)"
+    "$svc_bin" "${soak_args[@]}" --json "$work/svc_soak.json"
+    "$json_check" "$schemas/svc_report.schema.json" "$work/svc_soak.json"
+
+    # The determinism half triple-runs on the fast build: same seed,
+    # byte-identical timing-free report, parallel twice and --serial
+    # once.  The report must also match the sanitizer run's -- the
+    # instrumentation cannot change a single counter.
+    step "svc soak: determinism (re-runs + --serial, byte-identical)"
+    svc_fast="$repo/build/tools/svc_run"
+    "$svc_fast" "${soak_args[@]}" --json "$work/svc_soak2.json"
+    "$svc_fast" "${soak_args[@]}" --serial --json "$work/svc_soak3.json"
+    for other in 2 3; do
+        if ! cmp -s "$work/svc_soak.json" "$work/svc_soak$other.json"; then
+            echo "FAIL: svc report not reproducible at fixed seed" >&2
+            diff "$work/svc_soak.json" "$work/svc_soak$other.json" >&2 || true
+            exit 1
+        fi
+    done
 fi
 
 step "telemetry: fault campaign summary"

@@ -1,0 +1,37 @@
+# Determinism check for svc_run: the timing-free report must be
+# byte-identical for the same seed across independent parallel runs
+# and across --serial/parallel execution.
+#
+# Invoked by ctest (tool_svc_run_determinism) with:
+#   -DSVC_RUN=<path to svc_run> -DWORK_DIR=<scratch dir>
+
+set(args --seed 11 --requests 150 --chaos 20 --arrival bursty --quiet)
+
+foreach(run a b)
+    execute_process(
+        COMMAND ${SVC_RUN} ${args} --json ${WORK_DIR}/svc_det_${run}.json
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "svc_run (parallel ${run}) exited ${rc}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${SVC_RUN} ${args} --serial
+            --json ${WORK_DIR}/svc_det_serial.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "svc_run (serial) exited ${rc}")
+endif()
+
+foreach(other b serial)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/svc_det_a.json ${WORK_DIR}/svc_det_${other}.json
+        RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR
+                "report differs between run a and run ${other}: "
+                "determinism contract broken")
+    endif()
+endforeach()

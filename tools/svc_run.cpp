@@ -1,0 +1,171 @@
+/**
+ * @file
+ * svc-run: the crypto-as-a-service robustness campaign driver.
+ *
+ * Usage:
+ *   svc_run [--seed N] [--requests N] [--users N] [--workers N]
+ *           [--jobs N] [--serial] [--queue-cap N]
+ *           [--arrival poisson|bursty] [--rate R] [--chaos PCT]
+ *           [--deadline-factor F] [--deadline-floor-ms MS]
+ *           [--retries N] [--no-warm] [--json PATH] [--quiet]
+ *
+ * Drives a synthetic sign/verify/ECDH request population through the
+ * service engine (src/svc) and prints the robustness summary: shed,
+ * expired, retried, degraded and chaos-struck request counts, latency
+ * percentiles in virtual time, and energy per request.  The JSON
+ * report ("ulecc.svc.v1") is timing-free and byte-identical for the
+ * same seed across runs and across --serial/parallel execution --
+ * the determinism tests pin exactly that.
+ *
+ * Exit codes: 0 success; 1 a robustness invariant failed (a request
+ * was lost, a wrong answer escaped, or an unstructured exception was
+ * caught); 2 usage or I/O error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/report.hh"
+#include "obs/metrics.hh"
+#include "svc/service.hh"
+
+using namespace ulecc;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: svc_run [--seed N] [--requests N] [--users N]\n"
+        "               [--workers N] [--jobs N] [--serial]\n"
+        "               [--queue-cap N] [--arrival poisson|bursty]\n"
+        "               [--rate R] [--chaos PCT]\n"
+        "               [--deadline-factor F] [--deadline-floor-ms MS]\n"
+        "               [--retries N] [--no-warm] [--json PATH]\n"
+        "               [--quiet]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SvcConfig cfg;
+    std::string jsonPath;
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        auto num = [&](uint64_t &out) {
+            out = std::strtoull(argv[++i], nullptr, 0);
+        };
+        if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+            num(cfg.seed);
+        } else if (!std::strcmp(argv[i], "--requests") && i + 1 < argc) {
+            num(cfg.requests);
+        } else if (!std::strcmp(argv[i], "--users") && i + 1 < argc) {
+            num(cfg.users);
+        } else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc) {
+            cfg.virtualWorkers = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            cfg.jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (!std::strcmp(argv[i], "--serial")) {
+            cfg.serial = true;
+        } else if (!std::strcmp(argv[i], "--queue-cap") && i + 1 < argc) {
+            cfg.queueCap = std::strtoull(argv[++i], nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--arrival") && i + 1 < argc) {
+            const char *kind = argv[++i];
+            if (!std::strcmp(kind, "poisson")) {
+                cfg.arrivals.kind = ArrivalKind::Poisson;
+            } else if (!std::strcmp(kind, "bursty")) {
+                cfg.arrivals.kind = ArrivalKind::Bursty;
+            } else {
+                usage();
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--rate") && i + 1 < argc) {
+            cfg.arrivals.ratePerSec = std::strtod(argv[++i], nullptr);
+        } else if (!std::strcmp(argv[i], "--chaos") && i + 1 < argc) {
+            cfg.chaos.percent = static_cast<uint32_t>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (!std::strcmp(argv[i], "--deadline-factor")
+                   && i + 1 < argc) {
+            cfg.deadlineFactor = std::strtod(argv[++i], nullptr);
+        } else if (!std::strcmp(argv[i], "--deadline-floor-ms")
+                   && i + 1 < argc) {
+            cfg.deadlineFloorNs = static_cast<uint64_t>(
+                std::strtod(argv[++i], nullptr) * 1e6);
+        } else if (!std::strcmp(argv[i], "--retries") && i + 1 < argc) {
+            cfg.backoff.maxAttempts = static_cast<uint32_t>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (!std::strcmp(argv[i], "--no-warm")) {
+            cfg.warmEvalCache = false;
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--quiet")) {
+            quiet = true;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (cfg.requests == 0 || cfg.virtualWorkers == 0
+        || cfg.backoff.maxAttempts == 0 || cfg.chaos.percent > 100) {
+        usage();
+        return 2;
+    }
+
+    BenchJournal::instance().begin(
+        "svc_run", "crypto-as-a-service robustness campaign");
+
+    Server server(cfg);
+    server.run();
+    const SvcCounters &c = server.counters();
+
+    if (!quiet)
+        std::fputs(server.reportText().c_str(), stdout);
+
+    if (!jsonPath.empty()) {
+        Json doc = server.report();
+        MetricsRegistry reg("ulecc.svc.v1");
+        for (const JsonMember &m : doc.members()) {
+            if (m.key != "schema")
+                reg.set(m.key, m.value);
+        }
+        if (!reg.writeFile(jsonPath)) {
+            std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+            return 2;
+        }
+    }
+
+    // The soak invariant: every generated request reaches exactly one
+    // final state -- a correct result or a structured error.  Anything
+    // else (a lost request, a wrong answer marked ok, an exception
+    // outside the Errc taxonomy) is a robustness failure.
+    uint64_t finals = c.completedOk + c.failed;
+    bool lost = finals != c.generated;
+    bool corrupt = c.wrongAnswers != 0 || c.unstructuredExceptions != 0;
+    if (lost || corrupt) {
+        std::fprintf(stderr,
+                     "svc_run: ROBUSTNESS FAILURE: finals %llu / %llu, "
+                     "wrong answers %llu, unstructured %llu\n",
+                     (unsigned long long)finals,
+                     (unsigned long long)c.generated,
+                     (unsigned long long)c.wrongAnswers,
+                     (unsigned long long)c.unstructuredExceptions);
+        return 1;
+    }
+
+    BenchJournal::instance().note(
+        "svc: " + std::to_string(c.generated) + " requests, "
+        + std::to_string(c.completedOk) + " ok, "
+        + std::to_string(c.failed) + " structured failures, "
+        + std::to_string(c.chaosStrikes) + " chaos strikes");
+    BenchJournal::instance().flush();
+    return 0;
+}

@@ -1,0 +1,20 @@
+# Schema conformance for svc_run: a chaos-heavy report must validate
+# against schemas/svc_report.schema.json.
+#
+# Invoked by ctest (tool_svc_run_schema) with:
+#   -DSVC_RUN=... -DJSON_CHECK=... -DSCHEMA=... -DWORK_DIR=...
+
+execute_process(
+    COMMAND ${SVC_RUN} --seed 5 --requests 80 --chaos 30 --quiet
+            --json ${WORK_DIR}/svc_schema.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "svc_run exited ${rc}")
+endif()
+
+execute_process(
+    COMMAND ${JSON_CHECK} ${SCHEMA} ${WORK_DIR}/svc_schema.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "svc report failed schema validation (${rc})")
+endif()
