@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Service-engine throughput microbenchmark (not a paper figure).
+ *
+ * Measures the host-side cost of the crypto-as-a-service engine
+ * (src/svc) and of its observability subsystem: the same chaos-mode
+ * campaign is run with telemetry detached and with every consumer
+ * attached (request tracer, timeline aggregator, SLO engine, flight
+ * recorder), and the journal records
+ *
+ *   svc_requests_per_sec    completed campaign requests per
+ *                           wall-clock second, telemetry off;
+ *   svc_telemetry_overhead  telemetry-on / telemetry-off wall-clock
+ *                           ratio (1.0 = free).
+ *
+ * tools/check.sh --bench compares a fresh journal line against the
+ * committed BENCH_svc.json baseline, so a change that slows the
+ * engine or makes observability expensive shows up as a regression.
+ * The timings are host-dependent and exempt from the byte-identity
+ * rule; the campaign *outcomes* stay deterministic either way.
+ */
+
+#include <chrono>
+
+#include "svc/service.hh"
+#include "svc/telemetry.hh"
+
+#include "bench_util.hh"
+
+using namespace ulecc;
+using namespace ulecc::bench;
+
+namespace
+{
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+SvcConfig
+campaignConfig(bool serial)
+{
+    SvcConfig cfg;
+    cfg.seed = 2026;
+    cfg.requests = 400;
+    cfg.users = 96;
+    cfg.chaos.percent = 20;
+    cfg.arrivals.kind = ArrivalKind::Bursty;
+    cfg.serial = serial;
+    return cfg;
+}
+
+/** Wall-clock of one full campaign; telemetry attached when asked. */
+double
+runOnce(bool serial, bool telemetry)
+{
+    Server server(campaignConfig(serial));
+    RequestTracer tracer;
+    TimelineAggregator timeline;
+    SloEngine slo;
+    FlightRecorder flight;
+    if (telemetry) {
+        SvcTelemetry tel;
+        tel.tracer = &tracer;
+        tel.timeline = &timeline;
+        tel.slo = &slo;
+        tel.flight = &flight;
+        server.attachTelemetry(tel);
+    }
+    double t0 = now();
+    server.run();
+    return now() - t0;
+}
+
+/** Best of @p trials (minimum wall time denoises scheduler jitter). */
+double
+measure(bool serial, bool telemetry, int trials = 2)
+{
+    double best = runOnce(serial, telemetry);
+    for (int i = 1; i < trials; ++i) {
+        double s = runOnce(serial, telemetry);
+        if (s < best)
+            best = s;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SweepDriver sweep(argc, argv); // uniform CLI; drives nothing here
+    banner("Svc speed",
+           "service-engine throughput and telemetry overhead");
+
+    // One untimed campaign first: it warms the process-wide
+    // evaluation memo (and the kernel/trace memos underneath), so the
+    // measured runs compare engine cost, not first-touch cache fills.
+    runOnce(sweep.serial(), false);
+
+    const SvcConfig cfg = campaignConfig(sweep.serial());
+    double off_s = measure(sweep.serial(), false);
+    double on_s = measure(sweep.serial(), true);
+    double rps = double(cfg.requests) / off_s;
+    double overhead = on_s / off_s;
+
+    Table t({"Configuration", "Wall s", "Requests/s", "Overhead"});
+    t.addRow({"telemetry off", fmt(off_s, 3), fmt(rps, 0), "1.00x"});
+    t.addRow({"tracer+timeline+slo+flight", fmt(on_s, 3),
+              fmt(double(cfg.requests) / on_s, 0),
+              fmt(overhead, 2) + "x"});
+    t.print();
+
+    BenchJournal::instance().recordSvcSpeed(rps, overhead);
+
+    footnote("timings are host-dependent (exempt from byte-identity); "
+             "the journal's svc_requests_per_sec field tracks the "
+             "telemetry-off campaign, svc_telemetry_overhead the "
+             "all-consumers-attached wall-clock ratio");
+    return 0;
+}

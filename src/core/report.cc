@@ -235,6 +235,16 @@ BenchJournal::recordBlockCache(double hitRate, double speedup)
 }
 
 void
+BenchJournal::recordSvcSpeed(double requestsPerSec,
+                             double telemetryOverhead)
+{
+    if (!open_)
+        return;
+    record_["svc_requests_per_sec"] = requestsPerSec;
+    record_["svc_telemetry_overhead"] = telemetryOverhead;
+}
+
+void
 BenchJournal::note(const std::string &text)
 {
     if (!open_)

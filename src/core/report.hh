@@ -114,6 +114,12 @@ class BenchJournal
      * cache-on/cache-off throughput ratio. */
     void recordBlockCache(double hitRate, double speedup);
 
+    /** Captures service-engine throughput (bench_svc): completed
+     * requests per wall-clock second with telemetry off, and the
+     * telemetry-on/telemetry-off wall-clock overhead ratio (1.0 =
+     * free; higher = slower with all consumers attached). */
+    void recordSvcSpeed(double requestsPerSec, double telemetryOverhead);
+
     /** Captures a free-form note line. */
     void note(const std::string &text);
 

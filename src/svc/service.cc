@@ -26,9 +26,12 @@
 #include "ecdsa/ecdsa.hh"
 #include "energy/power_model.hh"
 #include "obs/energy_ledger.hh"
+#include "obs/hdr_histogram.hh"
 #include "par/sweep.hh"
 #include "par/thread_pool.hh"
 #include "svc/session.hh"
+#include "svc/telemetry.hh"
+#include "workload/kernel_model.hh"
 
 namespace ulecc
 {
@@ -118,6 +121,8 @@ struct Event
     uint64_t chargedNs = 0; ///< < cost.serviceNs when cancelled
     int64_t slot = -1;      ///< execution slot, -1 = pre-resolved
     Errc preResolved = Errc::Ok;
+    unsigned worker = 0;    ///< virtual worker that served it
+    uint64_t queueNs = 0;   ///< time spent waiting for that worker
 };
 
 struct EventAfter
@@ -154,6 +159,7 @@ struct Server::Impl
         Request req;
         ServiceTier tier;
         uint64_t estNs;
+        uint64_t enqueuedNs;
     };
     std::deque<PendingEntry> pending;
     uint64_t pendingEstSumNs = 0;
@@ -166,13 +172,17 @@ struct Server::Impl
 
     // Timing-free accumulators (mutated only by the coordinator, in
     // deterministic event order).
-    std::vector<uint64_t> okLatenciesNs;
+    HdrHistogram okLatency;
     EventCounts opEvents[kNumOps];
     double opUj[kNumOps] = {0, 0, 0};
     uint64_t opServed[kNumOps] = {0, 0, 0};
     double analyticUj = 0;
     double cancelledUj = 0;
+    uint64_t busyNsTotal = 0; ///< charged worker-busy virtual time
     bool ran = false;
+
+    // Optional telemetry consumers, fed only from coordinator code.
+    SvcTelemetry tel;
 
     // --- setup -------------------------------------------------------
 
@@ -518,19 +528,27 @@ struct Server::Impl
         ev.kind = Event::Kind::Arrival;
         ev.req = req;
         ev.req.attempt = req.attempt + 1;
+        if (tel.tracer)
+            tel.tracer->onRetryScheduled(now, req.id, req.attempt + 1,
+                                         ev.t - now);
+        if (tel.timeline)
+            tel.timeline->onRetry(now);
         events.push(ev);
     }
 
     void
-    recordFinal(const Request &req, uint64_t now, Errc errc)
+    recordFinal(const Request &req, uint64_t now, Errc errc,
+                const char *tierName = nullptr)
     {
         ++finals;
         if (req.attempt >= 1
             && req.attempt <= counters.retriesByAttempt.size())
             ++counters.retriesByAttempt[req.attempt - 1];
-        if (errc == Errc::Ok) {
+        bool ok = errc == Errc::Ok;
+        uint64_t latencyNs = ok ? now - req.firstArrivalNs : 0;
+        if (ok) {
             ++counters.completedOk;
-            okLatenciesNs.push_back(now - req.firstArrivalNs);
+            okLatency.record(latencyNs);
         } else {
             ++counters.failed;
             ++counters.failedByErrc[errcName(errc)];
@@ -538,17 +556,28 @@ struct Server::Impl
                 && req.attempt >= cfg.backoff.maxAttempts)
                 ++counters.retriesExhausted;
         }
+        if (tel.tracer)
+            tel.tracer->onFinal(now, req.id, req.attempt,
+                                errcName(errc), latencyNs, ok);
+        if (tel.timeline)
+            tel.timeline->onFinal(now, ok,
+                                  errc == Errc::DeadlineExceeded,
+                                  latencyNs, opKindName(req.op),
+                                  tierName);
+        if (tel.slo)
+            tel.slo->onFinal(now, ok);
     }
 
     /** Retry when policy allows, otherwise make @p errc final. */
     void
-    resolve(const Request &req, uint64_t now, Errc errc)
+    resolve(const Request &req, uint64_t now, Errc errc,
+            const char *tierName = nullptr)
     {
         if (errc != Errc::Ok && errcRetryable(errc)
             && req.attempt < cfg.backoff.maxAttempts)
             scheduleRetry(req, now);
         else
-            recordFinal(req, now, errc);
+            recordFinal(req, now, errc, tierName);
     }
 
     uint64_t
@@ -567,16 +596,32 @@ struct Server::Impl
         ++counters.arrivals;
         const Request &req = ev.req;
         uint64_t now = ev.t;
+        if (tel.tracer)
+            tel.tracer->onArrival(now, req.id, req.attempt,
+                                  opKindName(req.op));
+        if (tel.timeline)
+            tel.timeline->onArrival(now);
         if (now >= req.deadlineNs) {
             // The end-to-end budget is already spent (typically a
             // retry whose backoff overshot the deadline).
             ++counters.expiredAtArrival;
+            if (tel.tracer)
+                tel.tracer->onExpired(now, req.id, req.attempt,
+                                      "at-arrival");
+            if (tel.flight)
+                tel.flight->trigger(now, "deadline-breach", req.id,
+                                    req.attempt);
             recordFinal(req, now, Errc::DeadlineExceeded);
             return;
         }
         size_t depth = pending.size();
         if (depth >= cfg.queueCap) {
             ++counters.shedDepth;
+            if (tel.tracer)
+                tel.tracer->onShed(now, req.id, req.attempt,
+                                   "queue-depth");
+            if (tel.timeline)
+                tel.timeline->onShed(now);
             resolve(req, now, Errc::Overloaded);
             return;
         }
@@ -586,6 +631,11 @@ struct Server::Impl
             // finish inside its budget, shedding now is cheaper than
             // timing out later.
             ++counters.shedDeadlineBudget;
+            if (tel.tracer)
+                tel.tracer->onShed(now, req.id, req.attempt,
+                                   "deadline-budget");
+            if (tel.timeline)
+                tel.timeline->onShed(now);
             resolve(req, now, Errc::Overloaded);
             return;
         }
@@ -596,7 +646,12 @@ struct Server::Impl
           case ServiceTier::Analytic: ++counters.tierAnalytic; break;
         }
         ++counters.admitted;
-        pending.push_back(PendingEntry{req, tier, est});
+        if (tel.tracer)
+            tel.tracer->onAdmit(now, req.id, req.attempt,
+                                serviceTierName(tier), depth);
+        if (tel.timeline)
+            tel.timeline->onAdmit(now, serviceTierName(tier));
+        pending.push_back(PendingEntry{req, tier, est, now});
         pendingEstSumNs += est;
         tryDispatch(now);
     }
@@ -617,9 +672,19 @@ struct Server::Impl
             pending.pop_front();
             pendingEstSumNs -= pe.estNs;
             const Request &req = pe.req;
+            if (tel.tracer)
+                tel.tracer->onQueueWait(pe.enqueuedNs, now, req.id,
+                                        req.attempt);
             if (now >= req.deadlineNs) {
                 ++counters.expiredInQueue;
-                recordFinal(req, now, Errc::DeadlineExceeded);
+                if (tel.tracer)
+                    tel.tracer->onExpired(now, req.id, req.attempt,
+                                          "in-queue");
+                if (tel.flight)
+                    tel.flight->trigger(now, "deadline-breach", req.id,
+                                        req.attempt);
+                recordFinal(req, now, Errc::DeadlineExceeded,
+                            serviceTierName(pe.tier));
                 continue;
             }
             ServiceCost cost = dispatchCost(req, pe.tier);
@@ -649,6 +714,8 @@ struct Server::Impl
             }
             done.t = now + done.chargedNs;
             done.seq = nextSeq++;
+            done.worker = w;
+            done.queueNs = now - pe.enqueuedNs;
             workerFreeNs[w] = done.t;
             events.push(done);
         }
@@ -688,23 +755,96 @@ struct Server::Impl
         if (out.unstructured)
             ++counters.unstructuredExceptions;
 
-        // Energy attribution, charged in completion order.
+        // Energy attribution, charged in completion order.  The
+        // charged amount is computed once and shared with the tracer
+        // so its reconciliation sums are bit-identical to the
+        // report's.
         int op = static_cast<int>(req.op);
-        if (ev.slot < 0) {
+        bool cancelled = ev.slot < 0;
+        double chargedUj;
+        RequestTracer::EnergyClass energyClass;
+        if (cancelled) {
             // Cancelled at a safe point: pro-rata charge.
-            cancelledUj += ev.cost.uj
+            chargedUj = ev.cost.uj
                 * (static_cast<double>(ev.chargedNs)
                    / static_cast<double>(ev.cost.serviceNs));
+            cancelledUj += chargedUj;
+            energyClass = RequestTracer::EnergyClass::Cancelled;
         } else if (ev.cost.analytic) {
-            analyticUj += ev.cost.uj;
+            chargedUj = ev.cost.uj;
+            analyticUj += chargedUj;
             ++opServed[op];
+            energyClass = RequestTracer::EnergyClass::Analytic;
         } else {
+            chargedUj = ev.cost.uj;
             opEvents[op] += ev.cost.events;
-            opUj[op] += ev.cost.uj;
+            opUj[op] += chargedUj;
             ++opServed[op];
+            energyClass = RequestTracer::EnergyClass::Op;
+        }
+        busyNsTotal += ev.chargedNs;
+
+        const char *tierName = serviceTierName(ev.tier);
+        if (tel.tracer) {
+            if (out.chaos != ChaosClass::None)
+                tel.tracer->onChaos(ev.t, req.id, req.attempt,
+                                    out.chaosKind,
+                                    chaosClassName(out.chaos));
+            RequestTracer::ServiceSpan span;
+            span.startNs = ev.t - ev.chargedNs;
+            span.chargedNs = ev.chargedNs;
+            span.serviceNs = ev.cost.serviceNs;
+            span.id = req.id;
+            span.attempt = req.attempt;
+            span.worker = ev.worker;
+            span.op = opKindName(req.op);
+            span.tier = tierName;
+            span.curve = curveIdName(req.curve);
+            span.arch = microArchName(req.arch);
+            span.errc = errcName(out.errc);
+            span.uj = chargedUj;
+            span.energyClass = energyClass;
+            span.opIndex = op;
+            span.cancelled = cancelled;
+            tel.tracer->onService(span);
+        }
+        if (tel.timeline)
+            tel.timeline->onEnergy(ev.t, chargedUj);
+        if (tel.flight) {
+            FlightRecorder::Record rec;
+            rec.id = req.id;
+            rec.attempt = req.attempt;
+            rec.userId = req.userId;
+            rec.op = opKindName(req.op);
+            rec.curve = curveIdName(req.curve);
+            rec.arch = microArchName(req.arch);
+            rec.tier = tierName;
+            rec.arrivalNs = req.firstArrivalNs;
+            rec.deadlineNs = req.deadlineNs;
+            rec.queueNs = ev.queueNs;
+            rec.serviceNs = ev.cost.serviceNs;
+            rec.chargedNs = ev.chargedNs;
+            rec.completionNs = ev.t;
+            rec.uj = chargedUj;
+            rec.errc = errcName(out.errc);
+            rec.chaosClass = chaosClassName(out.chaos);
+            rec.chaosKind = out.chaosKind;
+            rec.cancelled = cancelled;
+            rec.ok = out.errc == Errc::Ok;
+            tel.flight->record(rec);
+            if (cancelled)
+                tel.flight->trigger(ev.t, "deadline-breach", req.id,
+                                    req.attempt);
+            else if (out.chaos != ChaosClass::None)
+                tel.flight->trigger(ev.t, "chaos-strike", req.id,
+                                    req.attempt);
+            else if (out.errc == Errc::FaultDetected
+                     || out.wrongAnswer || out.unstructured)
+                tel.flight->trigger(ev.t, "fault", req.id,
+                                    req.attempt);
         }
 
-        resolve(req, ev.t, out.errc);
+        resolve(req, ev.t, out.errc, tierName);
         tryDispatch(ev.t);
     }
 
@@ -735,6 +875,10 @@ struct Server::Impl
             pool->wait();
             pool->shutdown(ThreadPool::Shutdown::Drain);
         }
+        if (tel.timeline)
+            tel.timeline->finalize();
+        if (tel.slo)
+            tel.slo->finalize();
         ran = true;
     }
 
@@ -743,13 +887,7 @@ struct Server::Impl
     uint64_t
     percentileNs(unsigned permille) const
     {
-        if (okLatenciesNs.empty())
-            return 0;
-        std::vector<uint64_t> sorted = okLatenciesNs;
-        std::sort(sorted.begin(), sorted.end());
-        size_t idx = (sorted.size() - 1)
-            * static_cast<size_t>(permille) / 1000;
-        return sorted[idx];
+        return okLatency.percentilePermille(permille);
     }
 
     Json
@@ -800,6 +938,9 @@ struct Server::Impl
         totals["completed_ok"] = counters.completedOk;
         totals["failed"] = counters.failed;
         totals["finals"] = finals;
+        totals["busy_ns"] = busyNsTotal;
+        totals["busy_cycles"] =
+            static_cast<double>(busyNsTotal) / kClockNs;
         root["totals"] = totals;
 
         Json shed = Json::object();
@@ -857,22 +998,24 @@ struct Server::Impl
         session["shards"] = sessions.shards();
         root["session"] = session;
 
+        // Latency comes from the bounded HDR histogram: count, max
+        // and mean are exact; percentiles are quantized to one
+        // log-bucket (upper edge, clamped to the exact max), so they
+        // never undershoot the true order statistic by more than the
+        // documented relative error.
         Json latency = Json::object();
-        latency["count"] =
-            static_cast<uint64_t>(okLatenciesNs.size());
+        latency["count"] = okLatency.count();
         latency["p50_ns"] = percentileNs(500);
         latency["p99_ns"] = percentileNs(990);
         latency["p999_ns"] = percentileNs(999);
-        uint64_t maxNs = 0;
-        double sumNs = 0;
-        for (uint64_t v : okLatenciesNs) {
-            maxNs = std::max(maxNs, v);
-            sumNs += static_cast<double>(v);
-        }
-        latency["max_ns"] = maxNs;
-        latency["mean_ns"] = okLatenciesNs.empty()
-            ? 0.0
-            : sumNs / static_cast<double>(okLatenciesNs.size());
+        latency["max_ns"] = okLatency.max();
+        latency["mean_ns"] = okLatency.mean();
+        Json precision = Json::object();
+        precision["sub_bucket_bits"] =
+            static_cast<uint64_t>(HdrHistogram::kSubBucketBits);
+        precision["relative_error"] =
+            HdrHistogram::relativeErrorBound();
+        latency["precision"] = precision;
         root["latency"] = latency;
 
         // Energy: the exact per-request sums per op kind, plus the
@@ -948,9 +1091,10 @@ struct Server::Impl
              (unsigned long long)counters.wrongAnswers,
              (unsigned long long)counters.unstructuredExceptions);
         line("  latency: p50 %.3f ms, p99 %.3f ms, p999 %.3f ms "
-             "(%zu samples)",
+             "(%llu samples)",
              percentileNs(500) * 1e-6, percentileNs(990) * 1e-6,
-             percentileNs(999) * 1e-6, okLatenciesNs.size());
+             percentileNs(999) * 1e-6,
+             (unsigned long long)okLatency.count());
         double totalUj = analyticUj + cancelledUj + opUj[0] + opUj[1]
             + opUj[2];
         line("  energy: %.1f uJ total, %.3f uJ/ok-request",
@@ -970,6 +1114,17 @@ Server::Server(const SvcConfig &config) : impl_(new Impl(config)) {}
 Server::~Server()
 {
     delete impl_;
+}
+
+void
+Server::attachTelemetry(const SvcTelemetry &telemetry)
+{
+    if (impl_->ran)
+        throw UleccError(Errc::InvalidInput,
+                         "attachTelemetry must precede run");
+    impl_->tel = telemetry;
+    if (impl_->tel.flight)
+        impl_->tel.flight->setSeed(impl_->cfg.seed);
 }
 
 void

@@ -129,6 +129,25 @@ struct SvcCounters
     std::vector<uint64_t> retriesByAttempt; ///< [i]: finals at attempt i+1
 };
 
+class RequestTracer;
+class TimelineAggregator;
+class SloEngine;
+class FlightRecorder;
+
+/**
+ * Optional telemetry consumers (svc/telemetry.hh), not owned by the
+ * Server.  Every hook fires on the coordinator thread in deterministic
+ * event order, so attached components need no locking and their
+ * artifacts are byte-identical across serial/parallel runs.
+ */
+struct SvcTelemetry
+{
+    RequestTracer *tracer = nullptr;
+    TimelineAggregator *timeline = nullptr;
+    SloEngine *slo = nullptr;
+    FlightRecorder *flight = nullptr;
+};
+
 /** The request engine. */
 class Server
 {
@@ -138,6 +157,11 @@ class Server
 
     Server(const Server &) = delete;
     Server &operator=(const Server &) = delete;
+
+    /** Attaches telemetry consumers (call before run(); pointers must
+     * outlive it).  The Server finalizes the timeline aggregator and
+     * SLO engine when the campaign ends. */
+    void attachTelemetry(const SvcTelemetry &telemetry);
 
     /** Runs the whole synthetic campaign to completion.  Deterministic
      * in config.seed; callable once per Server. */

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Service-layer telemetry: per-request spans, a windowed timeline,
+ * SLO burn-rate alerting, and a flight recorder.
+ *
+ * Four deterministic consumers of the service engine's lifecycle
+ * hooks, all driven exclusively by the discrete-event coordinator in
+ * virtual time -- never by worker threads -- so every artifact is
+ * byte-identical between serial and parallel runs of the same seed:
+ *
+ *  - RequestTracer: a Chrome-trace recording (the same `traceEvents`
+ *    format the pipeline tracer emits, loadable in Perfetto) of the
+ *    full request lifecycle -- arrivals, admission/shed verdicts,
+ *    queue-wait spans, per-attempt service spans on their virtual
+ *    worker's track, retry scheduling with backoff annotation, chaos
+ *    strikes, and finals.  One virtual nanosecond maps to one trace
+ *    microsecond.  Running busy-time and per-class energy totals
+ *    reconcile exactly against the `ulecc.svc.v1` report (pinned in
+ *    tests/test_svc.cpp), mirroring the accumulation order of the
+ *    report so even double-precision sums match bit for bit.
+ *
+ *  - TimelineAggregator: a sliding-window time series
+ *    (`ulecc.svc.timeline.v1` JSONL, one record per active window)
+ *    of throughput, shed/retry/timeout rates, energy, and per-op and
+ *    per-tier HDR latency histograms.
+ *
+ *  - SloEngine: declarative error-budget judgment
+ *    (`ulecc.svc.slo.v1` JSONL).  Finals feed fixed-width buckets; a
+ *    fast multi-window "page" rule (high burn over a short horizon,
+ *    confirmed by an even shorter one) and a sustained "ticket" rule
+ *    (burn >= 1 over a long horizon) emit firing/resolved alert
+ *    events, and a campaign verdict record closes the log.  The
+ *    ticket rule's trailing windows tile the whole campaign, so a
+ *    campaign-level budget breach *cannot* escape without at least
+ *    one alert -- the completeness property tools/check.sh --soak
+ *    enforces.
+ *
+ *  - FlightRecorder: a bounded ring of the most recent request
+ *    records (`ulecc.svc.flight.v1`), with trigger marks on deadline
+ *    breaches, faults, and chaos strikes.  Each record carries the
+ *    (seed, id, attempt) key that makes the execution a replayable
+ *    pure function.
+ */
+
+#ifndef ULECC_SVC_TELEMETRY_HH
+#define ULECC_SVC_TELEMETRY_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/json.hh"
+#include "obs/hdr_histogram.hh"
+
+namespace ulecc
+{
+
+// ---------------------------------------------------------------------
+// Per-request span tracing
+
+/** Chrome-trace recorder for the request lifecycle (virtual time). */
+class RequestTracer
+{
+  public:
+    struct Config
+    {
+        /** Hard cap on recorded events; past it events are counted
+         * (and totals stay exact) but not stored. */
+        size_t maxEvents = 262'144;
+        /** Virtual nanoseconds per modelled cycle (for the busy-cycle
+         * reconciliation figure). */
+        double clockNs = 3.0;
+    };
+
+    RequestTracer() : RequestTracer(Config{}) {}
+    explicit RequestTracer(const Config &config);
+
+    /** @name Coordinator lifecycle hooks (times are virtual ns) */
+    /** @{ */
+    void onArrival(uint64_t t, uint64_t id, uint32_t attempt,
+                   const char *op);
+    void onShed(uint64_t t, uint64_t id, uint32_t attempt,
+                const char *reason);
+    void onExpired(uint64_t t, uint64_t id, uint32_t attempt,
+                   const char *where);
+    void onAdmit(uint64_t t, uint64_t id, uint32_t attempt,
+                 const char *tier, uint64_t queueDepth);
+    void onQueueWait(uint64_t enqueueT, uint64_t dispatchT, uint64_t id,
+                     uint32_t attempt);
+    void onRetryScheduled(uint64_t t, uint64_t id, uint32_t nextAttempt,
+                          uint64_t delayNs);
+    void onChaos(uint64_t t, uint64_t id, uint32_t attempt,
+                 const char *kind, const char *cls);
+    void onFinal(uint64_t t, uint64_t id, uint32_t attempt,
+                 const char *errc, uint64_t latencyNs, bool ok);
+
+    /** Energy attribution class of one service span -- mirrors the
+     * report's accumulator grouping exactly. */
+    enum class EnergyClass
+    {
+        Op,        ///< full-cost modelled execution (per-op account)
+        Analytic,  ///< analytic-tier estimate
+        Cancelled, ///< pro-rata charge of a safe-point cancellation
+    };
+
+    struct ServiceSpan
+    {
+        uint64_t startNs = 0;
+        uint64_t chargedNs = 0; ///< span duration (< serviceNs if cancelled)
+        uint64_t serviceNs = 0; ///< full modelled service time
+        uint64_t id = 0;
+        uint32_t attempt = 1;
+        unsigned worker = 0;
+        const char *op = "";
+        const char *tier = "";
+        std::string curve;
+        const char *arch = "";
+        const char *errc = "";
+        double uj = 0;          ///< charged energy (pro-rata if cancelled)
+        EnergyClass energyClass = EnergyClass::Op;
+        int opIndex = 0;        ///< per-op energy account (EnergyClass::Op)
+        bool cancelled = false;
+    };
+
+    void onService(const ServiceSpan &span);
+    /** @} */
+
+    /** @name Reconciliation totals (exact even past the event cap) */
+    /** @{ */
+    uint64_t serviceSpans() const { return spans_; }
+    uint64_t droppedEvents() const { return dropped_; }
+    /** Summed charged service time across spans. */
+    uint64_t busyNs() const { return busyNs_; }
+    /** busyNs() on the modelled clock. */
+    double busyCycles() const { return double(busyNs_) / config_.clockNs; }
+    /** Summed charged energy, grouped (analytic + cancelled + per-op)
+     * in the report's exact accumulation order. */
+    double totalUj() const;
+    double analyticUj() const { return analyticUj_; }
+    double cancelledUj() const { return cancelledUj_; }
+    double opUj(int opIndex) const { return opUj_[opIndex]; }
+    /** @} */
+
+    /** The Chrome trace document ({"traceEvents": [...], ...}). */
+    Json toJson() const;
+
+    /** Serialises toJson(); compact, one event per line. */
+    std::string dump() const;
+
+    /** Writes the trace to @p path; false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct Ev
+    {
+        char ph = 'i';
+        uint16_t tid = 1;
+        uint64_t ts = 0;
+        uint64_t dur = 0;
+        const char *name = "";
+        const char *cat = "";
+        uint64_t id = 0;
+        uint32_t attempt = 0;
+        const char *s1key = nullptr;
+        const char *s1 = nullptr;
+        const char *s2key = nullptr;
+        const char *s2 = nullptr;
+        const char *n1key = nullptr;
+        uint64_t n1 = 0;
+        std::string curve;      ///< service spans only
+        const char *arch = nullptr;
+        double uj = -1.0;       ///< emitted when >= 0
+    };
+
+    void record(Ev ev);
+
+    Config config_;
+    std::vector<Ev> events_;
+    uint64_t spans_ = 0;
+    uint64_t dropped_ = 0;
+    uint64_t busyNs_ = 0;
+    uint16_t maxWorkerTid_ = 0;
+    double analyticUj_ = 0;
+    double cancelledUj_ = 0;
+    double opUj_[3] = {0, 0, 0};
+};
+
+// ---------------------------------------------------------------------
+// Windowed timeline
+
+/** Sliding-window aggregator emitting ulecc.svc.timeline.v1 records. */
+class TimelineAggregator
+{
+  public:
+    struct Config
+    {
+        uint64_t windowNs = 50'000'000; ///< 50 virtual ms per window
+    };
+
+    TimelineAggregator() : TimelineAggregator(Config{}) {}
+    explicit TimelineAggregator(const Config &config);
+
+    /** @name Coordinator hooks (times are virtual ns) */
+    /** @{ */
+    void onArrival(uint64_t t);
+    void onAdmit(uint64_t t, const char *tier);
+    void onShed(uint64_t t);
+    void onRetry(uint64_t t);
+    void onEnergy(uint64_t t, double uj);
+    /** @p tier may be null (finals that never reached a worker);
+     * @p latencyNs is meaningful only when @p ok. */
+    void onFinal(uint64_t t, bool ok, bool timeout, uint64_t latencyNs,
+                 const char *op, const char *tier);
+    /** @} */
+
+    /** Flushes the trailing window; call once after the run. */
+    void finalize();
+
+    /** Emitted window records, in window order (finalize() first). */
+    const std::vector<Json> &windows() const { return records_; }
+
+    /** @name Cross-check totals over all windows */
+    /** @{ */
+    uint64_t totalOk() const { return totalOk_; }
+    uint64_t totalFailed() const { return totalFailed_; }
+    uint64_t totalArrivals() const { return totalArrivals_; }
+    double totalUj() const { return totalUj_; }
+    /** @} */
+
+    /** One compact record per line. */
+    std::string dumpJsonl() const;
+
+    /** Writes dumpJsonl() to @p path; false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct Window
+    {
+        uint64_t arrivals = 0;
+        uint64_t admitted = 0;
+        uint64_t shed = 0;
+        uint64_t retries = 0;
+        uint64_t ok = 0;
+        uint64_t failed = 0;
+        uint64_t timeouts = 0;
+        double uj = 0;
+        std::map<std::string, HdrHistogram> opLatency;
+        std::map<std::string, HdrHistogram> tierLatency;
+        std::map<std::string, uint64_t> tierAdmitted;
+
+        bool active() const;
+    };
+
+    void advanceTo(uint64_t t);
+    void flush();
+
+    Config config_;
+    Window cur_;
+    uint64_t windowIdx_ = 0;
+    bool finalized_ = false;
+    std::vector<Json> records_;
+    uint64_t totalOk_ = 0;
+    uint64_t totalFailed_ = 0;
+    uint64_t totalArrivals_ = 0;
+    double totalUj_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// SLO judgment
+
+/** Declarative SLO: an error budget plus two burn-rate alert rules. */
+struct SloSpec
+{
+    /** Tolerated fraction of finals that fail (error budget).  The
+     * objective is availability: 1 - errorBudget of requests end
+     * Errc::Ok. */
+    double errorBudget = 0.01;
+
+    /** Accounting bucket width (virtual ns); alert windows are
+     * integral numbers of buckets. */
+    uint64_t bucketNs = 25'000'000;
+
+    /** Fast "page" rule: burn >= pageBurn over the last
+     * pageLongBuckets, confirmed over the last pageShortBuckets. */
+    uint32_t pageLongBuckets = 8;
+    uint32_t pageShortBuckets = 2;
+    double pageBurn = 8.0;
+
+    /** Sustained "ticket" rule: burn >= ticketBurn over the last
+     * ticketLongBuckets.  At the default threshold 1.0 its trailing
+     * windows tile the campaign, making alerting complete: a
+     * campaign-level breach always fires at least one alert. */
+    uint32_t ticketLongBuckets = 32;
+    double ticketBurn = 1.0;
+};
+
+/** Multi-window burn-rate alert engine emitting ulecc.svc.slo.v1. */
+class SloEngine
+{
+  public:
+    explicit SloEngine(const SloSpec &spec = {});
+
+    /** One final per request (coordinator order, virtual ns). */
+    void onFinal(uint64_t t, bool ok);
+
+    /** Closes the trailing bucket; call once after the run. */
+    void finalize();
+
+    /** Alert transition events (firing/resolved), in emission order. */
+    const std::vector<Json> &events() const { return events_; }
+
+    /** Count of firing transitions across both rules. */
+    uint64_t alertsFired() const { return alertsFired_; }
+
+    uint64_t finals() const { return totalOk_ + totalErr_; }
+    uint64_t errors() const { return totalErr_; }
+
+    /** Campaign error ratio strictly above the budget? */
+    bool breached() const;
+
+    /** The end-of-campaign verdict record. */
+    Json verdict() const;
+
+    /** Alert events then the verdict, one compact record per line. */
+    std::string dumpJsonl() const;
+
+    /** Writes dumpJsonl() to @p path; false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    void closeBucket();
+    double burnOver(uint32_t buckets) const;
+    void evaluate(uint64_t edgeNs);
+    void emitTransition(const char *rule, bool firing, uint64_t edgeNs,
+                        double burnLong, double burnShort,
+                        uint32_t longBuckets);
+
+    SloSpec spec_;
+    size_t maxBuckets_ = 0;
+    std::deque<std::pair<uint64_t, uint64_t>> buckets_; ///< (ok, err)
+    uint64_t bucketIdx_ = 0;
+    uint64_t curOk_ = 0;
+    uint64_t curErr_ = 0;
+    uint64_t totalOk_ = 0;
+    uint64_t totalErr_ = 0;
+    bool pageFiring_ = false;
+    bool ticketFiring_ = false;
+    bool finalized_ = false;
+    uint64_t alertsFired_ = 0;
+    std::vector<Json> events_;
+};
+
+// ---------------------------------------------------------------------
+// Flight recorder
+
+/** Bounded ring of recent request records (ulecc.svc.flight.v1). */
+class FlightRecorder
+{
+  public:
+    struct Config
+    {
+        size_t capacity = 64;    ///< request records kept
+        size_t maxTriggers = 32; ///< trigger events listed in full
+    };
+
+    /** One executed request attempt, replayable via (seed, id,
+     * attempt) -- the execution is a pure function of that key. */
+    struct Record
+    {
+        uint64_t id = 0;
+        uint32_t attempt = 1;
+        uint64_t userId = 0;
+        const char *op = "";
+        std::string curve;
+        const char *arch = "";
+        const char *tier = "";
+        uint64_t arrivalNs = 0;   ///< first arrival (deadline anchor)
+        uint64_t deadlineNs = 0;
+        uint64_t queueNs = 0;
+        uint64_t serviceNs = 0;   ///< full modelled service time
+        uint64_t chargedNs = 0;   ///< actually charged (cancellation)
+        uint64_t completionNs = 0;
+        double uj = 0;
+        const char *errc = "";
+        const char *chaosClass = "";
+        const char *chaosKind = "";
+        bool cancelled = false;
+        bool ok = false;
+    };
+
+    FlightRecorder() : FlightRecorder(Config{}) {}
+    explicit FlightRecorder(const Config &config);
+
+    /** The campaign seed stamped into the replay key. */
+    void setSeed(uint64_t seed) { seed_ = seed; }
+
+    /** Appends one record (oldest evicted past capacity). */
+    void record(const Record &r);
+
+    /** Marks a dump-worthy moment (deadline breach, fault, chaos). */
+    void trigger(uint64_t t, const char *reason, uint64_t id,
+                 uint32_t attempt);
+
+    uint64_t recordedTotal() const { return recordedTotal_; }
+    uint64_t triggerTotal() const { return triggerTotal_; }
+    size_t held() const { return ring_.size(); }
+
+    /** The dump: replay key, triggers, and the last N records. */
+    Json toJson() const;
+
+    /** Pretty document to @p path; false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    Config config_;
+    uint64_t seed_ = 0;
+    std::deque<Record> ring_;
+    uint64_t recordedTotal_ = 0;
+    std::vector<Json> triggers_;
+    uint64_t triggerTotal_ = 0;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_SVC_TELEMETRY_HH

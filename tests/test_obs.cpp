@@ -14,12 +14,17 @@
 #include <fstream>
 #include <sstream>
 
+#include <algorithm>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "asmkit/assembler.hh"
+#include "base/prng.hh"
 #include "core/report.hh"
 #include "fault/campaign_summary.hh"
 #include "obs/energy_ledger.hh"
+#include "obs/hdr_histogram.hh"
 #include "obs/metrics.hh"
 #include "obs/profile.hh"
 #include "obs/trace.hh"
@@ -560,4 +565,141 @@ TEST(BlockCache, TraceAndProfileUnchangedByBlockCacheFlag)
     EXPECT_EQ(stats_on.instructions, stats_off.instructions);
     ASSERT_FALSE(trace_on.empty());
     ASSERT_FALSE(prof_on.empty());
+}
+
+// ---------------------------------------------------------------------
+// HdrHistogram (src/obs/hdr_histogram.hh)
+
+namespace
+{
+
+/** The sorted-vector rank the histogram promises to approximate. */
+uint64_t
+oraclePermille(std::vector<uint64_t> values, unsigned permille)
+{
+    std::sort(values.begin(), values.end());
+    size_t idx = (values.size() - 1)
+        * static_cast<size_t>(permille) / 1000;
+    return values[idx];
+}
+
+} // namespace
+
+TEST(HdrHistogram, MatchesSortedVectorOracleAcrossDistributions)
+{
+    // Four shapes: small exact-range values, a wide uniform spread,
+    // a heavy-tailed (exponentially ranged) mix, and ties on bucket
+    // boundaries.  For every queried rank the histogram must land in
+    // the same bucket as the exact order statistic and never
+    // undershoot it -- i.e. exact <= result <= bucketHigh(exact).
+    SplitMix64 gen(0x0b5e7ed);
+    const unsigned ranks[] = {0, 100, 250, 500, 900, 990, 999, 1000};
+    for (int dist = 0; dist < 4; ++dist) {
+        HdrHistogram h;
+        std::vector<uint64_t> values;
+        for (int i = 0; i < 5000; ++i) {
+            uint64_t v = 0;
+            switch (dist) {
+              case 0: v = gen.below(32); break;            // all exact
+              case 1: v = gen.below(50'000'000); break;    // wide
+              case 2:                                       // heavy tail
+                v = gen.below(1ull << (1 + gen.below(40)));
+                break;
+              case 3:                                       // edges+ties
+                v = HdrHistogram::bucketLow(gen.below(400));
+                break;
+            }
+            h.record(v);
+            values.push_back(v);
+        }
+        ASSERT_EQ(h.count(), values.size());
+        EXPECT_EQ(h.min(), *std::min_element(values.begin(), values.end()));
+        EXPECT_EQ(h.max(), *std::max_element(values.begin(), values.end()));
+        for (unsigned p : ranks) {
+            uint64_t exact = oraclePermille(values, p);
+            uint64_t got = h.percentilePermille(p);
+            EXPECT_GE(got, exact) << "dist " << dist << " p" << p;
+            EXPECT_LE(got,
+                      HdrHistogram::bucketHigh(
+                          HdrHistogram::bucketIndex(exact)))
+                << "dist " << dist << " p" << p;
+            // Which also bounds the relative error by the documented
+            // 2^-kSubBucketBits.
+            EXPECT_LE(static_cast<double>(got),
+                      static_cast<double>(exact)
+                          * (1.0 + HdrHistogram::relativeErrorBound())
+                          + 1.0)
+                << "dist " << dist << " p" << p;
+        }
+    }
+}
+
+TEST(HdrHistogram, MergeIsAssociativeAndCommutative)
+{
+    SplitMix64 gen(0xCAFE);
+    HdrHistogram parts[3];
+    HdrHistogram all;
+    for (int part = 0; part < 3; ++part) {
+        for (int i = 0; i < 700; ++i) {
+            uint64_t v = gen.below(1ull << (1 + gen.below(34)));
+            parts[part].record(v);
+            all.record(v);
+        }
+    }
+    // (a + b) + c
+    HdrHistogram left = parts[0];
+    left.merge(parts[1]);
+    left.merge(parts[2]);
+    // a + (b + c)
+    HdrHistogram bc = parts[1];
+    bc.merge(parts[2]);
+    HdrHistogram right = parts[0];
+    right.merge(bc);
+    // c + b + a
+    HdrHistogram rev = parts[2];
+    rev.merge(parts[1]);
+    rev.merge(parts[0]);
+    EXPECT_EQ(left, right);
+    EXPECT_EQ(left, rev);
+    // All equal the histogram of the concatenated sample stream,
+    // bucket for bucket and in every exact aggregate.
+    EXPECT_EQ(left, all);
+    EXPECT_EQ(left.toJson().dump(), all.toJson().dump());
+    for (unsigned p : {0u, 500u, 990u, 1000u})
+        EXPECT_EQ(left.percentilePermille(p), all.percentilePermille(p));
+}
+
+TEST(HdrHistogram, EmptyAndSingleSampleEdgeCases)
+{
+    HdrHistogram empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(empty.count(), 0u);
+    EXPECT_EQ(empty.min(), 0u);
+    EXPECT_EQ(empty.max(), 0u);
+    EXPECT_EQ(empty.sum(), 0u);
+    EXPECT_EQ(empty.mean(), 0.0);
+    EXPECT_EQ(empty.percentilePermille(500), 0u);
+
+    // A single sample is exact at every rank: the upper bucket edge
+    // is clamped to the recorded maximum.
+    HdrHistogram one;
+    one.record(123'456'789);
+    for (unsigned p : {0u, 1u, 500u, 999u, 1000u})
+        EXPECT_EQ(one.percentilePermille(p), 123'456'789u);
+    EXPECT_EQ(one.min(), 123'456'789u);
+    EXPECT_EQ(one.max(), 123'456'789u);
+    EXPECT_EQ(one.sum(), 123'456'789u);
+
+    // Merging an empty histogram is the identity both ways.
+    HdrHistogram merged = one;
+    merged.merge(empty);
+    EXPECT_EQ(merged, one);
+    HdrHistogram other;
+    other.merge(one);
+    EXPECT_EQ(other, one);
+
+    // clear() returns to the pristine state.
+    merged.clear();
+    EXPECT_EQ(merged, empty);
+    EXPECT_EQ(merged.percentilePermille(500), 0u);
 }

@@ -17,11 +17,13 @@
 #include <gtest/gtest.h>
 
 #include "base/error.hh"
+#include "core/json.hh"
 #include "svc/arrivals.hh"
 #include "svc/degrade.hh"
 #include "svc/retry.hh"
 #include "svc/service.hh"
 #include "svc/session.hh"
+#include "svc/telemetry.hh"
 
 using namespace ulecc;
 
@@ -382,4 +384,197 @@ TEST(SvcSoak, ReportIsByteIdenticalAcrossRunsAndModes)
             EXPECT_EQ(doc, first) << "mode " << mode;
     }
     EXPECT_FALSE(first.empty());
+}
+
+// ---------------------------------------------------------------------
+// Service telemetry (src/svc/telemetry.hh)
+
+TEST(SvcTelemetry, SpanTracesReconcileExactlyAgainstReport)
+{
+    // The acceptance contract for the request tracer: summed span
+    // busy time, busy cycles and every energy accumulator equal the
+    // ulecc.svc.v1 report totals *exactly* -- same doubles, not just
+    // close -- because both sides fold the same per-completion values
+    // in the same deterministic order.
+    SvcConfig cfg = soakConfig(2026, 600);
+    Server server(cfg);
+    RequestTracer tracer;
+    SvcTelemetry tel;
+    tel.tracer = &tracer;
+    server.attachTelemetry(tel);
+    server.run();
+
+    const SvcCounters &c = server.counters();
+    Json rep = server.report();
+    const Json *totals = rep.find("totals");
+    ASSERT_NE(totals, nullptr);
+    EXPECT_EQ(tracer.busyNs(),
+              static_cast<uint64_t>(totals->find("busy_ns")->asInt()));
+    EXPECT_EQ(tracer.busyCycles(),
+              totals->find("busy_cycles")->asDouble());
+
+    const Json *energy = rep.find("energy");
+    ASSERT_NE(energy, nullptr);
+    EXPECT_EQ(tracer.totalUj(), energy->find("total_uj")->asDouble());
+    EXPECT_EQ(tracer.analyticUj(),
+              energy->find("analytic_uj")->asDouble());
+    EXPECT_EQ(tracer.cancelledUj(),
+              energy->find("cancelled_uj")->asDouble());
+    const Json *perOp = energy->find("per_op");
+    ASSERT_NE(perOp, nullptr);
+    ASSERT_EQ(perOp->members().size(), 3u);
+    for (size_t op = 0; op < 3; ++op)
+        EXPECT_EQ(tracer.opUj(op),
+                  perOp->members()[op].value.find("uj")->asDouble())
+            << "op " << perOp->members()[op].key;
+
+    // One service span per execution, real or cancelled mid-service,
+    // and nothing fell off the event cap.
+    EXPECT_EQ(tracer.serviceSpans(), c.executed + c.cancelledMidService);
+    EXPECT_GT(tracer.serviceSpans(), 0u);
+    EXPECT_EQ(tracer.droppedEvents(), 0u);
+
+    // The otherData block of the trace itself round-trips and agrees.
+    Json doc = tracer.toJson();
+    const Json *other = doc.find("otherData");
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->find("busy_ns")->asInt(),
+              totals->find("busy_ns")->asInt());
+    EXPECT_EQ(other->find("energy")->find("total_uj")->asDouble(),
+              energy->find("total_uj")->asDouble());
+}
+
+TEST(SvcTelemetry, ArtifactsAreByteIdenticalAcrossRunsAndModes)
+{
+    // Same determinism contract as the report: every telemetry
+    // artifact is a pure function of (seed, config), regardless of
+    // worker-thread count or scheduling.
+    std::vector<std::string> traces, timelines, slos, flights;
+    for (int mode = 0; mode < 3; ++mode) {
+        SvcConfig run = soakConfig(11, 400);
+        run.serial = mode == 2;
+        run.jobs = mode == 1 ? 3 : 0;
+        Server server(run);
+        RequestTracer tracer;
+        TimelineAggregator timeline;
+        SloEngine slo;
+        FlightRecorder flight;
+        SvcTelemetry tel;
+        tel.tracer = &tracer;
+        tel.timeline = &timeline;
+        tel.slo = &slo;
+        tel.flight = &flight;
+        server.attachTelemetry(tel);
+        server.run();
+        traces.push_back(tracer.dump());
+        timelines.push_back(timeline.dumpJsonl());
+        slos.push_back(slo.dumpJsonl());
+        flights.push_back(flight.toJson().dump(2));
+    }
+    for (int mode = 1; mode < 3; ++mode) {
+        EXPECT_EQ(traces[0], traces[mode]) << "mode " << mode;
+        EXPECT_EQ(timelines[0], timelines[mode]) << "mode " << mode;
+        EXPECT_EQ(slos[0], slos[mode]) << "mode " << mode;
+        EXPECT_EQ(flights[0], flights[mode]) << "mode " << mode;
+    }
+}
+
+TEST(SvcTelemetry, TimelineWindowsReconcileWithReportCounters)
+{
+    SvcConfig cfg = soakConfig(7, 500);
+    Server server(cfg);
+    TimelineAggregator timeline;
+    SvcTelemetry tel;
+    tel.timeline = &timeline;
+    server.attachTelemetry(tel);
+    server.run();
+
+    const SvcCounters &c = server.counters();
+    EXPECT_EQ(timeline.totalArrivals(), c.arrivals);
+    EXPECT_EQ(timeline.totalOk(), c.completedOk);
+    EXPECT_EQ(timeline.totalFailed(), c.failed);
+
+    // The energy total matches the report's within double-fold noise
+    // (the two sides sum the identical per-completion values in
+    // different groupings).
+    Json rep = server.report();
+    double repUj = rep.find("energy")->find("total_uj")->asDouble();
+    EXPECT_NEAR(timeline.totalUj(), repUj, 1e-9 * repUj + 1e-12);
+
+    // Every emitted JSONL record parses, carries the schema tag, and
+    // the per-window counts re-sum to the campaign totals.
+    std::string jsonl = timeline.dumpJsonl();
+    uint64_t ok = 0, failed = 0, arrivals = 0;
+    size_t pos = 0, records = 0;
+    while (pos < jsonl.size()) {
+        size_t nl = jsonl.find('\n', pos);
+        ASSERT_NE(nl, std::string::npos);
+        Result<Json> parsed = Json::parse(jsonl.substr(pos, nl - pos));
+        pos = nl + 1;
+        records++;
+        ASSERT_TRUE(parsed.ok());
+        const Json &rec = parsed.value();
+        EXPECT_EQ(rec.find("schema")->asString(),
+                  "ulecc.svc.timeline.v1");
+        ok += static_cast<uint64_t>(rec.find("ok")->asInt());
+        failed += static_cast<uint64_t>(rec.find("failed")->asInt());
+        arrivals +=
+            static_cast<uint64_t>(rec.find("arrivals")->asInt());
+    }
+    EXPECT_GT(records, 1u);
+    EXPECT_EQ(ok, c.completedOk);
+    EXPECT_EQ(failed, c.failed);
+    EXPECT_EQ(arrivals, c.arrivals);
+}
+
+TEST(SvcTelemetry, SloAlertsAndFlightRecorderCaptureChaosBreach)
+{
+    // A 25%-chaos overloaded campaign burns far past a 1% error
+    // budget: the SLO engine must notice (breach + at least one
+    // firing alert -- never a silent breach), and the flight recorder
+    // must have trapped deadline/fault/chaos triggers while keeping
+    // only its bounded tail of records.
+    SvcConfig cfg = soakConfig(2026, 600);
+    Server server(cfg);
+    SloEngine slo;
+    FlightRecorder::Config fcfg;
+    fcfg.capacity = 8;
+    FlightRecorder flight(fcfg);
+    SvcTelemetry tel;
+    tel.slo = &slo;
+    tel.flight = &flight;
+    server.attachTelemetry(tel);
+    server.run();
+
+    const SvcCounters &c = server.counters();
+    EXPECT_EQ(slo.finals(), c.completedOk + c.failed);
+    EXPECT_EQ(slo.errors(), c.failed);
+    ASSERT_TRUE(slo.breached());
+    EXPECT_GE(slo.alertsFired(), 1u);
+
+    // The last JSONL record is the verdict and it self-reports the
+    // same breach and alert count.
+    std::string jsonl = slo.dumpJsonl();
+    size_t lastNl = jsonl.find_last_of('\n', jsonl.size() - 2);
+    std::string lastLine = jsonl.substr(
+        lastNl == std::string::npos ? 0 : lastNl + 1);
+    Result<Json> parsedVerdict = Json::parse(lastLine);
+    ASSERT_TRUE(parsedVerdict.ok());
+    const Json &verdict = parsedVerdict.value();
+    EXPECT_EQ(verdict.find("kind")->asString(), "verdict");
+    EXPECT_TRUE(verdict.find("breached")->asBool());
+    EXPECT_EQ(static_cast<uint64_t>(
+                  verdict.find("alerts_fired")->asInt()),
+              slo.alertsFired());
+
+    // Flight recorder: every completion was offered, the ring held
+    // its bound, and at least one trigger snapshot fired.
+    EXPECT_EQ(flight.recordedTotal(), c.executed + c.cancelledMidService);
+    EXPECT_LE(flight.held(), size_t{8});
+    EXPECT_GT(flight.triggerTotal(), 0u);
+    Json dump = flight.toJson();
+    EXPECT_EQ(dump.find("records")->size(), flight.held());
+    EXPECT_EQ(static_cast<uint64_t>(
+                  dump.find("replay")->find("seed")->asInt()),
+              cfg.seed);
 }

@@ -21,6 +21,9 @@
 # block_cache_speedup against the committed BENCH_simspeed.json
 # baseline.  Timings are host-dependent, so a slowdown merely warns
 # unless it exceeds 25%; hit rate is deterministic and checked tight.
+# It also runs bench_svc and compares svc_requests_per_sec /
+# svc_telemetry_overhead against BENCH_svc.json the same way, so
+# observability overhead regressions are caught.
 
 set -euo pipefail
 
@@ -163,6 +166,44 @@ else:
 
 sys.exit(1 if fail else 0)
 EOF
+
+    step "bench: service-engine throughput vs committed baseline"
+    : > "$work/bench_svc.jsonl"
+    ULECC_BENCH_METRICS="$work/bench_svc.jsonl" \
+        "$repo/build/bench/bench_svc" > "$work/bench_svc.txt"
+    "$json_check" --jsonl "$schemas/bench_record.schema.json" \
+        "$work/bench_svc.jsonl"
+    python3 - "$repo/BENCH_svc.json" "$work/bench_svc.jsonl" <<'EOF'
+import json, sys
+
+base = json.load(open(sys.argv[1]))
+fresh = json.loads(open(sys.argv[2]).read().splitlines()[0])
+fail = False
+
+def timing(name, higher_is_better=True):
+    global fail
+    b, f = base.get(name), fresh.get(name)
+    if b is None or f is None:
+        print(f"FAIL: {name} missing from baseline or fresh record")
+        fail = True
+        return
+    ratio = f / b if higher_is_better else b / f
+    if ratio >= 1.0:
+        print(f"ok:   {name} {f:.3g} (baseline {b:.3g})")
+    elif ratio >= 0.75:
+        # Timings are host-dependent; a small shortfall is noise.
+        print(f"warn: {name} {f:.3g} below baseline {b:.3g} "
+              f"({100 * (1 - ratio):.0f}% slower)")
+    else:
+        print(f"FAIL: {name} {f:.3g} vs baseline {b:.3g} "
+              f"(>25% regression)")
+        fail = True
+
+timing("svc_requests_per_sec")
+timing("svc_telemetry_overhead", higher_is_better=False)
+
+sys.exit(1 if fail else 0)
+EOF
 fi
 
 if [[ "$diffuzz_cases" != "0" ]]; then
@@ -202,9 +243,43 @@ if [[ $run_soak -eq 1 ]]; then
     if [[ $run_asan -eq 1 ]]; then
         svc_bin="$repo/build-asan/tools/svc_run"
     fi
+    # Telemetry rides along: the SLO engine judges the chaos campaign
+    # against the default error budget, and svc_run exits 1 if the
+    # budget is breached without a corresponding alert event (the
+    # alerting-completeness contract).  The alert log and flight dump
+    # must also validate against their schemas.
     step "svc soak: 2000 chaos-mode requests (seed 2026)"
-    "$svc_bin" "${soak_args[@]}" --json "$work/svc_soak.json"
+    "$svc_bin" "${soak_args[@]}" --json "$work/svc_soak.json" \
+        --timeline "$work/svc_soak.timeline" \
+        --slo "$work/svc_soak.slo" \
+        --flight-recorder "$work/svc_soak.flight"
     "$json_check" "$schemas/svc_report.schema.json" "$work/svc_soak.json"
+    "$json_check" --jsonl "$schemas/svc_timeline.schema.json" \
+        "$work/svc_soak.timeline"
+    "$json_check" --jsonl "$schemas/svc_slo.schema.json" \
+        "$work/svc_soak.slo"
+    "$json_check" "$schemas/svc_flight.schema.json" "$work/svc_soak.flight"
+    python3 - "$work/svc_soak.slo" <<'EOF'
+import json, sys
+
+# Alerting completeness, checked from the artifact itself: if the
+# verdict says the campaign breached its error budget, at least one
+# firing alert event must precede it in the log.
+records = [json.loads(l) for l in open(sys.argv[1])]
+verdict = records[-1]
+assert verdict["kind"] == "verdict", "last SLO record must be verdict"
+fired = sum(1 for r in records[:-1]
+            if r["kind"] == "alert" and r["state"] == "firing")
+if verdict["breached"] and fired == 0:
+    print("FAIL: SLO budget breached with no alert fired")
+    sys.exit(1)
+if fired != verdict["alerts_fired"]:
+    print(f"FAIL: verdict counts {verdict['alerts_fired']} alerts, "
+          f"log has {fired}")
+    sys.exit(1)
+print(f"ok:   slo verdict breached={verdict['breached']} "
+      f"alerts_fired={fired}")
+EOF
 
     # The determinism half triple-runs on the fast build: same seed,
     # byte-identical timing-free report, parallel twice and --serial
@@ -222,6 +297,33 @@ if [[ $run_soak -eq 1 ]]; then
         fi
     done
 fi
+
+step "telemetry: svc run with all artifacts (serial vs parallel)"
+svc_tel_args=(--seed 11 --requests 400 --chaos 20 --arrival bursty
+              --quiet)
+for mode in par ser; do
+    extra=()
+    [[ $mode == ser ]] && extra=(--serial)
+    "$repo/build/tools/svc_run" "${svc_tel_args[@]}" "${extra[@]}" \
+        --json "$work/svc_$mode.json" \
+        --trace-requests "$work/svc_$mode.trace" \
+        --timeline "$work/svc_$mode.timeline" \
+        --slo "$work/svc_$mode.slo" \
+        --flight-recorder "$work/svc_$mode.flight"
+done
+for ext in json trace timeline slo flight; do
+    if ! cmp -s "$work/svc_par.$ext" "$work/svc_ser.$ext"; then
+        echo "FAIL: svc $ext artifact differs serial vs parallel" >&2
+        diff "$work/svc_par.$ext" "$work/svc_ser.$ext" >&2 || true
+        exit 1
+    fi
+done
+"$json_check" "$schemas/svc_report.schema.json" "$work/svc_par.json"
+"$json_check" "$schemas/svc_trace.schema.json" "$work/svc_par.trace"
+"$json_check" --jsonl "$schemas/svc_timeline.schema.json" \
+    "$work/svc_par.timeline"
+"$json_check" --jsonl "$schemas/svc_slo.schema.json" "$work/svc_par.slo"
+"$json_check" "$schemas/svc_flight.schema.json" "$work/svc_par.flight"
 
 step "telemetry: fault campaign summary"
 "$repo/build/tools/fault_campaign" --seed 7 --campaigns 10 \

@@ -1,37 +1,43 @@
-# Determinism check for svc_run: the timing-free report must be
-# byte-identical for the same seed across independent parallel runs
-# and across --serial/parallel execution.
+# Determinism check for svc_run: the timing-free report AND every
+# telemetry artifact (request trace, timeline, SLO alert log, flight
+# recorder dump) must be byte-identical for the same seed across
+# independent parallel runs and across --serial/parallel execution.
 #
 # Invoked by ctest (tool_svc_run_determinism) with:
 #   -DSVC_RUN=<path to svc_run> -DWORK_DIR=<scratch dir>
 
 set(args --seed 11 --requests 150 --chaos 20 --arrival bursty --quiet)
+set(artifacts json trace timeline slo flight)
 
-foreach(run a b)
+function(svc_det_run tag extra_args)
     execute_process(
-        COMMAND ${SVC_RUN} ${args} --json ${WORK_DIR}/svc_det_${run}.json
+        COMMAND ${SVC_RUN} ${args} ${extra_args}
+                --json ${WORK_DIR}/svc_det_${tag}.json
+                --trace-requests ${WORK_DIR}/svc_det_${tag}.trace
+                --timeline ${WORK_DIR}/svc_det_${tag}.timeline
+                --slo ${WORK_DIR}/svc_det_${tag}.slo
+                --flight-recorder ${WORK_DIR}/svc_det_${tag}.flight
         RESULT_VARIABLE rc)
     if(NOT rc EQUAL 0)
-        message(FATAL_ERROR "svc_run (parallel ${run}) exited ${rc}")
+        message(FATAL_ERROR "svc_run (${tag}) exited ${rc}")
     endif()
-endforeach()
+endfunction()
 
-execute_process(
-    COMMAND ${SVC_RUN} ${args} --serial
-            --json ${WORK_DIR}/svc_det_serial.json
-    RESULT_VARIABLE rc)
-if(NOT rc EQUAL 0)
-    message(FATAL_ERROR "svc_run (serial) exited ${rc}")
-endif()
+svc_det_run(a "")
+svc_det_run(b "")
+svc_det_run(serial "--serial")
 
 foreach(other b serial)
-    execute_process(
-        COMMAND ${CMAKE_COMMAND} -E compare_files
-                ${WORK_DIR}/svc_det_a.json ${WORK_DIR}/svc_det_${other}.json
-        RESULT_VARIABLE same)
-    if(NOT same EQUAL 0)
-        message(FATAL_ERROR
-                "report differs between run a and run ${other}: "
-                "determinism contract broken")
-    endif()
+    foreach(ext json trace timeline slo flight)
+        execute_process(
+            COMMAND ${CMAKE_COMMAND} -E compare_files
+                    ${WORK_DIR}/svc_det_a.${ext}
+                    ${WORK_DIR}/svc_det_${other}.${ext}
+            RESULT_VARIABLE same)
+        if(NOT same EQUAL 0)
+            message(FATAL_ERROR
+                    "${ext} artifact differs between run a and run "
+                    "${other}: determinism contract broken")
+        endif()
+    endforeach()
 endforeach()

@@ -8,6 +8,8 @@
  *           [--arrival poisson|bursty] [--rate R] [--chaos PCT]
  *           [--deadline-factor F] [--deadline-floor-ms MS]
  *           [--retries N] [--no-warm] [--json PATH] [--quiet]
+ *           [--trace-requests PATH] [--timeline PATH]
+ *           [--window-ms MS] [--slo PATH] [--flight-recorder PATH]
  *
  * Drives a synthetic sign/verify/ECDH request population through the
  * service engine (src/svc) and prints the robustness summary: shed,
@@ -17,19 +19,30 @@
  * same seed across runs and across --serial/parallel execution --
  * the determinism tests pin exactly that.
  *
+ * Telemetry artifacts (svc/telemetry.hh), all deterministic in the
+ * same sense as the report:
+ *   --trace-requests   Chrome-trace request lifecycle spans
+ *   --timeline         ulecc.svc.timeline.v1 JSONL time-series
+ *   --window-ms        timeline window width (virtual ms, default 50)
+ *   --slo              ulecc.svc.slo.v1 burn-rate alert log + verdict
+ *   --flight-recorder  ulecc.svc.flight.v1 last-N request ring dump
+ *
  * Exit codes: 0 success; 1 a robustness invariant failed (a request
- * was lost, a wrong answer escaped, or an unstructured exception was
- * caught); 2 usage or I/O error.
+ * was lost, a wrong answer escaped, an unstructured exception was
+ * caught, or --slo found a budget breach with no alert fired); 2
+ * usage or I/O error.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "core/report.hh"
 #include "obs/metrics.hh"
 #include "svc/service.hh"
+#include "svc/telemetry.hh"
 
 using namespace ulecc;
 
@@ -47,7 +60,9 @@ usage()
         "               [--rate R] [--chaos PCT]\n"
         "               [--deadline-factor F] [--deadline-floor-ms MS]\n"
         "               [--retries N] [--no-warm] [--json PATH]\n"
-        "               [--quiet]\n");
+        "               [--quiet] [--trace-requests PATH]\n"
+        "               [--timeline PATH] [--window-ms MS]\n"
+        "               [--slo PATH] [--flight-recorder PATH]\n");
 }
 
 } // namespace
@@ -57,6 +72,11 @@ main(int argc, char **argv)
 {
     SvcConfig cfg;
     std::string jsonPath;
+    std::string tracePath;
+    std::string timelinePath;
+    std::string sloPath;
+    std::string flightPath;
+    uint64_t windowMs = 50;
     bool quiet = false;
     for (int i = 1; i < argc; ++i) {
         auto num = [&](uint64_t &out) {
@@ -107,6 +127,18 @@ main(int argc, char **argv)
             cfg.warmEvalCache = false;
         } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
             jsonPath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--trace-requests")
+                   && i + 1 < argc) {
+            tracePath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--timeline") && i + 1 < argc) {
+            timelinePath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--window-ms") && i + 1 < argc) {
+            num(windowMs);
+        } else if (!std::strcmp(argv[i], "--slo") && i + 1 < argc) {
+            sloPath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--flight-recorder")
+                   && i + 1 < argc) {
+            flightPath = argv[++i];
         } else if (!std::strcmp(argv[i], "--quiet")) {
             quiet = true;
         } else {
@@ -115,7 +147,8 @@ main(int argc, char **argv)
         }
     }
     if (cfg.requests == 0 || cfg.virtualWorkers == 0
-        || cfg.backoff.maxAttempts == 0 || cfg.chaos.percent > 100) {
+        || cfg.backoff.maxAttempts == 0 || cfg.chaos.percent > 100
+        || windowMs == 0) {
         usage();
         return 2;
     }
@@ -124,8 +157,44 @@ main(int argc, char **argv)
         "svc_run", "crypto-as-a-service robustness campaign");
 
     Server server(cfg);
+
+    // Telemetry consumers live here (the engine borrows, not owns);
+    // each is instantiated only when its artifact was requested.
+    std::optional<RequestTracer> tracer;
+    std::optional<TimelineAggregator> timeline;
+    std::optional<SloEngine> slo;
+    std::optional<FlightRecorder> flight;
+    SvcTelemetry tel;
+    if (!tracePath.empty())
+        tel.tracer = &tracer.emplace();
+    if (!timelinePath.empty()) {
+        TimelineAggregator::Config tc;
+        tc.windowNs = windowMs * 1'000'000;
+        tel.timeline = &timeline.emplace(tc);
+    }
+    if (!sloPath.empty())
+        tel.slo = &slo.emplace();
+    if (!flightPath.empty())
+        tel.flight = &flight.emplace();
+    server.attachTelemetry(tel);
+
     server.run();
     const SvcCounters &c = server.counters();
+
+    auto writeArtifact = [](bool ok, const std::string &path) {
+        if (!ok)
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return ok;
+    };
+    if (tracer && !writeArtifact(tracer->writeFile(tracePath), tracePath))
+        return 2;
+    if (timeline
+        && !writeArtifact(timeline->writeFile(timelinePath), timelinePath))
+        return 2;
+    if (slo && !writeArtifact(slo->writeFile(sloPath), sloPath))
+        return 2;
+    if (flight && !writeArtifact(flight->writeFile(flightPath), flightPath))
+        return 2;
 
     if (!quiet)
         std::fputs(server.reportText().c_str(), stdout);
@@ -158,6 +227,16 @@ main(int argc, char **argv)
                      (unsigned long long)c.generated,
                      (unsigned long long)c.wrongAnswers,
                      (unsigned long long)c.unstructuredExceptions);
+        return 1;
+    }
+
+    // Alerting completeness: a campaign that breaches its error
+    // budget must have fired at least one alert along the way --
+    // silent SLO breaches are an observability failure.
+    if (slo && slo->breached() && slo->alertsFired() == 0) {
+        std::fprintf(stderr,
+                     "svc_run: SLO COMPLETENESS FAILURE: error ratio "
+                     "breached the budget with no alert fired\n");
         return 1;
     }
 
