@@ -207,6 +207,10 @@ class BlockCache
     static TermResult resolveTerminator(Pete &cpu, const Block &b,
                                         const DecodedInst &inst);
 
+    /// The superblock trace tier flattens Ready blocks through
+    /// blockFor (and shares this header's Block structure).
+    friend class SuperblockCache;
+
     Block *blockFor(Pete &cpu, uint32_t pc);
     void discover(Pete &cpu, Block &b, uint32_t pc);
     Timing *findTiming(Block &b, uint32_t key);

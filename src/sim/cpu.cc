@@ -97,6 +97,15 @@ Pete::Pete(const Program &program, const PeteConfig &config)
         if (mode != BlockCacheMode::Off)
             blockCache_ = std::make_unique<BlockCache>(mode);
     }
+    if (blockCache_ && config_.superblock) {
+        // The trace tier sits above the block memo and needs it for
+        // block discovery and bailouts, so $ULECC_BLOCK_CACHE=off
+        // implies superblocks off too.
+        SuperblockMode mode =
+            parseSuperblockMode(std::getenv("ULECC_SUPERBLOCK"));
+        if (mode != SuperblockMode::Off)
+            superblock_ = std::make_unique<SuperblockCache>(mode);
+    }
     predictor_.fill(1); // weakly not-taken
     // Bare-metal convention: stack at the top of RAM.
     regs_[29] = MemoryMap::ramBase + MemoryMap::ramSize - 16;
@@ -258,6 +267,18 @@ Pete::runChecked()
                 if (budgetExhausted())
                     return budgetError();
                 step();
+            }
+        } else if (superblock_) {
+            // Superblock trace tier (hook-free only): hot paths run as
+            // straight-line threaded code, everything else delegates
+            // to the block memo below.  The budget is polled here once
+            // per dispatch and by a looping trace at every back-edge,
+            // so a diverging program coasts at most one trace
+            // (SuperblockCache::kMaxTraceInsts) past the limit.
+            while (!halted_) {
+                if (budgetExhausted())
+                    return budgetError();
+                superblock_->run(*this);
             }
         } else if (blockCache_) {
             // Block-memoized fast path (hook-free only): hot basic

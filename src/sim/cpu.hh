@@ -34,6 +34,7 @@
 #include "sim/block_cache.hh"
 #include "sim/icache.hh"
 #include "sim/memory.hh"
+#include "sim/superblock.hh"
 
 namespace ulecc
 {
@@ -101,6 +102,17 @@ struct PeteConfig
      * injectors (all StepHooks) transparently get the slow path.
      */
     bool blockCache = true;
+    /**
+     * Flatten hot paths across taken branches into superblock traces
+     * executed as straight-line threaded code
+     * (src/sim/superblock.hh).  Requires the block memo (the trace
+     * tier discovers blocks through it and bails out to it), so
+     * blockCache=false or $ULECC_BLOCK_CACHE=off disables this too.
+     * Bit-identical PeteStats and architectural state either way;
+     * also gated by the $ULECC_SUPERBLOCK tri-state ("0"/"off"
+     * disables, "verify" adds sampled shadow re-execution).
+     */
+    bool superblock = true;
 };
 
 /**
@@ -224,6 +236,20 @@ class Pete
         return blockCache_ ? blockCache_->mode() : BlockCacheMode::Off;
     }
 
+    /** Superblock trace-tier counters, or nullptr when disabled. */
+    const SuperblockStats *
+    superblockStats() const
+    {
+        return superblock_ ? &superblock_->stats() : nullptr;
+    }
+
+    /** The trace tier's effective operating mode (Off when disabled). */
+    SuperblockMode
+    superblockMode() const
+    {
+        return superblock_ ? superblock_->mode() : SuperblockMode::Off;
+    }
+
     /** Current cycle count (monotonic simulated time). */
     uint64_t cycle() const { return stats_.cycles; }
 
@@ -287,9 +313,11 @@ class Pete
 
     void doBranch(bool taken, int32_t disp);
 
-    /// The block-timing memo reaches into the pipeline state (it must
-    /// replicate the slow path's accounting bit-for-bit).
+    /// The block-timing memo and the superblock trace tier reach into
+    /// the pipeline state (they must replicate the slow path's
+    /// accounting bit-for-bit).
     friend class BlockCache;
+    friend class SuperblockCache;
 
     PeteConfig config_;
     MemorySystem mem_;
@@ -297,6 +325,7 @@ class Pete
     DecodedInst scratchInst_; ///< slow-path decode target
     std::unique_ptr<ICache> icache_;
     std::unique_ptr<BlockCache> blockCache_; ///< null when disabled
+    std::unique_ptr<SuperblockCache> superblock_; ///< null when disabled
     Cop2 *cop2_ = nullptr;
     StepHook *hook_ = nullptr;
 

@@ -263,6 +263,16 @@ class MemorySystem
      */
     uint64_t romGeneration() const { return romGeneration_; }
 
+    /** @name Loaded-image access (content-keyed derived caches)
+     * The bytes below the ROM watermark are exactly the loaded program
+     * image until anything touches higher addresses; consumers hash
+     * them to recognise the same program across MemorySystem
+     * instances.  Only meaningful while romGeneration() == 0. */
+    /** @{ */
+    const uint8_t *romImage() const { return &rom_[0]; }
+    size_t romImageSize() const { return rom_.valid(); }
+    /** @} */
+
     MemCounters &romFetchCounters() { return romFetch_; }
     MemCounters &romDataCounters() { return romData_; }
     MemCounters &ramCounters() { return ramCnt_; }

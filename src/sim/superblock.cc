@@ -1,0 +1,1423 @@
+/**
+ * @file
+ * SuperblockCache implementation (the model is described in the
+ * header).
+ *
+ * Exactness argument, in one place.  A trace is a concatenation of
+ * Ready basic blocks (BlockCache::discover admits only fully-modelled
+ * straight-line bodies plus one terminator and its delay slot), so
+ * the slow path's timing of any on-trace prefix decomposes into
+ *
+ *  - a *static* part: the base cycle per retirement, the load-use
+ *    slip of each adjacent instruction pair, and the register-jump
+ *    bubble.  These are properties of the instruction stream alone,
+ *    so the builder folds them into a running per-pass prefix sum
+ *    (TraceOp::cumCyc, SegTotals) and the handlers never touch a
+ *    cycle counter at all;
+ *  - a *dynamic* part: branch mispredict flushes (resolved against
+ *    the live bimodal array, exactly as the slow path resolves them),
+ *    multiplier-unit busy waits (a function of the absolute cycle,
+ *    reconstructed as entry + passes*perPass + cumCyc + dynamic), and
+ *    the entry/back-edge load-use slips (resolved against the live
+ *    exposure).  These are counted in two registers (mispredicts and
+ *    busy-wait cycles) and folded exactly once at exit.
+ *
+ * Architectural semantics are the same code shapes as
+ * BlockCache::leanExec (which tests pin against Pete::execute).  Only
+ * memory ops can throw out of a handler, and they throw before any
+ * register write -- exactly where the slow path faults -- so the
+ * catch block reconstructs the fault point from (record, iteration
+ * count, dynamic counters) plus one cold scan of the record prefix
+ * for the rarely-needed static stall attribution.
+ */
+
+#include "sim/superblock.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "sim/block_cache.hh"
+#include "sim/cpu.hh"
+#include "sim/karatsuba_unit.hh"
+
+// Direct-threaded dispatch (GNU computed goto) where available; the
+// portable fallback is a dense switch re-entered through a label --
+// the same handler bodies either way (see the OP/NEXT macros below).
+#if defined(__GNUC__) || defined(__clang__)
+#define ULECC_SB_THREADED 1
+#else
+#define ULECC_SB_THREADED 0
+#endif
+
+namespace ulecc
+{
+
+SuperblockMode
+parseSuperblockMode(const char *value)
+{
+    if (!value)
+        return SuperblockMode::On;
+    std::string v(value);
+    if (v == "0" || v == "off")
+        return SuperblockMode::Off;
+    if (v == "verify" || v == "shadow")
+        return SuperblockMode::Verify;
+    // "1" / "on" / empty / anything unrecognised: the default.  A
+    // hostile value must never change simulated behaviour (the trace
+    // tier is bit-identical to the tiers below), so On is safe.
+    return SuperblockMode::On;
+}
+
+const char *
+superblockModeName(SuperblockMode mode)
+{
+    switch (mode) {
+      case SuperblockMode::On: return "on";
+      case SuperblockMode::Off: return "off";
+      case SuperblockMode::Verify: return "verify";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** Static load-use slip between two adjacent retirements. */
+uint8_t
+slipBetween(const DecodedInst *prev, const DecodedInst &cur)
+{
+    if (!prev || classOf(prev->op) != InstClass::Load)
+        return 0;
+    int d = destGpr(*prev);
+    if (d == 0)
+        return 0;
+    int srcs[2];
+    int n = srcGprs(cur, srcs);
+    for (int i = 0; i < n; ++i)
+        if (srcs[i] == d)
+            return 1;
+    return 0;
+}
+
+/** Load-use exposure an instruction leaves behind. */
+uint8_t
+loadDestOf(const DecodedInst &inst)
+{
+    return classOf(inst.op) == InstClass::Load ? uint8_t(destGpr(inst))
+                                               : 0;
+}
+
+/** FNV-1a, used to key the shared trace registry by program text. */
+uint64_t
+fnv1a(const uint8_t *data, size_t n, uint64_t h)
+{
+    for (size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// The process-wide trace registry (see the header comment).
+// ---------------------------------------------------------------------
+
+SuperblockCache::Registry &
+SuperblockCache::Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+SuperblockCache::Registry::Program &
+SuperblockCache::Registry::programLocked(uint64_t program)
+{
+    // Bound growth across processes that run many distinct programs
+    // (the test suites): adopters' shared_ptrs keep live traces alive
+    // through a reset, so dropping the index is always safe.
+    if (programs_.size() > kMaxPrograms
+        && programs_.find(program) == programs_.end())
+        programs_.clear();
+    return programs_[program];
+}
+
+std::shared_ptr<const SuperblockCache::Trace>
+SuperblockCache::Registry::find(uint64_t program, uint32_t pc)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto pit = programs_.find(program);
+    if (pit == programs_.end())
+        return nullptr;
+    auto it = pit->second.traces.find(pc);
+    return it == pit->second.traces.end() ? nullptr : it->second;
+}
+
+void
+SuperblockCache::Registry::publish(uint64_t program, uint32_t pc,
+                                   std::shared_ptr<const Trace> trace)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    // First publication wins on a build race; both traces would be
+    // equivalent anyway (same text, same config).
+    programLocked(program).traces.emplace(pc, std::move(trace));
+}
+
+uint32_t
+SuperblockCache::Registry::bump(uint64_t program, uint32_t pc)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint32_t &h = programLocked(program).heat[pc];
+    if (h != kBlacklisted)
+        ++h;
+    return h;
+}
+
+void
+SuperblockCache::Registry::blacklist(uint64_t program, uint32_t pc)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    programLocked(program).heat[pc] = kBlacklisted;
+}
+
+bool
+SuperblockCache::run(Pete &cpu)
+{
+    stats_.dispatches++;
+    uint32_t pc = cpu.pc_;
+    const Trace *t;
+    if (pc == lastPc_ && lastTrace_
+        && lastTrace_->generation == cpu.mem_.romGeneration()) {
+        t = lastTrace_;
+    } else {
+        t = lookup(cpu, pc);
+        if (t) {
+            lastPc_ = pc;
+            lastTrace_ = t; // stable: held alive by traces_
+        }
+    }
+    if (!t) {
+        stats_.fallbackCold++;
+        return cpu.blockCache_->runBlock(cpu);
+    }
+    // Residency gate, same contract as the block memo: with every
+    // line resident a real fetch sequence is pure counter bumps, so
+    // the deferred creditResidentFetches at exit is exact.  The block
+    // path below warms the lines.
+    if (cpu.icache_) {
+        for (uint32_t la : t->lines) {
+            if (!cpu.icache_->resident(la)) {
+                stats_.fallbackResidency++;
+                return cpu.blockCache_->runBlock(cpu);
+            }
+        }
+    }
+    stats_.traceRuns++;
+    if (mode_ == SuperblockMode::Verify
+        && ++verifyTick_ % kVerifyPeriod == 0)
+        return shadowVerify(cpu, *t);
+    return execute(cpu, *t);
+}
+
+const SuperblockCache::Trace *
+SuperblockCache::lookup(Pete &cpu, uint32_t pc)
+{
+    if ((pc & 3) != 0 || !MemorySystem::inRom(pc))
+        return nullptr;
+    const uint64_t generation = cpu.mem_.romGeneration();
+    auto it = traces_.find(pc);
+    if (it != traces_.end()) {
+        if (it->second->generation == generation)
+            return it->second.get();
+        // Text changed under us (a corrupt32 strike): the flattened
+        // records describe the old image.  Drop the local adoption --
+        // any registry copy stays valid for pristine Petes, whose ROM
+        // is their own -- and re-heat against the current words.
+        stats_.invalidations++;
+        traces_.erase(it);
+        heat_[pc] = 0;
+        lastPc_ = 1;
+        lastTrace_ = nullptr;
+    }
+    if (generation != 0)
+        privateMode_ = true; // sticky: our text diverged for good
+    if (!privateMode_) {
+        if (programKey_ == 0) {
+            // Everything a trace's content depends on beyond the text.
+            const PeteConfig &cfg = cpu.config_;
+            const uint32_t extra[5] = {
+                cfg.multLatency, cfg.divLatency, cfg.macLatency,
+                cfg.addauLatency,
+                cpu.icache_ ? cpu.icache_->config().lineBytes : 0};
+            uint64_t h = fnv1a(cpu.mem_.romImage(),
+                               cpu.mem_.romImageSize(),
+                               14695981039346656037ull);
+            h = fnv1a(reinterpret_cast<const uint8_t *>(extra),
+                      sizeof(extra), h);
+            programKey_ = h ? h : 1;
+        }
+        Registry &reg = Registry::instance();
+        std::shared_ptr<const Trace> shared = reg.find(programKey_, pc);
+        if (shared) {
+            stats_.sharedAdoptions++;
+            const Trace *raw = shared.get();
+            traces_.emplace(pc, std::move(shared));
+            return raw;
+        }
+        if (reg.bump(programKey_, pc) == kHotThreshold) {
+            if (traces_.size() < kMaxTraces && buildTrace(cpu, pc)) {
+                const auto &built = traces_.find(pc)->second;
+                reg.publish(programKey_, pc, built);
+                return built.get();
+            }
+            stats_.buildFailures++;
+            reg.blacklist(programKey_, pc);
+        }
+        return nullptr;
+    }
+    uint32_t &h = heat_[pc];
+    if (h != kBlacklisted && ++h == kHotThreshold) {
+        if (traces_.size() < kMaxTraces && buildTrace(cpu, pc))
+            return traces_.find(pc)->second.get();
+        stats_.buildFailures++;
+        h = kBlacklisted;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+/** @name Kind classification (builder / verifier / fault-scan side)
+ * The executor itself never classifies: each kind has its own handler.
+ * Order dependencies documented on the X-macro. */
+/** @{ */
+using SbKindInt = uint8_t;
+
+bool
+kindIsCondBranch(SbKindInt k, SbKindInt beq, SbKindInt bgez)
+{
+    return k >= beq && k <= bgez;
+}
+/** @} */
+
+} // namespace
+
+bool
+SuperblockCache::buildTrace(Pete &cpu, uint32_t headPc)
+{
+    BlockCache &bc = *cpu.blockCache_;
+    const PeteConfig &cfg = cpu.config_;
+    Trace t;
+    t.headPc = headPc;
+    t.generation = cpu.mem_.romGeneration();
+
+    // Running static prefix totals (see the TraceOp doc comment).
+    uint32_t cyc = 0, lu = 0, branches = 0;
+    uint32_t multIssues = 0, divIssues = 0, jumpStalls = 0;
+
+    // Maps one decoded instruction to its pre-resolved record.
+    // Returns false on anything unmapped (defensive: Ready blocks
+    // contain no such op).
+    const DecodedInst *prev = nullptr;
+    auto emit = [&](const DecodedInst &in, uint32_t pc,
+                    bool delaySlot) -> bool {
+        TraceOp r;
+        r.rs = in.rs;
+        r.rt = in.rt;
+        r.shamt = in.shamt;
+        r.simm = in.simm;
+        r.pc = pc;
+        int d = destGpr(in);
+        r.dest = d == 0 ? kZeroSink : uint8_t(d);
+        r.luSlip = t.ops.empty() ? 0 : slipBetween(prev, in);
+        r.prevLoadDest = prev ? loadDestOf(*prev) : 0;
+        r.ordinal = uint16_t(t.nInsts);
+        r.flags = delaySlot ? kDelaySlot : 0;
+        bool aluWrite = false; // pure GPR write, no other effect
+        switch (in.op) {
+          case Op::Sll: r.kind = Kind::Sll; aluWrite = true; break;
+          case Op::Srl: r.kind = Kind::Srl; aluWrite = true; break;
+          case Op::Sra: r.kind = Kind::Sra; aluWrite = true; break;
+          case Op::Sllv: r.kind = Kind::Sllv; aluWrite = true; break;
+          case Op::Srlv: r.kind = Kind::Srlv; aluWrite = true; break;
+          case Op::Srav: r.kind = Kind::Srav; aluWrite = true; break;
+          case Op::Add:
+          case Op::Addu: r.kind = Kind::Addu; aluWrite = true; break;
+          case Op::Sub:
+          case Op::Subu: r.kind = Kind::Subu; aluWrite = true; break;
+          case Op::And: r.kind = Kind::And; aluWrite = true; break;
+          case Op::Or: r.kind = Kind::Or; aluWrite = true; break;
+          case Op::Xor: r.kind = Kind::Xor; aluWrite = true; break;
+          case Op::Nor: r.kind = Kind::Nor; aluWrite = true; break;
+          case Op::Slt: r.kind = Kind::Slt; aluWrite = true; break;
+          case Op::Sltu: r.kind = Kind::Sltu; aluWrite = true; break;
+          case Op::Addi:
+          case Op::Addiu: r.kind = Kind::Addiu; aluWrite = true; break;
+          case Op::Slti: r.kind = Kind::Slti; aluWrite = true; break;
+          case Op::Sltiu: r.kind = Kind::Sltiu; aluWrite = true; break;
+          case Op::Andi:
+            r.kind = Kind::Andi;
+            r.simm = static_cast<int32_t>(in.uimm);
+            aluWrite = true;
+            break;
+          case Op::Ori:
+            r.kind = Kind::Ori;
+            r.simm = static_cast<int32_t>(in.uimm);
+            aluWrite = true;
+            break;
+          case Op::Xori:
+            r.kind = Kind::Xori;
+            r.simm = static_cast<int32_t>(in.uimm);
+            aluWrite = true;
+            break;
+          case Op::Lui:
+            r.kind = Kind::Lui;
+            r.simm = static_cast<int32_t>(in.uimm);
+            aluWrite = true;
+            break;
+          case Op::Lb: r.kind = Kind::Lb; break;
+          case Op::Lbu: r.kind = Kind::Lbu; break;
+          case Op::Lh: r.kind = Kind::Lh; break;
+          case Op::Lhu: r.kind = Kind::Lhu; break;
+          case Op::Lw: r.kind = Kind::Lw; break;
+          case Op::Sb: r.kind = Kind::Sb; break;
+          case Op::Sh: r.kind = Kind::Sh; break;
+          case Op::Sw: r.kind = Kind::Sw; break;
+          case Op::Mult:
+            r.kind = Kind::Mult; r.aux = cfg.multLatency; break;
+          case Op::Multu:
+            r.kind = Kind::Multu; r.aux = cfg.multLatency; break;
+          case Op::Div:
+            r.kind = Kind::Div; r.aux = cfg.divLatency; break;
+          case Op::Divu:
+            r.kind = Kind::Divu; r.aux = cfg.divLatency; break;
+          case Op::Maddu:
+            r.kind = Kind::Maddu; r.aux = cfg.macLatency; break;
+          case Op::M2addu:
+            r.kind = Kind::M2addu; r.aux = cfg.macLatency; break;
+          case Op::Addau:
+            r.kind = Kind::Addau; r.aux = cfg.addauLatency; break;
+          case Op::Sha: r.kind = Kind::Sha; break;
+          case Op::Mulgf2:
+            r.kind = Kind::Mulgf2; r.aux = cfg.macLatency; break;
+          case Op::Maddgf2:
+            r.kind = Kind::Maddgf2; r.aux = cfg.macLatency; break;
+          case Op::Mfhi: r.kind = Kind::Mfhi; break;
+          case Op::Mflo: r.kind = Kind::Mflo; break;
+          case Op::Mthi: r.kind = Kind::Mthi; break;
+          case Op::Mtlo: r.kind = Kind::Mtlo; break;
+          case Op::Beq: r.kind = Kind::Beq; break;
+          case Op::Bne: r.kind = Kind::Bne; break;
+          case Op::Blez: r.kind = Kind::Blez; break;
+          case Op::Bgtz: r.kind = Kind::Bgtz; break;
+          case Op::Bltz: r.kind = Kind::Bltz; break;
+          case Op::Bgez: r.kind = Kind::Bgez; break;
+          case Op::J: r.kind = Kind::J; break;
+          case Op::Jal:
+            r.kind = Kind::Jal; r.aux = pc + 8; break;
+          case Op::Jr: r.kind = Kind::Jr; break;
+          case Op::Jalr:
+            r.kind = Kind::Jalr; r.aux = pc + 8; break;
+          default:
+            return false;
+        }
+        // A pure ALU write to $zero has no architectural effect: the
+        // canonical delay-slot nop.  One empty handler, no sink store.
+        if (aluWrite && r.dest == kZeroSink)
+            r.kind = Kind::Nop;
+        switch (in.op) {
+          case Op::Beq: case Op::Bne: case Op::Blez:
+          case Op::Bgtz: case Op::Bltz: case Op::Bgez:
+            r.aux = (pc >> 2) % 64; // the bimodal predictor index
+            r.target = pc + 4 + (static_cast<uint32_t>(in.simm) << 2);
+            branches++;
+            break;
+          case Op::J: case Op::Jal:
+            r.target = ((pc + 4) & 0xF0000000u) | (in.target << 2);
+            break;
+          case Op::Jr: case Op::Jalr:
+            jumpStalls++;
+            cyc++; // the register-jump bubble is static
+            break;
+          case Op::Mult: case Op::Multu: case Op::Maddu:
+          case Op::M2addu: case Op::Mulgf2: case Op::Maddgf2:
+            multIssues++;
+            break;
+          case Op::Div: case Op::Divu:
+            divIssues++;
+            break;
+          default:
+            break;
+        }
+        cyc += 1 + r.luSlip;
+        lu += r.luSlip;
+        r.cumCyc = uint16_t(cyc);
+        t.ops.push_back(r);
+        t.nInsts++;
+        prev = &in;
+        return true;
+    };
+
+    // Appends a segment boundary carrying the prefix totals and the
+    // fault/exit bookkeeping at this point of the stream.
+    auto emitSeg = [&](Kind kind, uint32_t exitPc) {
+        TraceOp r;
+        r.kind = kind;
+        r.ordinal = uint16_t(t.nInsts);
+        r.cumCyc = uint16_t(cyc);
+        r.prevLoadDest = prev ? loadDestOf(*prev) : 0;
+        r.target = exitPc;
+        r.aux = uint32_t(t.segTotals.size());
+        t.segTotals.push_back(SegTotals{
+            uint16_t(cyc), uint16_t(lu), uint16_t(branches),
+            uint16_t(multIssues), uint16_t(divIssues),
+            uint16_t(jumpStalls)});
+        t.ops.push_back(r);
+    };
+
+    std::vector<uint32_t> segStarts;
+    uint32_t cur = headPc;
+    bool loops = false;
+    while (true) {
+        BlockCache::Block *b = bc.blockFor(cpu, cur);
+        bool extend = b && b->state == BlockCache::Block::State::Ready
+            && t.nInsts + b->insts.size() <= kMaxTraceInsts
+            && segStarts.size() < kMaxSegments;
+        if (!extend) {
+            if (t.ops.empty())
+                return false; // the head itself will not flatten
+            // The previous segment's SegNext becomes the trace end.
+            t.ops.back().kind = Kind::SegExit;
+            t.ops.back().target = cur;
+            break;
+        }
+        segStarts.push_back(cur);
+        const size_t n = b->insts.size();
+        for (size_t j = 0; j < n; ++j) {
+            bool delaySlot =
+                b->termIndex >= 0 && j == size_t(b->termIndex) + 1;
+            if (!emit(b->insts[j], cur + 4 * uint32_t(j), delaySlot))
+                return false;
+        }
+        // Resolve the expected continuation of this segment.
+        uint32_t nextPc = cur + 4 * uint32_t(n);
+        bool regJump = false;
+        if (b->termIndex >= 0) {
+            const size_t ti = size_t(b->termIndex);
+            TraceOp &term = t.ops[t.ops.size() - (n - ti)];
+            switch (term.kind) {
+              case Kind::Beq: case Kind::Bne: case Kind::Blez:
+              case Kind::Bgtz: case Kind::Bltz: case Kind::Bgez: {
+                // Follow the direction the warmed-up predictor expects;
+                // the executor compares the live resolution against
+                // `expected` and side-exits on disagreement.
+                uint32_t branchPc = cur + 4 * uint32_t(ti);
+                nextPc = cpu.predictTaken(branchPc) ? term.target
+                                                    : branchPc + 8;
+                term.expected = nextPc;
+                break;
+              }
+              case Kind::J: case Kind::Jal:
+                nextPc = term.target;
+                break;
+              case Kind::Jr: case Kind::Jalr:
+                regJump = true; // target unknowable statically
+                break;
+              default:
+                return false; // defensive: not a terminator
+            }
+        }
+        if (regJump) {
+            emitSeg(Kind::SegExit, 0); // the handler always redirects
+            break;
+        }
+        if (nextPc == headPc) {
+            loops = true;
+            emitSeg(Kind::SegLoop, headPc);
+            break;
+        }
+        if (std::find(segStarts.begin(), segStarts.end(), nextPc)
+            != segStarts.end()) {
+            // An internal cycle not through the head; close the trace
+            // here rather than unroll it.
+            emitSeg(Kind::SegExit, nextPc);
+            break;
+        }
+        emitSeg(Kind::SegNext, nextPc);
+        cur = nextPc;
+    }
+    // A short linear trace buys nothing over the block memo it would
+    // bypass; only loops amortise the register copy-in/out.
+    if (!loops && t.nInsts < kMinLinearInsts)
+        return false;
+
+    if (loops) {
+        // The back-edge pair: ops[0] re-entered right after the last
+        // instruction.  Its slip is charged once per completed pass
+        // (not part of the cumCyc prefix) and its fault-path exposure
+        // lives on the trace.
+        const DecodedInst *last = prev;
+        BlockCache::Block *head = bc.blockFor(cpu, headPc);
+        t.backSlip = slipBetween(last, head->insts[0]);
+        t.loopExitLoadDest = last ? loadDestOf(*last) : 0;
+    }
+    {
+        BlockCache::Block *head = bc.blockFor(cpu, headPc);
+        int srcs[2];
+        int n = srcGprs(head->insts[0], srcs);
+        for (int i = 0; i < n; ++i)
+            t.headSrcMask |= 1u << srcs[i];
+    }
+    if (cpu.icache_) {
+        uint32_t lineBytes = cpu.icache_->config().lineBytes;
+        for (const TraceOp &r : t.ops) {
+            if (r.kind >= Kind::SegNext)
+                continue;
+            uint32_t la = r.pc & ~(lineBytes - 1);
+            if (t.lines.empty() || t.lines.back() != la)
+                t.lines.push_back(la);
+        }
+        std::sort(t.lines.begin(), t.lines.end());
+        t.lines.erase(std::unique(t.lines.begin(), t.lines.end()),
+                      t.lines.end());
+    }
+    fuseAdjacent(t);
+    stats_.tracesBuilt++;
+    stats_.traceOps += t.nInsts;
+    traces_.emplace(headPc,
+                    std::make_shared<const Trace>(std::move(t)));
+    return true;
+}
+
+void
+SuperblockCache::fuseAdjacent(Trace &t)
+{
+    // kinds[a][b] = the fused kind retiring a-then-b in one dispatch,
+    // or 0 (Kind::Nop, never a fusion product) for "don't".  The
+    // fusible ops are all single-cycle with no aux/expected use of
+    // their own, so the second op's operand fields move there; a
+    // branch can never precede a fusible op (its delay slot would be
+    // the second element, and the record after the delay slot is a
+    // Seg boundary), so flags never merge.  The Hi/Lo read-out pairs
+    // are fusible too: the unit wait belongs to the first read, after
+    // which the second can never stall.
+    struct PairTable
+    {
+        uint8_t kinds[size_t(Kind::NumKinds)][size_t(Kind::NumKinds)];
+
+        constexpr PairTable() : kinds{}
+        {
+#define ULECC_SB_PAIR_ENTRY(name, A, B)                               \
+    kinds[size_t(Kind::A)][size_t(Kind::B)] = uint8_t(Kind::name);
+            ULECC_SB_FUSED_PAIRS(ULECC_SB_PAIR_ENTRY)
+#undef ULECC_SB_PAIR_ENTRY
+            kinds[size_t(Kind::Mflo)][size_t(Kind::Mfhi)] =
+                uint8_t(Kind::MfloMfhi);
+            kinds[size_t(Kind::Mfhi)][size_t(Kind::Mflo)] =
+                uint8_t(Kind::MfhiMflo);
+        }
+    };
+    static constexpr PairTable kPairs;
+
+    std::vector<TraceOp> out;
+    out.reserve(t.ops.size());
+    const size_t n = t.ops.size();
+    size_t i = 0;
+    while (i < n) {
+        const TraceOp &a = t.ops[i];
+        if (i + 1 < n) {
+            const TraceOp &b = t.ops[i + 1];
+            uint8_t fused = kPairs.kinds[size_t(a.kind)][size_t(b.kind)];
+            // The second op may carry no static timing of its own (its
+            // predecessor is never a load, so this always holds; keep
+            // the check as a guard for future pair additions).
+            if (fused != 0 && b.luSlip == 0) {
+                TraceOp r = a;
+                r.kind = Kind(fused);
+                r.cumCyc = b.cumCyc; // static prefix through both ops
+                r.aux = uint32_t(b.rs) | uint32_t(b.rt) << 8
+                    | uint32_t(b.dest) << 16 | uint32_t(b.shamt) << 24;
+                r.expected = static_cast<uint32_t>(b.simm);
+                out.push_back(r);
+                stats_.fusedRecords++;
+                i += 2;
+                continue;
+            }
+        }
+        out.push_back(a);
+        ++i;
+    }
+    t.ops = std::move(out);
+}
+
+// ---------------------------------------------------------------------
+// The threaded-code executor.
+// ---------------------------------------------------------------------
+
+// The absolute cycle at the current record: everything static is in
+// op->cumCyc (and the per-pass accumulator), everything dynamic in
+// mispred + multBusy.
+#define ULECC_SB_NOW (baseCyc + itersPP + op->cumCyc + mispred + multBusy)
+
+// Pete::waitMultUnit against the reconstructed absolute clock; leaves
+// `cur` holding the post-wait cycle for the timer update.
+#define ULECC_SB_WAIT                                                 \
+    uint64_t cur = ULECC_SB_NOW;                                      \
+    if (mrc > cur) {                                                  \
+        multBusy += mrc - cur;                                        \
+        cur = mrc;                                                    \
+    }
+
+#if ULECC_SB_THREADED
+#define ULECC_SB_OP(name) L_##name:
+#define ULECC_SB_NEXT                                                 \
+    do {                                                              \
+        ++op;                                                         \
+        goto *kDispatch[size_t(op->kind)];                            \
+    } while (0)
+#define ULECC_SB_HEAD                                                 \
+    do {                                                              \
+        op = ops;                                                     \
+        goto *kDispatch[size_t(op->kind)];                            \
+    } while (0)
+#else
+#define ULECC_SB_OP(name) case Kind::name:
+#define ULECC_SB_NEXT                                                 \
+    do {                                                              \
+        ++op;                                                         \
+        goto dispatch;                                                \
+    } while (0)
+#define ULECC_SB_HEAD                                                 \
+    do {                                                              \
+        op = ops;                                                     \
+        goto dispatch;                                                \
+    } while (0)
+#endif
+
+// Semi-live conditional terminator: predict and train the real bimodal
+// counter, count the flush on disagreement, and compare the resolved
+// target against the compiled expectation.
+#define ULECC_SB_BRANCH(takenExpr)                                    \
+    do {                                                              \
+        const bool taken = (takenExpr);                               \
+        uint8_t &ctr = predictor[op->aux];                            \
+        if ((ctr >= 2) != taken)                                      \
+            ++mispred;                                                \
+        if (taken) {                                                  \
+            if (ctr < 3)                                              \
+                ++ctr;                                                \
+        } else if (ctr > 0) {                                         \
+            --ctr;                                                    \
+        }                                                             \
+        const uint32_t actual = taken ? op->target : op->pc + 8;      \
+        afterDelay = actual;                                          \
+        sideExit = actual != op->expected;                            \
+        ULECC_SB_NEXT;                                                \
+    } while (0)
+
+bool
+SuperblockCache::execute(Pete &cpu, const Trace &t)
+{
+    PeteStats &s = cpu.stats_;
+    MemorySystem &mem = cpu.mem_;
+    uint8_t *const predictor = cpu.predictor_.data();
+
+    // Architectural state cached in locals for the whole trace.  Slot
+    // kZeroSink absorbs writes whose architectural destination is
+    // $zero, so handlers write unconditionally; reads never see it.
+    uint32_t R[33];
+    std::memcpy(R, cpu.regs_.data(), sizeof(uint32_t) * 32);
+    R[kZeroSink] = 0;
+    uint32_t hi = cpu.hi_, lo = cpu.lo_, ov = cpu.ovflo_;
+
+    // Entry load-use interlock, against the live exposure (ops[0]'s
+    // static slip field is 0; the back-edge case is charged per pass).
+    const uint64_t entrySlip =
+        (cpu.lastLoadDest_ != 0 && cpu.lastLoadInstr_ == s.instructions
+         && ((t.headSrcMask >> cpu.lastLoadDest_) & 1u) != 0)
+        ? 1 : 0;
+
+    // The absolute-clock reconstruction terms (see ULECC_SB_NOW).
+    const uint64_t baseCyc = s.cycles + entrySlip;
+    uint64_t itersPP = 0; ///< static cycles of all completed passes
+    uint64_t iters = 0;
+    uint64_t mispred = 0;  ///< flush cycles == mispredict count
+    uint64_t multBusy = 0; ///< mult-unit busy-wait cycles
+    uint64_t mrc = cpu.multReadyCycle_;
+    const uint64_t maxCyc = cpu.config_.maxCycles;
+
+    // Per-pass static constants (zero for non-looping traces).
+    const SegTotals *const segTotals = t.segTotals.data();
+    const uint64_t nInsts = t.nInsts;
+    const uint64_t ppCycB = t.ops.back().kind == Kind::SegLoop
+        ? uint64_t(t.ops.back().cumCyc) + t.backSlip : 0;
+
+    bool sideExit = false;
+    uint32_t afterDelay = 0;
+    uint64_t executed;
+    uint32_t exitPc;
+    uint8_t exitLoad;
+
+    const TraceOp *const ops = t.ops.data();
+    const TraceOp *op = ops;
+
+    try {
+#if ULECC_SB_THREADED
+        static const void *const kDispatch[] = {
+#define ULECC_SB_KIND_LABEL(name) &&L_##name,
+#define ULECC_SB_KIND_LABEL_PAIR(name, a, b) &&L_##name,
+            ULECC_SB_KINDS(ULECC_SB_KIND_LABEL, ULECC_SB_KIND_LABEL_PAIR)
+#undef ULECC_SB_KIND_LABEL
+#undef ULECC_SB_KIND_LABEL_PAIR
+        };
+        static_assert(sizeof(kDispatch) / sizeof(kDispatch[0])
+                          == size_t(Kind::NumKinds),
+                      "dispatch table out of sync with Kind");
+        goto *kDispatch[size_t(op->kind)];
+#else
+      dispatch:
+        switch (op->kind) {
+#endif
+        ULECC_SB_OP(Nop) {
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Sll) {
+            R[op->dest] = R[op->rt] << op->shamt;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Srl) {
+            R[op->dest] = R[op->rt] >> op->shamt;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Sra) {
+            R[op->dest] = static_cast<uint32_t>(
+                static_cast<int32_t>(R[op->rt]) >> op->shamt);
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Sllv) {
+            R[op->dest] = R[op->rt] << (R[op->rs] & 31);
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Srlv) {
+            R[op->dest] = R[op->rt] >> (R[op->rs] & 31);
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Srav) {
+            R[op->dest] = static_cast<uint32_t>(
+                static_cast<int32_t>(R[op->rt]) >> (R[op->rs] & 31));
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Addu) {
+            R[op->dest] = R[op->rs] + R[op->rt];
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Subu) {
+            R[op->dest] = R[op->rs] - R[op->rt];
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(And) {
+            R[op->dest] = R[op->rs] & R[op->rt];
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Or) {
+            R[op->dest] = R[op->rs] | R[op->rt];
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Xor) {
+            R[op->dest] = R[op->rs] ^ R[op->rt];
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Nor) {
+            R[op->dest] = ~(R[op->rs] | R[op->rt]);
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Slt) {
+            R[op->dest] = static_cast<int32_t>(R[op->rs])
+                                  < static_cast<int32_t>(R[op->rt])
+                              ? 1 : 0;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Sltu) {
+            R[op->dest] = R[op->rs] < R[op->rt] ? 1 : 0;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Addiu) {
+            R[op->dest] = R[op->rs] + static_cast<uint32_t>(op->simm);
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Slti) {
+            R[op->dest] =
+                static_cast<int32_t>(R[op->rs]) < op->simm ? 1 : 0;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Sltiu) {
+            R[op->dest] =
+                R[op->rs] < static_cast<uint32_t>(op->simm) ? 1 : 0;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Andi) {
+            R[op->dest] = R[op->rs] & static_cast<uint32_t>(op->simm);
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Ori) {
+            R[op->dest] = R[op->rs] | static_cast<uint32_t>(op->simm);
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Xori) {
+            R[op->dest] = R[op->rs] ^ static_cast<uint32_t>(op->simm);
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Lui) {
+            R[op->dest] = static_cast<uint32_t>(op->simm) << 16;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Lb) {
+            R[op->dest] = static_cast<uint32_t>(
+                static_cast<int32_t>(static_cast<int8_t>(mem.read8(
+                    R[op->rs] + static_cast<uint32_t>(op->simm)))));
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Lbu) {
+            R[op->dest] =
+                mem.read8(R[op->rs] + static_cast<uint32_t>(op->simm));
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Lh) {
+            R[op->dest] = static_cast<uint32_t>(
+                static_cast<int32_t>(static_cast<int16_t>(mem.read16(
+                    R[op->rs] + static_cast<uint32_t>(op->simm)))));
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Lhu) {
+            R[op->dest] =
+                mem.read16(R[op->rs] + static_cast<uint32_t>(op->simm));
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Lw) {
+            R[op->dest] =
+                mem.read32(R[op->rs] + static_cast<uint32_t>(op->simm));
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Sb) {
+            mem.write8(R[op->rs] + static_cast<uint32_t>(op->simm),
+                       R[op->rt]);
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Sh) {
+            mem.write16(R[op->rs] + static_cast<uint32_t>(op->simm),
+                        R[op->rt]);
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Sw) {
+            mem.write32(R[op->rs] + static_cast<uint32_t>(op->simm),
+                        R[op->rt]);
+            ULECC_SB_NEXT;
+        }
+
+// Fused adjacent pairs: the first op reads its fields from the record
+// proper, the second from the packed aux/expected slots.  Semantics
+// macros share one signature (dest, rs, rt, shamt, simm).
+#define ULECC_SB_SEM_Sll(d, s, t2, sh, imm) R[d] = R[t2] << (sh)
+#define ULECC_SB_SEM_Srl(d, s, t2, sh, imm) R[d] = R[t2] >> (sh)
+#define ULECC_SB_SEM_Addu(d, s, t2, sh, imm) R[d] = R[s] + R[t2]
+#define ULECC_SB_SEM_Subu(d, s, t2, sh, imm) R[d] = R[s] - R[t2]
+#define ULECC_SB_SEM_Sltu(d, s, t2, sh, imm)                          \
+    R[d] = R[s] < R[t2] ? 1 : 0
+#define ULECC_SB_SEM_Xor(d, s, t2, sh, imm) R[d] = R[s] ^ R[t2]
+#define ULECC_SB_SEM_Or(d, s, t2, sh, imm) R[d] = R[s] | R[t2]
+#define ULECC_SB_SEM_Addiu(d, s, t2, sh, imm)                         \
+    R[d] = R[s] + static_cast<uint32_t>(imm)
+
+#define ULECC_SB_PAIR_HANDLER(name, A, B)                             \
+    ULECC_SB_OP(name) {                                               \
+        ULECC_SB_SEM_##A(op->dest, op->rs, op->rt, op->shamt,         \
+                         op->simm);                                   \
+        ULECC_SB_SEM_##B(uint8_t(op->aux >> 16), uint8_t(op->aux),    \
+                         uint8_t(op->aux >> 8), uint8_t(op->aux >> 24),\
+                         int32_t(op->expected));                      \
+        ULECC_SB_NEXT;                                                \
+    }
+        ULECC_SB_FUSED_PAIRS(ULECC_SB_PAIR_HANDLER)
+#undef ULECC_SB_PAIR_HANDLER
+
+        ULECC_SB_OP(MfloMfhi) {
+            // The unit wait belongs to the first read (one cycle
+            // before this record's cumCyc); the second read can never
+            // stall once the first has synchronised.
+            uint64_t cur = ULECC_SB_NOW - 1;
+            if (mrc > cur)
+                multBusy += mrc - cur;
+            R[op->dest] = lo;
+            R[uint8_t(op->aux >> 16)] = hi;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(MfhiMflo) {
+            uint64_t cur = ULECC_SB_NOW - 1;
+            if (mrc > cur)
+                multBusy += mrc - cur;
+            R[op->dest] = hi;
+            R[uint8_t(op->aux >> 16)] = lo;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Mult) {
+            ULECC_SB_WAIT;
+            KaratsubaUnit unit;
+            unit.set(hi, lo, ov);
+            unit.execute(KaratsubaOp::Mult, R[op->rs], R[op->rt]);
+            hi = unit.hi();
+            lo = unit.lo();
+            mrc = cur + op->aux;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Multu) {
+            ULECC_SB_WAIT;
+            KaratsubaUnit unit;
+            unit.set(hi, lo, ov);
+            unit.execute(KaratsubaOp::Multu, R[op->rs], R[op->rt]);
+            hi = unit.hi();
+            lo = unit.lo();
+            mrc = cur + op->aux;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Div) {
+            ULECC_SB_WAIT;
+            int32_t a = static_cast<int32_t>(R[op->rs]);
+            int32_t b = static_cast<int32_t>(R[op->rt]);
+            lo = b ? static_cast<uint32_t>(a / b) : 0;
+            hi = b ? static_cast<uint32_t>(a % b) : 0;
+            mrc = cur + op->aux;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Divu) {
+            ULECC_SB_WAIT;
+            uint32_t a = R[op->rs], b = R[op->rt];
+            lo = b ? a / b : 0;
+            hi = b ? a % b : 0;
+            mrc = cur + op->aux;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Maddu) {
+            ULECC_SB_WAIT;
+            KaratsubaUnit unit;
+            unit.set(hi, lo, ov);
+            unit.execute(KaratsubaOp::Maddu, R[op->rs], R[op->rt]);
+            hi = unit.hi();
+            lo = unit.lo();
+            ov = unit.ovflo();
+            mrc = cur + op->aux;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(M2addu) {
+            ULECC_SB_WAIT;
+            KaratsubaUnit unit;
+            unit.set(hi, lo, ov);
+            unit.execute(KaratsubaOp::M2addu, R[op->rs], R[op->rt]);
+            hi = unit.hi();
+            lo = unit.lo();
+            ov = unit.ovflo();
+            mrc = cur + op->aux;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Addau) {
+            ULECC_SB_WAIT;
+            uint64_t p =
+                (static_cast<uint64_t>(R[op->rs]) << 32) | R[op->rt];
+            uint64_t old = (static_cast<uint64_t>(hi) << 32) | lo;
+            uint64_t sum = old + p;
+            if (sum < old)
+                ov += 1;
+            lo = static_cast<uint32_t>(sum);
+            hi = static_cast<uint32_t>(sum >> 32);
+            mrc = cur + op->aux;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Sha) {
+            ULECC_SB_WAIT;
+            (void)cur;
+            lo = hi;
+            hi = ov;
+            ov = 0;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Mulgf2) {
+            ULECC_SB_WAIT;
+            KaratsubaUnit unit;
+            unit.set(hi, lo, ov);
+            unit.execute(KaratsubaOp::Mulgf2, R[op->rs], R[op->rt]);
+            hi = unit.hi();
+            lo = unit.lo();
+            ov = unit.ovflo();
+            mrc = cur + op->aux;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Maddgf2) {
+            ULECC_SB_WAIT;
+            KaratsubaUnit unit;
+            unit.set(hi, lo, ov);
+            unit.execute(KaratsubaOp::Maddgf2, R[op->rs], R[op->rt]);
+            hi = unit.hi();
+            lo = unit.lo();
+            ov = unit.ovflo();
+            mrc = cur + op->aux;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Mfhi) {
+            ULECC_SB_WAIT;
+            (void)cur;
+            R[op->dest] = hi;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Mflo) {
+            ULECC_SB_WAIT;
+            (void)cur;
+            R[op->dest] = lo;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Mthi) {
+            ULECC_SB_WAIT;
+            (void)cur;
+            hi = R[op->rs];
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Mtlo) {
+            ULECC_SB_WAIT;
+            (void)cur;
+            lo = R[op->rs];
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Beq) {
+            ULECC_SB_BRANCH(R[op->rs] == R[op->rt]);
+        }
+        ULECC_SB_OP(Bne) {
+            ULECC_SB_BRANCH(R[op->rs] != R[op->rt]);
+        }
+        ULECC_SB_OP(Blez) {
+            ULECC_SB_BRANCH(static_cast<int32_t>(R[op->rs]) <= 0);
+        }
+        ULECC_SB_OP(Bgtz) {
+            ULECC_SB_BRANCH(static_cast<int32_t>(R[op->rs]) > 0);
+        }
+        ULECC_SB_OP(Bltz) {
+            ULECC_SB_BRANCH(static_cast<int32_t>(R[op->rs]) < 0);
+        }
+        ULECC_SB_OP(Bgez) {
+            ULECC_SB_BRANCH(static_cast<int32_t>(R[op->rs]) >= 0);
+        }
+        ULECC_SB_OP(J) {
+            afterDelay = op->target;
+            sideExit = false; // the build followed this static target
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Jal) {
+            R[op->dest] = op->aux;
+            afterDelay = op->target;
+            sideExit = false;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Jr) {
+            afterDelay = R[op->rs];
+            sideExit = true; // always resolved at the SegExit
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(Jalr) {
+            // Link first, then read the target -- the slow path's
+            // order, which matters when rd aliases rs.
+            R[op->dest] = op->aux;
+            afterDelay = R[op->rs];
+            sideExit = true;
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(SegNext) {
+            if (sideExit) {
+                stats_.exitsSideBranch++;
+                goto seg_exit;
+            }
+            ULECC_SB_NEXT;
+        }
+        ULECC_SB_OP(SegLoop) {
+            if (sideExit) {
+                stats_.exitsSideBranch++;
+                goto seg_exit;
+            }
+            // Budget poll at the back-edge (cycles through the end of
+            // this pass, exact): stop at the head so the runChecked
+            // loop surfaces the timeout with the slow path's pc.
+            if (ULECC_SB_NOW >= maxCyc) {
+                stats_.exitsBudget++;
+                goto seg_exit;
+            }
+            ++iters;
+            itersPP += ppCycB;
+            ULECC_SB_HEAD;
+        }
+        ULECC_SB_OP(SegExit) {
+            // The exitPc below resolves to either the compiled
+            // continuation or (for a register jump) the live target.
+            stats_.exitsTraceEnd++;
+            goto seg_exit;
+        }
+#if !ULECC_SB_THREADED
+          default:
+            throw UleccError(Errc::Internal,
+                             "Superblock: unknown record kind");
+        }
+#endif
+
+      seg_exit:
+        // Common fold for every in-band exit: `op` is the Seg record
+        // of the completed segment (side exit, budget stop, or trace
+        // end), whose prefix totals close the books exactly.
+        {
+            const SegTotals &st = segTotals[op->aux];
+            executed = iters * nInsts + op->ordinal;
+            exitPc = sideExit ? afterDelay : op->target;
+            exitLoad = op->prevLoadDest;
+            std::memcpy(cpu.regs_.data(), R, sizeof(uint32_t) * 32);
+            cpu.hi_ = hi;
+            cpu.lo_ = lo;
+            cpu.ovflo_ = ov;
+            s.cycles = baseCyc + itersPP + st.cyc + mispred + multBusy;
+            s.instructions += executed;
+            s.loadUseStalls +=
+                entrySlip + iters * (t.segTotals.back().loadUse
+                                     + t.backSlip) + st.loadUse;
+            s.branches += iters * t.segTotals.back().branches
+                + st.branches;
+            s.branchMispredicts += mispred;
+            s.jumpStalls += iters * t.segTotals.back().jumpStalls
+                + st.jumpStalls;
+            s.multBusyStalls += multBusy;
+            s.multIssues += iters * t.segTotals.back().multIssues
+                + st.multIssues;
+            s.divIssues += iters * t.segTotals.back().divIssues
+                + st.divIssues;
+            cpu.multReadyCycle_ = mrc;
+            if (cpu.icache_)
+                cpu.icache_->creditResidentFetches(executed);
+            else
+                mem.romFetchCounters().reads += executed;
+            cpu.lastLoadDest_ = exitLoad;
+            cpu.lastLoadInstr_ = s.instructions;
+            cpu.pc_ = exitPc;
+            cpu.npc_ = exitPc + 4;
+            stats_.replayedInstructions += executed;
+            stats_.loopIterations += iters;
+            return true; // traces contain no halting op
+        }
+    } catch (const UleccError &) {
+        // Mid-trace simulated fault (only memory ops throw, before
+        // any register write -- the slow path's exact fault point,
+        // with its base + slip cycles already inside op->cumCyc).
+        // The static stall attribution of the partial pass is cold:
+        // scan the record prefix once.
+        stats_.exitsFault++;
+        const uint16_t idx = op->ordinal;
+        executed = iters * nInsts + idx + 1;
+        uint64_t preLu = 0, preBr = 0, preMi = 0, preDi = 0, preJs = 0;
+        for (const TraceOp *r = ops; r <= op; ++r) {
+            if (r->kind >= Kind::SegNext)
+                continue;
+            preLu += r->luSlip;
+            const SbKindInt k = SbKindInt(r->kind);
+            if (kindIsCondBranch(k, SbKindInt(Kind::Beq),
+                                 SbKindInt(Kind::Bgez)))
+                preBr++;
+            switch (r->kind) {
+              case Kind::Mult: case Kind::Multu: case Kind::Maddu:
+              case Kind::M2addu: case Kind::Mulgf2: case Kind::Maddgf2:
+                preMi++;
+                break;
+              case Kind::Div: case Kind::Divu:
+                preDi++;
+                break;
+              case Kind::Jr: case Kind::Jalr:
+                preJs++;
+                break;
+              default:
+                break;
+            }
+        }
+        const SegTotals &pp = t.segTotals.back();
+        std::memcpy(cpu.regs_.data(), R, sizeof(uint32_t) * 32);
+        cpu.hi_ = hi;
+        cpu.lo_ = lo;
+        cpu.ovflo_ = ov;
+        s.cycles = baseCyc + itersPP + op->cumCyc + mispred + multBusy;
+        s.instructions += executed;
+        s.loadUseStalls +=
+            entrySlip + iters * (pp.loadUse + t.backSlip) + preLu;
+        s.branches += iters * pp.branches + preBr;
+        s.branchMispredicts += mispred;
+        s.jumpStalls += iters * pp.jumpStalls + preJs;
+        s.multBusyStalls += multBusy;
+        s.multIssues += iters * pp.multIssues + preMi;
+        s.divIssues += iters * pp.divIssues + preDi;
+        cpu.multReadyCycle_ = mrc;
+        if (cpu.icache_)
+            cpu.icache_->creditResidentFetches(executed);
+        else
+            mem.romFetchCounters().reads += executed;
+        if (idx > 0 || iters > 0) {
+            cpu.lastLoadDest_ =
+                idx > 0 ? op->prevLoadDest : t.loopExitLoadDest;
+            cpu.lastLoadInstr_ = s.instructions - 1;
+        }
+        cpu.pc_ = op->pc;
+        cpu.npc_ =
+            (op->flags & kDelaySlot) != 0 ? afterDelay : op->pc + 4;
+        stats_.replayedInstructions += executed;
+        stats_.loopIterations += iters;
+        throw;
+    }
+}
+
+#undef ULECC_SB_NOW
+#undef ULECC_SB_WAIT
+#undef ULECC_SB_OP
+#undef ULECC_SB_NEXT
+#undef ULECC_SB_HEAD
+#undef ULECC_SB_BRANCH
+#undef ULECC_SB_SEM_Sll
+#undef ULECC_SB_SEM_Srl
+#undef ULECC_SB_SEM_Addu
+#undef ULECC_SB_SEM_Subu
+#undef ULECC_SB_SEM_Sltu
+#undef ULECC_SB_SEM_Xor
+#undef ULECC_SB_SEM_Or
+#undef ULECC_SB_SEM_Addiu
+
+bool
+SuperblockCache::shadowVerify(Pete &cpu, const Trace &t)
+{
+    // Slow-path-first verification: the authoritative interpreter
+    // executes (so simulation is exact by construction, and memory
+    // writes are never replayed twice), while the compiled static
+    // timing is advanced in parallel and cross-checked against what
+    // the pipeline actually charged, step by step.  A mismatch is a
+    // simulator invariant breach, not a simulated fault.
+    stats_.shadowVerifies++;
+    PeteStats &s = cpu.stats_;
+    uint64_t pcyc = s.cycles;            // predicted absolute cycles
+    uint64_t pmrc = cpu.multReadyCycle_; // predicted unit-busy cycle
+    const uint64_t entrySlip =
+        (cpu.lastLoadDest_ != 0 && cpu.lastLoadInstr_ == s.instructions
+         && ((t.headSrcMask >> cpu.lastLoadDest_) & 1u) != 0)
+        ? 1 : 0;
+    uint16_t prevCum = 0;
+    bool firstStep = true;
+    const size_t n = t.ops.size();
+    for (size_t i = 0; i < n; ++i) {
+        const TraceOp &rec = t.ops[i];
+        if (rec.kind == Kind::SegLoop || rec.kind == Kind::SegExit)
+            break; // one linear pass verifies every compiled record
+        if (rec.kind == Kind::SegNext) {
+            if (i + 1 < n && cpu.pc_ != t.ops[i + 1].pc)
+                break; // the machine left the trace: a clean side exit
+            continue;
+        }
+        // A fused record verifies as its two sub-ops, re-split here.
+        Kind sub[2] = {rec.kind, rec.kind};
+        int nSub = 1;
+        switch (rec.kind) {
+#define ULECC_SB_PAIR_SPLIT(name, A, B)                               \
+  case Kind::name:                                                    \
+    sub[0] = Kind::A;                                                 \
+    sub[1] = Kind::B;                                                 \
+    nSub = 2;                                                         \
+    break;
+            ULECC_SB_FUSED_PAIRS(ULECC_SB_PAIR_SPLIT)
+#undef ULECC_SB_PAIR_SPLIT
+          case Kind::MfloMfhi:
+            sub[0] = Kind::Mflo;
+            sub[1] = Kind::Mfhi;
+            nSub = 2;
+            break;
+          case Kind::MfhiMflo:
+            sub[0] = Kind::Mfhi;
+            sub[1] = Kind::Mflo;
+            nSub = 2;
+            break;
+          default:
+            break;
+        }
+        const uint64_t totalStatic = uint64_t(rec.cumCyc) - prevCum;
+        for (int j = 0; j < nSub; ++j) {
+            const Kind kind = sub[j];
+            // The second sub-op of a pair is single-cycle with no
+            // slip by construction; all remaining static charge sits
+            // on the first.
+            const uint64_t staticDelta =
+                j == 0 ? totalStatic - uint64_t(nSub - 1) : 1;
+            const uint64_t eSlip = firstStep ? entrySlip : 0;
+            const uint64_t slip = eSlip + (j == 0 ? rec.luSlip : 0);
+            firstStep = false;
+            if (cpu.pc_ != rec.pc + 4u * uint32_t(j))
+                throw UleccError(
+                    Errc::Internal,
+                    "Superblock: shadow-verify lost the trace at pc="
+                        + std::to_string(cpu.pc_));
+            const SbKindInt kb = SbKindInt(kind);
+            const bool waits = kb >= SbKindInt(Kind::Mult)
+                && kb <= SbKindInt(Kind::Mtlo);
+            const bool setsTimer = (kb >= SbKindInt(Kind::Mult)
+                                    && kb <= SbKindInt(Kind::Addau))
+                || kind == Kind::Mulgf2 || kind == Kind::Maddgf2;
+            const bool isBranch = kindIsCondBranch(
+                kb, SbKindInt(Kind::Beq), SbKindInt(Kind::Bgez));
+            const bool isRegJump =
+                kind == Kind::Jr || kind == Kind::Jalr;
+            const bool isMultIssue = kind == Kind::Mult
+                || kind == Kind::Multu || kind == Kind::Maddu
+                || kind == Kind::M2addu || kind == Kind::Mulgf2
+                || kind == Kind::Maddgf2;
+            const bool isDivIssue =
+                kind == Kind::Div || kind == Kind::Divu;
+
+            const PeteStats before = s;
+            bool alive = cpu.stepUnchecked();
+
+            uint64_t pc1 = pcyc + staticDelta + eSlip;
+            uint64_t wait = 0;
+            if (waits && pmrc > pc1) {
+                wait = pmrc - pc1;
+                pc1 = pmrc;
+            }
+            // The mispredict flush is resolved live in both worlds;
+            // fold the actual delta into the prediction so the cycle
+            // check isolates the compiled static terms.
+            const uint64_t mispredicts =
+                s.branchMispredicts - before.branchMispredicts;
+            const uint64_t predictedCycles = staticDelta + eSlip + wait
+                + (isBranch ? mispredicts : 0);
+            bool okay = s.cycles - before.cycles == predictedCycles
+                && s.loadUseStalls - before.loadUseStalls == slip
+                && s.multBusyStalls - before.multBusyStalls == wait
+                && s.jumpStalls - before.jumpStalls
+                    == (isRegJump ? 1u : 0u)
+                && s.branches - before.branches == (isBranch ? 1u : 0u)
+                && s.multIssues - before.multIssues
+                    == (isMultIssue ? 1u : 0u)
+                && s.divIssues - before.divIssues
+                    == (isDivIssue ? 1u : 0u)
+                && s.icacheStalls == before.icacheStalls
+                && (isBranch || mispredicts == 0);
+            if (!okay)
+                throw UleccError(
+                    Errc::Internal,
+                    "Superblock: shadow-verify divergence at pc="
+                        + std::to_string(rec.pc + 4u * uint32_t(j)));
+            pcyc = pc1 + (isBranch ? mispredicts : 0);
+            if (setsTimer)
+                pmrc = pc1 + rec.aux;
+            if (!alive)
+                return false; // defensive; traces hold no halting op
+        }
+        prevCum = rec.cumCyc;
+    }
+    return !cpu.halted_;
+}
+
+} // namespace ulecc

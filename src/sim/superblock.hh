@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Superblock threaded-code tier for Pete (the trace fast path above
+ * the block-timing memo).
+ *
+ * The block memo (src/sim/block_cache.hh) already eliminates timing
+ * *recomputation*: a steady-state loop iteration retires as one memo
+ * lookup plus a lean architectural replay.  What remains is pure
+ * interpreter overhead -- per-block dispatch (hash probe, context key,
+ * timing scan, ~15 counter folds) and the per-instruction switch in
+ * the replay loop.  This layer removes both: once a block entry pc is
+ * hot, the path *across taken branches* is flattened into a superblock
+ * -- one straight-line array of pre-resolved operand/immediate records
+ * executed by a computed-goto dispatch table (direct threaded code; a
+ * portable switch fallback compiles everywhere else), with
+ *
+ *  - the MIPS architectural registers copied into a local array for
+ *    the duration of the trace (plus a write sink so $zero needs no
+ *    per-write branch), Hi/Lo/OvFlo and the cycle counter in locals;
+ *  - per-trace *deferred* stat accumulation: PeteStats is untouched
+ *    while the trace runs and folded exactly once at trace exit or
+ *    bailout;
+ *  - pipeline timing resolved live but locally: static load-use slips
+ *    are precompiled per record, the Karatsuba-unit busy timer is a
+ *    local absolute cycle, and conditional terminators predict/train
+ *    the real bimodal array exactly as the slow path does -- so no
+ *    entry timing context needs to be keyed or matched at all;
+ *  - an internal back-edge: a trace whose expected path returns to its
+ *    own head loops in place (one budget poll per iteration), so a hot
+ *    inner loop runs with no dispatch between iterations.
+ *
+ * Side exits are exact, never guessed.  A terminator whose resolved
+ * target leaves the expected path completes its segment (body, branch
+ * charge, delay slot) and exits with the actual target; a mid-trace
+ * simulated fault (e.g. a store landing on program text) reconstructs
+ * the slow path's exact fault-point stats, registers and pc/npc before
+ * rethrowing.  Everything the trace builder cannot flatten -- cop2 or
+ * system ops, invalid words, register jumps mid-path -- simply ends or
+ * rejects the trace, and execution falls back to the block memo and
+ * its slow walks.  Store-to-text strikes are caught by the same
+ * MemorySystem::romGeneration counter the lower tiers use: a stale
+ * trace is dropped and rebuilt.
+ *
+ * Controlled by $ULECC_SUPERBLOCK (tri-state, mirroring
+ * $ULECC_BLOCK_CACHE):
+ *
+ *   unset / "1" / "on"     trace tier enabled (the default);
+ *   "0" / "off"            disabled (the block memo still runs);
+ *   "verify" / "shadow"    enabled, with sampled shadow verification:
+ *                          every Nth trace dispatch executes through
+ *                          the authoritative slow path while the
+ *                          trace's compiled static timing is checked
+ *                          step by step against what the pipeline
+ *                          model actually charged;
+ *   anything else          treated as the default (never an error).
+ *
+ * The tier requires the block memo (it discovers basic blocks through
+ * it and bails out to it); PeteConfig::blockCache=false or
+ * $ULECC_BLOCK_CACHE=off therefore disables superblocks too.
+ * PeteStats and all architectural state are bit-identical with the
+ * tier on and off; tests/test_cpu.cpp and tests/test_par.cpp pin this.
+ */
+
+#ifndef ULECC_SIM_SUPERBLOCK_HH
+#define ULECC_SIM_SUPERBLOCK_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace ulecc
+{
+
+class Pete;
+
+/** Operating mode, from $ULECC_SUPERBLOCK (see file comment). */
+enum class SuperblockMode : uint8_t
+{
+    On,     ///< flatten hot paths and run them threaded
+    Off,    ///< bypass entirely (Pete then never constructs the tier)
+    Verify, ///< enabled, with sampled shadow timing verification
+};
+
+/**
+ * Parses a $ULECC_SUPERBLOCK value (nullptr = unset).  Unknown or
+ * hostile values degrade to the default (On), never to an error --
+ * the same robustness contract as $ULECC_BLOCK_CACHE / $ULECC_JOBS.
+ */
+SuperblockMode parseSuperblockMode(const char *value);
+
+/** Stable lower-case name ("on", "off", "verify"). */
+const char *superblockModeName(SuperblockMode mode);
+
+/**
+ * Trace-tier accounting.  Like BlockCacheStats, these describe the
+ * *simulator's* behaviour, never the simulated machine's: PeteStats
+ * stays bit-identical whatever these counters read.  They feed
+ * `ulecc-run --metrics` (superblock section) and bench_simspeed.
+ */
+struct SuperblockStats
+{
+    uint64_t dispatches = 0; ///< SuperblockCache::run calls
+    uint64_t traceRuns = 0;  ///< dispatches served by a trace
+    uint64_t replayedInstructions = 0; ///< retired inside traces
+    uint64_t loopIterations = 0; ///< internal back-edge transfers
+    uint64_t tracesBuilt = 0;
+    uint64_t traceOps = 0;     ///< sum of built traces' lengths
+    uint64_t fusedRecords = 0; ///< adjacent-pair records in built traces
+    uint64_t sharedAdoptions = 0; ///< traces adopted from the registry
+    uint64_t buildFailures = 0; ///< hot heads that refused to flatten
+    uint64_t invalidations = 0; ///< traces dropped (text generation)
+    uint64_t shadowVerifies = 0;
+
+    /** @name Bailout / exit taxonomy
+     * Fallbacks never enter a trace; exits leave one mid-flight.
+     * exitsTraceEnd is the expected completion of a non-looping
+     * trace, counted with the bailouts only for reporting symmetry. */
+    /** @{ */
+    uint64_t fallbackCold = 0;      ///< no trace at this pc (yet)
+    uint64_t fallbackResidency = 0; ///< icache line not resident
+    uint64_t exitsSideBranch = 0;   ///< terminator left the trace
+    uint64_t exitsTraceEnd = 0;     ///< linear completion
+    uint64_t exitsBudget = 0;       ///< cycle budget hit at a back-edge
+    uint64_t exitsFault = 0;        ///< simulated fault mid-trace
+    /** @} */
+
+    double
+    hitRate() const
+    {
+        return dispatches ? double(traceRuns) / double(dispatches) : 0.0;
+    }
+
+    double
+    avgTraceLength() const
+    {
+        return tracesBuilt ? double(traceOps) / double(tracesBuilt) : 0.0;
+    }
+};
+
+class BlockCache;
+
+/**
+ * Fused adjacent-pair kinds: two plain single-cycle ALU records
+ * retired by one dispatch (the builder's peephole pass merges them;
+ * the second op's fields ride in the record's aux/expected slots).
+ * Each entry is (fused name, first sub-kind, second sub-kind); the
+ * handler bodies in superblock.cc are generated from the same list.
+ * The pair set is chosen from the bench kernels' hot bodies --
+ * carry-chain arithmetic is dominated by addu/sltu/addiu runs.
+ */
+#define ULECC_SB_FUSED_PAIRS(P)                                       \
+    P(AdduAddu, Addu, Addu)                                           \
+    P(AdduSubu, Addu, Subu)                                           \
+    P(AdduSltu, Addu, Sltu)                                           \
+    P(AdduAddiu, Addu, Addiu)                                         \
+    P(SubuAddu, Subu, Addu)                                           \
+    P(SubuSltu, Subu, Sltu)                                           \
+    P(SltuAddu, Sltu, Addu)                                           \
+    P(SltuSubu, Sltu, Subu)                                           \
+    P(SltuAddiu, Sltu, Addiu)                                         \
+    P(AddiuAddu, Addiu, Addu)                                         \
+    P(AddiuAddiu, Addiu, Addiu)                                       \
+    P(AddiuSltu, Addiu, Sltu)                                         \
+    P(SllAddu, Sll, Addu)                                             \
+    P(SrlAddu, Srl, Addu)                                             \
+    P(XorXor, Xor, Xor)                                               \
+    P(OrAddu, Or, Addu)
+
+/**
+ * Dispatch kinds of the threaded-code stream: one handler per
+ * (op semantics x timing) shape plus the three segment-boundary
+ * pseudo-records.  An X-macro so the enum and the computed-goto label
+ * table in superblock.cc are generated from the same list and can
+ * never fall out of order (X receives simple kinds, P the fused
+ * pairs).  Layout invariants the executor relies on: Mult..Mtlo are
+ * the mult-unit interlocking family, Beq..Bgez the conditional
+ * terminators, the Seg* records come last, and every fused kind
+ * (including MfloMfhi/MfhiMflo) sits outside those ranges.
+ */
+#define ULECC_SB_KINDS(X, P)                                          \
+    /* Plain single-cycle ops (Nop: any pure ALU op whose             \
+       architectural destination is $zero -- delay-slot filler). */   \
+    X(Nop)                                                            \
+    X(Sll) X(Srl) X(Sra) X(Sllv) X(Srlv) X(Srav)                      \
+    X(Addu) X(Subu) X(And) X(Or) X(Xor) X(Nor) X(Slt) X(Sltu)         \
+    X(Addiu) X(Slti) X(Sltiu) X(Andi) X(Ori) X(Xori) X(Lui)           \
+    X(Lb) X(Lbu) X(Lh) X(Lhu) X(Lw) X(Sb) X(Sh) X(Sw)                 \
+    /* Fused pairs (two retirements per dispatch). */                 \
+    ULECC_SB_FUSED_PAIRS(P)                                           \
+    /* Hi/Lo read-out pairs: one unit wait covers both reads. */      \
+    X(MfloMfhi) X(MfhiMflo)                                           \
+    /* Multiplier-unit family (wait / issue semantics). */            \
+    X(Mult) X(Multu) X(Div) X(Divu) X(Maddu) X(M2addu) X(Addau)       \
+    X(Sha) X(Mulgf2) X(Maddgf2) X(Mfhi) X(Mflo) X(Mthi) X(Mtlo)       \
+    /* Terminators (always followed by their delay-slot record). */   \
+    X(Beq) X(Bne) X(Blez) X(Bgtz) X(Bltz) X(Bgez)                     \
+    X(J) X(Jal) X(Jr) X(Jalr)                                         \
+    /* Segment boundaries (pseudo-records, retire no instruction):    \
+       SegNext falls through to the next segment, SegLoop re-enters   \
+       the trace head, SegExit ends the trace (linear next pc or a    \
+       register-jump target). */                                      \
+    X(SegNext) X(SegLoop) X(SegExit)
+
+/** The per-Pete superblock trace cache.  All interaction goes through
+ *  run(); Pete grants it friend access to the pipeline state. */
+class SuperblockCache
+{
+  public:
+    explicit SuperblockCache(SuperblockMode mode) : mode_(mode) {}
+
+    SuperblockMode mode() const { return mode_; }
+    const SuperblockStats &stats() const { return stats_; }
+
+    /**
+     * Executes forward from cpu.pc(): runs a trace when one covers the
+     * pc (building one first when the pc just crossed the hot
+     * threshold), and otherwise delegates to the block memo
+     * (BlockCache::runBlock), which in turn slow-walks anything it
+     * cannot replay -- so every pc always executes with exact
+     * accounting.  Returns false once halted; simulated faults
+     * propagate as UleccError exactly as from step().  The caller
+     * polls the cycle budget between calls; a looping trace polls it
+     * itself at every back-edge.
+     */
+    bool run(Pete &cpu);
+
+    /** Longest trace the builder will flatten (budget-poll bound). */
+    static constexpr uint32_t kMaxTraceInsts = 256;
+
+  private:
+    enum class Kind : uint8_t
+    {
+#define ULECC_SB_KIND_ENUM(name) name,
+#define ULECC_SB_KIND_ENUM_PAIR(name, a, b) name,
+        ULECC_SB_KINDS(ULECC_SB_KIND_ENUM, ULECC_SB_KIND_ENUM_PAIR)
+#undef ULECC_SB_KIND_ENUM
+#undef ULECC_SB_KIND_ENUM_PAIR
+        NumKinds,
+    };
+
+    /**
+     * One pre-resolved record of the threaded-code stream (32 bytes;
+     * the hot fields live in the first half).
+     *
+     * All *static* timing is compiled into cumCyc: the running
+     * per-pass total of base cycles, load-use slips, and jump bubbles
+     * through this record inclusive.  A handler therefore never
+     * touches a cycle counter; the executor reconstructs absolute
+     * cycles anywhere as
+     *
+     *   entry + passes * perPassCycles + cumCyc + dynamic
+     *
+     * where `dynamic` counts only the data-dependent terms (mispredict
+     * flushes, mult-unit busy waits, the entry/back-edge slips).
+     */
+    struct TraceOp
+    {
+        Kind kind = Kind::SegExit;
+        uint8_t luSlip = 0; ///< static load-use slip vs previous inst
+        uint8_t rs = 0, rt = 0;
+        uint8_t dest = 0;  ///< write index ($zero remapped to the sink)
+        uint8_t shamt = 0;
+        uint8_t flags = 0; ///< kDelaySlot
+        /** Fault path: load-use exposure the previous instruction left
+         *  behind (Seg* records: the exposure the segment leaves). */
+        uint8_t prevLoadDest = 0;
+        /** Signed immediate; Andi/Ori/Xori/Lui keep their zero-extended
+         *  immediate here bit-cast (read back as uint32_t). */
+        int32_t simm = 0;
+        uint16_t cumCyc = 0;  ///< static cycles through this record
+        uint16_t ordinal = 0; ///< instructions retired before this one
+        /** Mult family: unit latency.  Jal/Jalr: link value.
+         *  Conditional branches: bimodal predictor index.
+         *  Seg* records: index into Trace::segTotals.
+         *  Fused pairs: the second op's fields, packed
+         *  rs2 | rt2<<8 | dest2<<16 | shamt2<<24. */
+        uint32_t aux = 0;
+        /** Branches: expected post-delay pc.  Fused pairs: the second
+         *  op's immediate (bit-cast like simm). */
+        uint32_t expected = 0;
+        uint32_t target = 0;   ///< taken target; SegExit: static exit pc
+        uint32_t pc = 0;
+    };
+
+    /** Static per-pass prefix totals through the end of one segment
+     *  (attached to its Seg* record): everything the exit fold needs
+     *  that plain handlers no longer track live. */
+    struct SegTotals
+    {
+        uint16_t cyc = 0; ///< == the Seg record's cumCyc (convenience)
+        uint16_t loadUse = 0;
+        uint16_t branches = 0;
+        uint16_t multIssues = 0;
+        uint16_t divIssues = 0;
+        uint16_t jumpStalls = 0;
+    };
+
+    static constexpr uint8_t kDelaySlot = 1;
+    static constexpr uint8_t kZeroSink = 32; ///< $zero write remap
+    static constexpr uint32_t kHotThreshold = 4;
+    static constexpr uint32_t kBlacklisted = 0xFFFFFFFFu;
+    static constexpr size_t kMaxTraces = 512;
+    static constexpr size_t kMaxSegments = 64;
+    static constexpr uint32_t kMinLinearInsts = 24;
+    static constexpr uint64_t kVerifyPeriod = 32;
+
+    /** One flattened hot path.  Immutable once built (registry-shared
+     *  instances are read concurrently by many Petes). */
+    struct Trace
+    {
+        uint32_t headPc = 0;
+        uint64_t generation = 0;
+        uint32_t nInsts = 0;      ///< real instructions per full pass
+        uint32_t headSrcMask = 0; ///< source GPRs of the first inst
+        /** Load-use exposure the back-edge carries into ops[0] (the
+         *  fault path's "previous instruction" for a looped entry). */
+        uint8_t loopExitLoadDest = 0;
+        /** Static back-edge load-use slip (trace tail into ops[0]);
+         *  charged per completed loop pass, not part of cumCyc. */
+        uint8_t backSlip = 0;
+        std::vector<TraceOp> ops; ///< records (fused: two insts each)
+        std::vector<SegTotals> segTotals; ///< one per Seg* record
+        std::vector<uint32_t> lines; ///< icache lines touched (if any)
+    };
+
+    /**
+     * Process-wide trace sharing.  A trace is a pure function of the
+     * program text and the timing-relevant config (unit latencies,
+     * icache line size) -- nothing per-Pete leaks in except the
+     * build-time branch expectations, which only steer side exits,
+     * never simulated state.  Workloads that construct thousands of
+     * Petes over the same kernel (design-space sweeps, the service
+     * engine, bench reps) therefore share one immutable trace set,
+     * keyed by a content hash of the loaded image, instead of paying
+     * warm-up and build per instance.  Heat is shared too, so the Nth
+     * Pete enters traces on its first dispatch.
+     *
+     * Only pristine-text Petes participate (romGeneration() == 0); a
+     * Pete whose ROM was ever struck by fault injection falls back to
+     * private traces for good.  Published Trace objects are immutable
+     * and handed out as shared_ptr<const>, so concurrent sweeps only
+     * contend on the mutex during cold lookups.
+     */
+    class Registry
+    {
+      public:
+        static Registry &instance();
+
+        std::shared_ptr<const Trace> find(uint64_t program, uint32_t pc);
+        void publish(uint64_t program, uint32_t pc,
+                     std::shared_ptr<const Trace> trace);
+        /** Bumps and returns the shared heat counter (kBlacklisted
+         *  stays sticky). */
+        uint32_t bump(uint64_t program, uint32_t pc);
+        void blacklist(uint64_t program, uint32_t pc);
+
+      private:
+        struct Program
+        {
+            std::unordered_map<uint32_t,
+                               std::shared_ptr<const Trace>> traces;
+            std::unordered_map<uint32_t, uint32_t> heat;
+        };
+
+        /** Programs tracked before the registry resets itself (bounds
+         *  growth across many distinct tiny test programs). */
+        static constexpr size_t kMaxPrograms = 64;
+
+        Program &programLocked(uint64_t program);
+
+        std::mutex mu_;
+        std::unordered_map<uint64_t, Program> programs_;
+    };
+
+    bool buildTrace(Pete &cpu, uint32_t pc);
+    void fuseAdjacent(Trace &t);
+    bool execute(Pete &cpu, const Trace &t);
+    bool shadowVerify(Pete &cpu, const Trace &t);
+    const Trace *lookup(Pete &cpu, uint32_t pc);
+
+    SuperblockMode mode_;
+    SuperblockStats stats_;
+    /** Local view: registry adoptions plus private builds. */
+    std::unordered_map<uint32_t, std::shared_ptr<const Trace>> traces_;
+    std::unordered_map<uint32_t, uint32_t> heat_; ///< private mode only
+    uint32_t lastPc_ = 1; ///< 1 is never a valid (aligned) head pc
+    const Trace *lastTrace_ = nullptr;
+    uint64_t verifyTick_ = 0;
+    /** Content key of the loaded image (0 = not yet computed). */
+    uint64_t programKey_ = 0;
+    /** Set once this Pete's text mutated: registry participation ends
+     *  (its traces describe the pristine image). */
+    bool privateMode_ = false;
+};
+
+} // namespace ulecc
+
+#endif // ULECC_SIM_SUPERBLOCK_HH

@@ -888,6 +888,10 @@ TEST(BlockCache, HostileEnvValuesRunIdentically)
 TEST(BlockCache, ShadowVerifyModeCleanOnLoopProgram)
 {
     EnvVar env("ULECC_BLOCK_CACHE", "verify");
+    // Keep the hot loop on the block memo: with the superblock tier
+    // enabled the trace would absorb the steady-state dispatches and
+    // the sampled shadow check below would never fire.
+    EnvVar sbEnv("ULECC_SUPERBLOCK", "off");
     PeteConfig cfg;
     // A long enough loop that the sampled shadow check (every 64th
     // memo hit) actually fires several times.
@@ -923,6 +927,303 @@ TEST(BlockCache, TimeoutOvershootBounded)
     EXPECT_EQ(r.code(), Errc::SimTimeout);
     // The budget is polled once per block dispatch, so the overshoot
     // is bounded by one block plus its delay slot.
+    EXPECT_GE(cpu.stats().cycles, cfg.maxCycles);
+    EXPECT_LT(cpu.stats().cycles, cfg.maxCycles + 512);
+}
+
+namespace
+{
+
+/** Runs @p src with the superblock trace tier on and off (the block
+ *  memo it flattens stays on) and expects bit-identical PeteStats and
+ *  architectural state.  Returns the tier-on Pete for extra
+ *  assertions. */
+Pete
+expectSuperblockEquivalent(const std::string &src, PeteConfig base = {})
+{
+    PeteConfig on = base, off = base;
+    on.superblock = true;
+    off.superblock = false;
+    Pete fast(assemble(src), on);
+    Pete slow(assemble(src), off);
+    Result<uint64_t> rf = fast.runChecked();
+    Result<uint64_t> rs = slow.runChecked();
+    EXPECT_EQ(rf.ok(), rs.ok());
+    if (!rf.ok() && !rs.ok()) {
+        EXPECT_EQ(rf.code(), rs.code());
+        EXPECT_EQ(rf.error().context, rs.error().context);
+    }
+    expectStatsEqual(fast.stats(), slow.stats());
+    for (int r = 0; r < 32; ++r)
+        EXPECT_EQ(fast.reg(r), slow.reg(r)) << "reg " << r;
+    EXPECT_EQ(fast.hi(), slow.hi());
+    EXPECT_EQ(fast.lo(), slow.lo());
+    EXPECT_EQ(fast.ovflo(), slow.ovflo());
+    EXPECT_EQ(fast.pc(), slow.pc());
+    return fast;
+}
+
+} // namespace
+
+TEST(Superblock, StatsBitIdenticalOnLoopProgram)
+{
+    Pete fast = expectSuperblockEquivalent(kPredecodeWorkload);
+    const SuperblockStats *sb = fast.superblockStats();
+    ASSERT_NE(sb, nullptr);
+    EXPECT_GT(sb->traceRuns, 0u); // the loop actually ran threaded
+    EXPECT_GT(sb->replayedInstructions, 0u);
+    EXPECT_GT(sb->loopIterations, 0u); // back-edges stayed in-trace
+}
+
+TEST(Superblock, StatsBitIdenticalWithIcache)
+{
+    PeteConfig cfg;
+    cfg.icacheEnabled = true;
+    cfg.icache.sizeBytes = 1024;
+    Pete fast = expectSuperblockEquivalent(kPredecodeWorkload, cfg);
+    const SuperblockStats *sb = fast.superblockStats();
+    ASSERT_NE(sb, nullptr);
+    EXPECT_GT(sb->traceRuns, 0u); // resident lines still run threaded
+}
+
+TEST(Superblock, DataDependentBranchDirections)
+{
+    // The inner branch alternates with the counter's parity, so the
+    // trace's baked-in direction is wrong every other pass: the live
+    // predictor decides, the wrong passes take the side exit with the
+    // exact slow-path state, and the right ones stay in-trace.
+    Pete fast = expectSuperblockEquivalent(R"(
+        addiu $t0, $zero, 200
+        addiu $t1, $zero, 0
+    loop:
+        andi  $t3, $t0, 1
+        beq   $t3, $zero, even
+        nop
+        addiu $t1, $t1, 100
+    even:
+        addiu $t1, $t1, 1
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )");
+    const SuperblockStats *sb = fast.superblockStats();
+    ASSERT_NE(sb, nullptr);
+    EXPECT_GT(sb->exitsSideBranch, 0u);
+}
+
+TEST(Superblock, MultCountdownCrossesTraceEntry)
+{
+    // The multiply issues in the jump's delay slot, so the busy
+    // countdown is live at the next trace's entry: the executor's
+    // multReadyCycle_ carry-in/carry-out must be exact.
+    expectSuperblockEquivalent(R"(
+        addiu $t0, $zero, 30
+        addiu $t1, $zero, 0
+        addiu $t2, $zero, 7
+    loop:
+        j     body
+        mult  $t2, $t0
+    body:
+        mflo  $t3
+        addu  $t1, $t1, $t3
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )");
+}
+
+TEST(Superblock, MidTraceFaultReconstructsExactState)
+{
+    // The store address descends 4 bytes per iteration: a dozen clean
+    // RAM stores make the loop hot and in-trace, then the address
+    // drops below the RAM base and the same store record faults
+    // mid-trace.  The bailout must reconstruct the slow path's exact
+    // fault message, stats, and architectural state.
+    Pete fast = expectSuperblockEquivalent(R"(
+        lui   $t4, 0x1000
+        addiu $t4, $t4, 48
+        addiu $t0, $zero, 64
+        addiu $t1, $zero, 0
+    loop:
+        sw    $t1, 0($t4)
+        addiu $t1, $t1, 1
+        addiu $t4, $t4, -4
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )");
+    const SuperblockStats *sb = fast.superblockStats();
+    ASSERT_NE(sb, nullptr);
+    EXPECT_EQ(sb->exitsFault, 1u); // the fault really struck in-trace
+}
+
+TEST(Superblock, TextStrikeInvalidatesLiveTrace)
+{
+    // Pause the run mid-loop on the cycle budget, strike the
+    // post-loop text through the fault-injection backdoor, and
+    // resume: the loop's trace is stale (text generation moved) and
+    // must be dropped and rebuilt, and the corrupted instruction must
+    // take effect -- identically with the tier off.
+    const char *src = R"(
+        addiu $t0, $zero, 4000
+        addiu $t1, $zero, 0
+    loop:
+        addiu $t1, $t1, 1
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        addiu $t6, $zero, 1
+        break
+    )";
+    auto run = [&](bool superblock) {
+        PeteConfig cfg;
+        cfg.superblock = superblock;
+        cfg.maxCycles = 2'000; // pauses well inside the loop
+        Pete cpu(assemble(src), cfg);
+        Result<uint64_t> paused = cpu.runChecked();
+        EXPECT_FALSE(paused.ok());
+        EXPECT_EQ(paused.code(), Errc::SimTimeout);
+        // Flip `addiu $t6, $zero, 1` (7th word) into `..., 9`.
+        cpu.mem().corrupt32(6 * 4, 0x8);
+        cfg.maxCycles = 500'000'000;
+        cpu.setMaxCycles(cfg.maxCycles);
+        EXPECT_TRUE(cpu.run());
+        return cpu;
+    };
+    Pete fast = run(true);
+    Pete slow = run(false);
+    expectStatsEqual(fast.stats(), slow.stats());
+    EXPECT_EQ(fast.reg(14), 9u); // the strike's immediate took effect
+    EXPECT_EQ(slow.reg(14), 9u);
+    for (int r = 0; r < 32; ++r)
+        EXPECT_EQ(fast.reg(r), slow.reg(r)) << "reg " << r;
+    const SuperblockStats *sb = fast.superblockStats();
+    ASSERT_NE(sb, nullptr);
+    EXPECT_GE(sb->invalidations, 1u);
+    EXPECT_GE(sb->tracesBuilt, 2u); // rebuilt after the strike
+}
+
+TEST(Superblock, RegistrySharesTracesAcrossInstances)
+{
+    // Two Petes over the same (unique) program text: the first builds
+    // the hot loop's trace and publishes it; the second must adopt it
+    // from the process-wide registry without building anything, and
+    // still match the tier-off run bit for bit.
+    const char *src = R"(
+        addiu $t0, $zero, 977
+        addiu $t1, $zero, 0
+    loop:
+        addiu $t1, $t1, 3
+        xor   $t2, $t1, $t0
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )";
+    Pete first = expectSuperblockEquivalent(src);
+    const SuperblockStats *sb1 = first.superblockStats();
+    ASSERT_NE(sb1, nullptr);
+    EXPECT_GE(sb1->tracesBuilt + sb1->sharedAdoptions, 1u);
+    Pete second = expectSuperblockEquivalent(src);
+    const SuperblockStats *sb2 = second.superblockStats();
+    ASSERT_NE(sb2, nullptr);
+    EXPECT_EQ(sb2->tracesBuilt, 0u);
+    EXPECT_GE(sb2->sharedAdoptions, 1u);
+}
+
+TEST(Superblock, EnvParseNeverErrors)
+{
+    // Direct parses: the documented values, then hostile ones, which
+    // must degrade to the default (On) -- the ULECC_JOBS contract.
+    EXPECT_EQ(parseSuperblockMode(nullptr), SuperblockMode::On);
+    EXPECT_EQ(parseSuperblockMode(""), SuperblockMode::On);
+    EXPECT_EQ(parseSuperblockMode("1"), SuperblockMode::On);
+    EXPECT_EQ(parseSuperblockMode("on"), SuperblockMode::On);
+    EXPECT_EQ(parseSuperblockMode("0"), SuperblockMode::Off);
+    EXPECT_EQ(parseSuperblockMode("off"), SuperblockMode::Off);
+    EXPECT_EQ(parseSuperblockMode("verify"), SuperblockMode::Verify);
+    EXPECT_EQ(parseSuperblockMode("shadow"), SuperblockMode::Verify);
+    EXPECT_EQ(parseSuperblockMode("ON"), SuperblockMode::On);
+    EXPECT_EQ(parseSuperblockMode("bogus"), SuperblockMode::On);
+    EXPECT_EQ(parseSuperblockMode("99999999999999999999"),
+              SuperblockMode::On);
+    EXPECT_EQ(parseSuperblockMode("-1"), SuperblockMode::On);
+    EXPECT_EQ(parseSuperblockMode("off "), SuperblockMode::On);
+}
+
+TEST(Superblock, HostileEnvValuesRunIdentically)
+{
+    // Whatever $ULECC_SUPERBLOCK says, simulated behaviour is
+    // bit-identical; only the simulator's own path choice may change.
+    PeteConfig off;
+    off.superblock = false;
+    Pete reference = runProgram(kPredecodeWorkload, off);
+    for (const char *value :
+         {"", "1", "on", "ON", "0", "off", "verify", "shadow", "bogus",
+          "99999999999999999999"}) {
+        EnvVar env("ULECC_SUPERBLOCK", value);
+        Pete cpu = runProgram(kPredecodeWorkload);
+        expectStatsEqual(cpu.stats(), reference.stats());
+        for (int r = 0; r < 32; ++r)
+            EXPECT_EQ(cpu.reg(r), reference.reg(r))
+                << "reg " << r << " under value '" << value << "'";
+    }
+}
+
+TEST(Superblock, ShadowVerifyModeCleanOnAlternatingProgram)
+{
+    // The alternating branch forces a trace re-entry per iteration,
+    // so the sampled shadow check (every 32nd trace run) fires
+    // several times over 400 iterations.  A clean program must sail
+    // through with exact stats; any executor/slow-path divergence
+    // would throw Errc::Internal here.
+    const char *src = R"(
+        addiu $t0, $zero, 400
+        addiu $t1, $zero, 0
+    loop:
+        andi  $t3, $t0, 1
+        beq   $t3, $zero, even
+        nop
+        addiu $t1, $t1, 100
+    even:
+        addiu $t1, $t1, 1
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )";
+    PeteConfig off;
+    off.superblock = false;
+    Pete reference = runProgram(src, off);
+    EnvVar env("ULECC_SUPERBLOCK", "verify");
+    Pete cpu = runProgram(src);
+    ASSERT_NE(cpu.superblockStats(), nullptr);
+    EXPECT_EQ(cpu.superblockMode(), SuperblockMode::Verify);
+    EXPECT_GT(cpu.superblockStats()->shadowVerifies, 0u);
+    expectStatsEqual(cpu.stats(), reference.stats());
+    for (int r = 0; r < 32; ++r)
+        EXPECT_EQ(cpu.reg(r), reference.reg(r)) << "reg " << r;
+}
+
+TEST(Superblock, TimeoutOvershootBounded)
+{
+    const char *src = R"(
+    spin:
+        beq $zero, $zero, spin
+        nop
+    )";
+    PeteConfig cfg;
+    cfg.superblock = true;
+    cfg.maxCycles = 10'000;
+    Pete cpu(assemble(src), cfg);
+    Result<uint64_t> r = cpu.runChecked();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), Errc::SimTimeout);
+    // The budget is polled at every trace back-edge, so the overshoot
+    // is bounded by one pass through the trace.
     EXPECT_GE(cpu.stats().cycles, cfg.maxCycles);
     EXPECT_LT(cpu.stats().cycles, cfg.maxCycles + 512);
 }

@@ -713,6 +713,110 @@ TEST(BlockCache, FaultInjectorPathBitIdentical)
     }
 }
 
+namespace
+{
+
+/** Like runKernelWithBlockCache, but toggling the superblock trace
+ *  tier (the block memo it flattens stays on). */
+PeteStats
+runKernelWithSuperblock(AsmKernel kernel, int k, bool superblock)
+{
+    PeteConfig cfg;
+    cfg.blockCache = true;
+    cfg.superblock = superblock;
+    Pete cpu(assemble(kernelSource(kernel, k)), cfg);
+    MpUint a = MpUint::powerOfTwo(32 * k - 1).sub(MpUint(12345));
+    MpUint b = MpUint::powerOfTwo(32 * k - 2).add(MpUint(99));
+    for (int i = 0; i < 2 * k; ++i)
+        cpu.mem().poke32(0x10000400 + 4 * i, a.limb(i));
+    for (int i = 0; i < k; ++i)
+        cpu.mem().poke32(0x10000500 + 4 * i, b.limb(i));
+    EXPECT_TRUE(cpu.run());
+    return cpu.stats();
+}
+
+} // namespace
+
+TEST(Superblock, AllAsmKernelsBitIdenticalOnOff)
+{
+    const AsmKernel kernels[] = {AsmKernel::MpAdd, AsmKernel::MulOs,
+                                 AsmKernel::MulPsMaddu,
+                                 AsmKernel::MulGf2, AsmKernel::RedP192};
+    for (AsmKernel kernel : kernels) {
+        PeteStats fast = runKernelWithSuperblock(kernel, 6, true);
+        PeteStats slow = runKernelWithSuperblock(kernel, 6, false);
+        expectStatsIdentical(fast, slow);
+    }
+}
+
+TEST(Superblock, FaultInjectorPathBitIdentical)
+{
+    // The injector is a StepHook, so every armed run bypasses traces
+    // entirely; the superblock flag must be invisible to fault
+    // campaigns even when strikes rewrite program text.
+    const char *victim = R"(
+        addiu $t0, $zero, 200
+        addiu $t1, $zero, 0
+    loop:
+        addiu $t1, $t1, 7
+        sw    $t1, 0x400($at)
+        lw    $t2, 0x400($at)
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )";
+    std::string src = std::string("        lui   $at, 0x1000\n")
+        + victim;
+    Program prog = assemble(src);
+    FaultTargetSpace space;
+    space.cycleHorizon = 1500;
+    space.romWords = static_cast<uint32_t>(prog.words.size());
+    space.ramWords = 512;
+    for (uint64_t seed = 1; seed <= 24; ++seed) {
+        auto run = [&](bool superblock) {
+            PeteConfig cfg;
+            cfg.superblock = superblock;
+            cfg.maxCycles = 100'000;
+            Pete cpu(prog, cfg);
+            FaultInjector inj(seed);
+            inj.arm(inj.plan(space));
+            cpu.attachStepHook(&inj);
+            Result<uint64_t> r = cpu.runChecked();
+            return std::make_pair(r.ok() ? Errc::Ok : r.code(),
+                                  cpu.stats());
+        };
+        auto fast = run(true);
+        auto slow = run(false);
+        EXPECT_EQ(fast.first, slow.first) << "seed " << seed;
+        expectStatsIdentical(fast.second, slow.second);
+    }
+}
+
+#ifdef ULECC_BENCH_FIG7_BIN
+TEST(Superblock, Fig7OutputByteIdenticalOnOff)
+{
+    // Whole-figure acceptance for the trace tier, mirroring the
+    // block-memo check: a real paper bench must print byte-identical
+    // output with superblocks forced on and off.
+    std::string dir = testing::TempDir();
+    std::string on_out = dir + "fig7_sb_on.txt";
+    std::string off_out = dir + "fig7_sb_off.txt";
+    std::string bin = ULECC_BENCH_FIG7_BIN;
+    auto sh = [](const std::string &cmd) {
+        int rc = std::system(cmd.c_str());
+        EXPECT_EQ(rc, 0) << cmd;
+    };
+    sh("ULECC_SUPERBLOCK=on " + bin + " > " + on_out);
+    sh("ULECC_SUPERBLOCK=off " + bin + " > " + off_out);
+    std::string on_text = readFile(on_out);
+    ASSERT_FALSE(on_text.empty());
+    EXPECT_EQ(on_text, readFile(off_out));
+    std::remove(on_out.c_str());
+    std::remove(off_out.c_str());
+}
+#endif
+
 #ifdef ULECC_BENCH_FIG7_BIN
 TEST(BlockCache, Fig7OutputByteIdenticalOnOff)
 {

@@ -18,8 +18,8 @@
 #
 # --bench additionally runs bench_simspeed, validates its journal
 # record, and compares sim_mips / block_cache_hit_rate /
-# block_cache_speedup against the committed BENCH_simspeed.json
-# baseline.  Timings are host-dependent, so a slowdown merely warns
+# block_cache_speedup / superblock_hit_rate / superblock_speedup
+# against the committed BENCH_simspeed.json baseline.  Timings are host-dependent, so a slowdown merely warns
 # unless it exceeds 25%; hit rate is deterministic and checked tight.
 # It also runs bench_svc and compares svc_requests_per_sec /
 # svc_telemetry_overhead against BENCH_svc.json the same way, so
@@ -73,17 +73,19 @@ fi
 
 if [[ $run_tsan -eq 1 ]]; then
     # ThreadSanitizer covers the concurrency layer: the thread pool,
-    # the parallel sweep runner, the evaluation memo, the predecode
-    # fast path they all drive (test_par), and the multi-threaded
-    # service engine (test_svc).  The serial suites add nothing under
-    # TSan, so only the concurrent tests run here.
+    # the parallel sweep runner, the evaluation memo, the predecode /
+    # block-memo / superblock fast paths they all drive (test_par --
+    # the sweeps hammer the process-wide superblock trace registry
+    # from every worker), and the multi-threaded service engine
+    # (test_svc).  The serial suites add nothing under TSan, so only
+    # the concurrent tests run here.
     step "configure + build (tsan preset)"
     cmake --preset tsan
     cmake --build --preset tsan -j "$(nproc)" --target test_par test_svc
 
     step "test (tsan preset: parallel suites)"
     ctest --preset tsan -j "$(nproc)" \
-        -R '^(ThreadPool|Sweep|EvalCache|BenchSweep|Predecode|BlockCache|Svc)'
+        -R '^(ThreadPool|Sweep|EvalCache|BenchSweep|Predecode|BlockCache|Superblock|Svc)'
 fi
 
 json_check="$repo/build/tools/json_check"
@@ -99,6 +101,33 @@ step "telemetry: ulecc-run metrics + trace"
 "$json_check" "$schemas/run_metrics.schema.json" \
     "$work/run_metrics.json"
 "$json_check" "$schemas/trace.schema.json" "$work/trace.json"
+
+step "superblock: PeteStats identical tier on vs off (reference kernel)"
+"$repo/build/tools/ulecc-run" --metrics "$work/sb_on.json" \
+    "$repo/tools/mulos_k17.s" > /dev/null
+"$repo/build/tools/ulecc-run" --no-superblock \
+    --metrics "$work/sb_off.json" "$repo/tools/mulos_k17.s" > /dev/null
+python3 - "$work/sb_on.json" "$work/sb_off.json" <<'EOF'
+import json, sys
+
+# The trace tier may only change how fast the host simulates, never
+# what it simulates: with the host-dependent wall-clock fields and the
+# simulator-internal cache sections stripped, the two metrics
+# documents must be byte-identical.
+docs = [json.load(open(p)) for p in sys.argv[1:3]]
+for d in docs:
+    for key in ("sim_wall_seconds", "sim_mips", "block_cache",
+                "superblock"):
+        d.pop(key, None)
+on, off = (json.dumps(d, sort_keys=True, indent=1) for d in docs)
+if on != off:
+    print("FAIL: architectural metrics differ superblock on vs off")
+    for a, b in zip(on.splitlines(), off.splitlines()):
+        if a != b:
+            print(f"  on:  {a}\n  off: {b}")
+    sys.exit(1)
+print("ok:   architectural metrics identical superblock on vs off")
+EOF
 
 step "telemetry: bench journal (zero-change JSONL capture)"
 : > "$work/bench.jsonl"
@@ -149,20 +178,22 @@ def timing(name, higher_is_better=True):
 
 timing("sim_mips")
 timing("block_cache_speedup")
+timing("superblock_speedup")
 timing("sim_wall_seconds", higher_is_better=False)
 
-# The replay hit rate is deterministic (same kernel, same block
-# structure), so any drift means the memo stopped covering the
-# steady state.
-b, f = base.get("block_cache_hit_rate"), fresh.get("block_cache_hit_rate")
-if b is None or f is None:
-    print("FAIL: block_cache_hit_rate missing")
-    fail = True
-elif abs(f - b) > 1e-9:
-    print(f"FAIL: block_cache_hit_rate {f} != baseline {b}")
-    fail = True
-else:
-    print(f"ok:   block_cache_hit_rate {f:.4f}")
+# The hit rates are deterministic (same kernel, same block/trace
+# structure), so any drift means a tier stopped covering the steady
+# state.
+for name in ("block_cache_hit_rate", "superblock_hit_rate"):
+    b, f = base.get(name), fresh.get(name)
+    if b is None or f is None:
+        print(f"FAIL: {name} missing")
+        fail = True
+    elif abs(f - b) > 1e-9:
+        print(f"FAIL: {name} {f} != baseline {b}")
+        fail = True
+    else:
+        print(f"ok:   {name} {f:.4f}")
 
 sys.exit(1 if fail else 0)
 EOF

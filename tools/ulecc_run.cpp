@@ -14,6 +14,9 @@
  *     --no-block-cache
  *                    disable the hot-block timing memo (same A/B use;
  *                    also reachable via ULECC_BLOCK_CACHE=off)
+ *     --no-superblock
+ *                    disable the superblock trace tier (same A/B use;
+ *                    also reachable via ULECC_SUPERBLOCK=off)
  *     --dump A N     after halt, hex-dump N words from address A
  *     --energy       print the energy estimate for the run
  *     --trace FILE   write a Chrome trace-event JSON of the pipeline
@@ -56,7 +59,8 @@ usage()
                  "[--billie]\n"
                  "                 [--max-cycles N] [--no-predecode] "
                  "[--no-block-cache]\n"
-                 "                 [--dump ADDR WORDS] [--energy]\n"
+                 "                 [--no-superblock] "
+                 "[--dump ADDR WORDS] [--energy]\n"
                  "                 [--trace FILE] [--profile] "
                  "[--metrics FILE] program.s\n");
 }
@@ -140,6 +144,8 @@ main(int argc, char **argv)
             config.predecode = false;
         } else if (!std::strcmp(argv[i], "--no-block-cache")) {
             config.blockCache = false;
+        } else if (!std::strcmp(argv[i], "--no-superblock")) {
+            config.superblock = false;
         } else if (!std::strcmp(argv[i], "--dump") && i + 2 < argc) {
             dump_addr = std::strtoul(argv[++i], nullptr, 0);
             dump_words = std::strtoul(argv[++i], nullptr, 0);
@@ -257,6 +263,26 @@ main(int argc, char **argv)
                         (unsigned long)bc->records,
                         (unsigned long)bc->slowWalks);
         }
+        if (const SuperblockStats *sb = cpu.superblockStats()) {
+            std::printf("superblock: %lu trace runs / %lu dispatches "
+                        "(%.1f%% hit), %lu built (avg %.1f insts), "
+                        "%lu insts replayed\n",
+                        (unsigned long)sb->traceRuns,
+                        (unsigned long)sb->dispatches,
+                        100.0 * sb->hitRate(),
+                        (unsigned long)sb->tracesBuilt,
+                        sb->avgTraceLength(),
+                        (unsigned long)sb->replayedInstructions);
+            std::printf("superblock exits: %lu side-branch, %lu "
+                        "trace-end, %lu budget, %lu fault; fallbacks: "
+                        "%lu cold, %lu residency\n",
+                        (unsigned long)sb->exitsSideBranch,
+                        (unsigned long)sb->exitsTraceEnd,
+                        (unsigned long)sb->exitsBudget,
+                        (unsigned long)sb->exitsFault,
+                        (unsigned long)sb->fallbackCold,
+                        (unsigned long)sb->fallbackResidency);
+        }
         if (use_monte) {
             std::printf("monte: %lu mul, %lu add/sub, FFAU %lu cy, "
                         "DMA %lu cy, %lu forwarded loads\n",
@@ -341,6 +367,33 @@ main(int argc, char **argv)
                 cache["shadow_verifies"] = bc->shadowVerifies;
                 cache["hit_rate"] = bc->hitRate();
                 reg.set("block_cache", std::move(cache));
+            }
+            if (const SuperblockStats *sb = cpu.superblockStats()) {
+                Json sup = Json::object();
+                sup["mode"] =
+                    superblockModeName(cpu.superblockMode());
+                sup["dispatches"] = sb->dispatches;
+                sup["trace_runs"] = sb->traceRuns;
+                sup["hit_rate"] = sb->hitRate();
+                sup["replayed_instructions"] =
+                    sb->replayedInstructions;
+                sup["loop_iterations"] = sb->loopIterations;
+                sup["traces_built"] = sb->tracesBuilt;
+                sup["avg_trace_length"] = sb->avgTraceLength();
+                sup["fused_records"] = sb->fusedRecords;
+                sup["shared_adoptions"] = sb->sharedAdoptions;
+                sup["build_failures"] = sb->buildFailures;
+                sup["invalidations"] = sb->invalidations;
+                sup["shadow_verifies"] = sb->shadowVerifies;
+                Json exits = Json::object();
+                exits["side_branch"] = sb->exitsSideBranch;
+                exits["trace_end"] = sb->exitsTraceEnd;
+                exits["budget"] = sb->exitsBudget;
+                exits["fault"] = sb->exitsFault;
+                exits["fallback_cold"] = sb->fallbackCold;
+                exits["fallback_residency"] = sb->fallbackResidency;
+                sup["exits"] = std::move(exits);
+                reg.set("superblock", std::move(sup));
             }
             EnergyLedger ledger;
             ledger.addPhase("run", ev);
