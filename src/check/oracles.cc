@@ -15,6 +15,7 @@
 #include "ecdsa/ecdsa.hh"
 #include "ecdsa/sha256.hh"
 #include "mpint/binary_field.hh"
+#include "sim/karatsuba_unit.hh"
 #include "mpint/prime_field.hh"
 #include "workload/asm_kernels.hh"
 
@@ -169,11 +170,23 @@ class MpintTarget final : public Target
         } else if (r < 96) {
             c.op = "hex";
             c.args = {rng.edgeMp(kCapBits).toHex()};
-        } else {
+        } else if (r < 98) {
             c.op = "cmp";
             MpUint a = rng.edgeMp(kCapBits);
             MpUint b = rng.below(4) ? rng.edgeMp(kCapBits) : a;
             c.args = {a.toHex(), b.toHex()};
+        } else {
+            // M2ADDU carry semantics: OvFlo:Hi:Lo += 2*rs*rt as one
+            // 65-bit add.  Saturated operands make the doubled
+            // product's own carry-out (bit 64) the common case.
+            c.op = "m2acc";
+            auto word = [&rng] {
+                uint64_t w = rng.below(3)
+                                 ? rng.next()
+                                 : 0xFFFFFF00u + rng.below(256);
+                return MpUint(static_cast<uint32_t>(w)).toHex();
+            };
+            c.args = {word(), word(), word(), word(), word()};
         }
         return c;
     }
@@ -362,6 +375,43 @@ class MpintTarget final : public Target
                 return std::nullopt;
             if (x->compare(*y) != ref(*x).compare(ref(*y)))
                 return "cmp: sign disagrees with reference";
+        } else if (c.op == "m2acc" && a.size() == 5) {
+            uint32_t w[5];
+            for (int i = 0; i < 5; ++i) {
+                auto v = tryMp(a[i]);
+                if (!v || v->size() > 1)
+                    return std::nullopt;
+                w[i] = v->isZero() ? 0 : v->limb(0);
+            }
+            // The paper's M2ADDU is ONE 65-bit add of 2*rs*rt into
+            // OvFlo:Hi:Lo; the Karatsuba unit folds the doubling into
+            // its accumulate.  Every multiplier variant must agree
+            // with the 128-bit reference, carry for carry.
+            unsigned __int128 want =
+                ((static_cast<unsigned __int128>(w[2]) << 64)
+                 | (static_cast<uint64_t>(w[0]) << 32) | w[1])
+                + 2 * static_cast<unsigned __int128>(w[3]) * w[4];
+            // OvFlo is a 32-bit register: the 65-bit add's carry
+            // wraps mod 2^32 like every accumulate before it.
+            want &= ((unsigned __int128)1 << 96) - 1;
+            for (int v = 0; v < kMultiplierVariantCount; ++v) {
+                KaratsubaUnit unit;
+                unit.set(w[0], w[1], w[2]);
+                unit.execute(KaratsubaOp::M2addu, w[3], w[4],
+                             static_cast<MultiplierVariant>(v));
+                unsigned __int128 got =
+                    (static_cast<unsigned __int128>(unit.ovflo()) << 64)
+                    | (static_cast<uint64_t>(unit.hi()) << 32)
+                    | unit.lo();
+                if (got != want)
+                    return mismatch(
+                        std::string("m2acc[")
+                            + multiplierVariantName(
+                                static_cast<MultiplierVariant>(v))
+                            + "]",
+                        MpUint(static_cast<uint64_t>(got)).toHex(),
+                        MpUint(static_cast<uint64_t>(want)).toHex());
+            }
         }
         return std::nullopt;
     }

@@ -265,6 +265,16 @@ evalPointKey(MicroArch arch, CurveId curve, const EvalOptions &options)
     w.add(k.icachePrefetch);
     w.add(k.monteDoubleBuffer);
     w.add(k.billieDigit);
+    // The multiplier design point, by id AND by the descriptor
+    // coefficients it resolves to: a re-calibrated family table must
+    // miss stale entries exactly like a re-calibrated PowerParams.
+    const MultiplierDesc &md = multiplierDesc(k.multiplier);
+    w.add(static_cast<int>(k.multiplier));
+    w.add(static_cast<uint64_t>(md.multLatency));
+    w.add(static_cast<uint64_t>(md.macLatency));
+    w.add(static_cast<uint64_t>(md.gf2Latency));
+    w.add(md.multMwScale);
+    w.add(md.areaKge);
     w.add(options.idealIcache);
     // Every power coefficient, exactly: a design point is only "the
     // same" if the whole calibration is.

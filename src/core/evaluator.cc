@@ -150,7 +150,13 @@ evaluateUncached(MicroArch arch, CurveId curve,
     result.sign = composeOperation(model, trace.sign, true, options);
     result.verify = composeOperation(model, trace.verify, false, options);
 
-    PowerModel power(options.power);
+    // The multiplier family re-points the calibrated per-active-cycle
+    // mult power: the default Karatsuba descriptor's scale is exactly
+    // 1.0, so the paper's design points keep bit-identical energy.
+    PowerParams params = options.power;
+    params.peteMultMw *=
+        multiplierDesc(options.kernel.multiplier).multMwScale;
+    PowerModel power(params);
     result.sign.energy = power.evaluate(result.sign.events);
     result.verify.energy = power.evaluate(result.verify.events);
 

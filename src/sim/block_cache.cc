@@ -156,7 +156,7 @@ BlockCache::runBlock(Pete &cpu)
     bool loadUse0 = cpu.lastLoadDest_ != 0
         && cpu.lastLoadInstr_ == cpu.stats_.instructions
         && ((b->src0Mask >> cpu.lastLoadDest_) & 1u) != 0;
-    uint32_t key = countdown | (loadUse0 ? 1u << 8 : 0u);
+    uint32_t key = countdown | (loadUse0 ? 1u << kCountdownBits : 0u);
     Timing *t = findTiming(*b, key);
     if (!t)
         return record(cpu, *b, key);

@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "isa/isa.hh"
+#include "sim/multiplier.hh"
 
 namespace ulecc
 {
@@ -186,7 +187,21 @@ class BlockCache
     };
 
     static constexpr uint32_t kNoIssue = 0xFFFFFFFFu;
-    static constexpr uint32_t kMaxCountdown = 200;
+    /**
+     * The entry-context key packs the mult-unit countdown in the low
+     * kCountdownBits and the load-use flag just above; a countdown
+     * past the cap slow-walks instead of recording.  The field is
+     * sized so that every multiplier family variant's busy timer
+     * (sim/multiplier.hh), the divider, and a generous margin for
+     * hand-tuned PeteConfig latencies all fit -- a wider variant must
+     * widen this encoding, not silently alias into the flag bit.
+     */
+    static constexpr uint32_t kCountdownBits = 9;
+    static constexpr uint32_t kMaxCountdown =
+        (1u << kCountdownBits) - 1;
+    static_assert(kMaxCountdown >= 8 * kMaxMultiplierLatency,
+                  "countdown encoding too narrow for the multiplier "
+                  "family's widest busy timer");
     static constexpr size_t kMaxBlocks = 4096;
     static constexpr size_t kMaxTimingsPerBlock = 8;
     static constexpr uint64_t kVerifyPeriod = 64;

@@ -561,7 +561,7 @@ Pete::execute(const DecodedInst &inst)
         hi_ = unit.hi();
         lo_ = unit.lo();
         ovflo_ = unit.ovflo();
-        multReadyCycle_ = stats_.cycles + config_.macLatency;
+        multReadyCycle_ = stats_.cycles + config_.gf2Latency;
         break;
       }
       case Op::Ctc2:

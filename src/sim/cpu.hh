@@ -34,6 +34,7 @@
 #include "sim/block_cache.hh"
 #include "sim/icache.hh"
 #include "sim/memory.hh"
+#include "sim/multiplier.hh"
 #include "sim/superblock.hh"
 
 namespace ulecc
@@ -76,8 +77,17 @@ struct PeteConfig
 {
     bool icacheEnabled = false;
     ICacheConfig icache;
-    uint32_t multLatency = 4;  ///< Karatsuba multi-cycle multiplier
-    uint32_t macLatency = 4;   ///< MADDU/M2ADDU/MULGF2/MADDGF2
+    /**
+     * The Hi/Lo multiplier design point.  The three unit latencies
+     * below default to this variant's descriptor (sim/multiplier.hh,
+     * the single source of the timing contract); applyMultiplier()
+     * re-points all four fields together.  The variant never changes
+     * architectural results -- only the timing and energy model.
+     */
+    MultiplierVariant multiplier = MultiplierVariant::Karatsuba;
+    uint32_t multLatency = kKaratsubaDesc.multLatency;  ///< MULT/MULTU
+    uint32_t macLatency = kKaratsubaDesc.macLatency;    ///< MADDU/M2ADDU
+    uint32_t gf2Latency = kKaratsubaDesc.gf2Latency;    ///< MULGF2/MADDGF2
     uint32_t addauLatency = 2; ///< ADDAU through the four-port adder
     uint32_t divLatency = 34;  ///< binary restoring divider
     uint64_t maxCycles = 500'000'000;

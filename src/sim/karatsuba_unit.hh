@@ -17,14 +17,20 @@
  * (AH^AL) (x) (BH^BL) ^ AH(x)BH ^ AL(x)BL).
  *
  * This model executes the schedule cycle by cycle; Pete's timing model
- * charges the same four-cycle occupancy, and the unit tests pin the
- * functional results to plain 64-bit multiplication.
+ * charges the same occupancy through the shared MultiplierDesc
+ * (sim/multiplier.hh -- the single source of the timing contract),
+ * and the unit tests pin the functional results to plain 64-bit
+ * multiplication.  Alternative family members (schoolbook, depth-2
+ * Karatsuba, wide clmul) plug in through the variant overload of
+ * execute(); all are architecturally identical.
  */
 
 #ifndef ULECC_SIM_KARATSUBA_UNIT_HH
 #define ULECC_SIM_KARATSUBA_UNIT_HH
 
 #include <cstdint>
+
+#include "sim/multiplier.hh"
 
 namespace ulecc
 {
@@ -40,12 +46,32 @@ enum class KaratsubaOp : uint8_t
     Maddgf2, ///< (OvFlo,Hi,Lo) ^= rs (x) rt
 };
 
+/**
+ * The schedule a variant charges for one op -- the SAME descriptor
+ * field Pete's timing model arms `multReadyCycle_` with, so the trace
+ * and the pipeline can never drift apart again.
+ */
+constexpr uint32_t
+multiplierOpLatency(const MultiplierDesc &d, KaratsubaOp op)
+{
+    switch (op) {
+      case KaratsubaOp::Mult:
+      case KaratsubaOp::Multu:
+        return d.multLatency;
+      case KaratsubaOp::Maddu:
+      case KaratsubaOp::M2addu:
+        return d.macLatency;
+      default:
+        return d.gf2Latency;
+    }
+}
+
 /** Cycle-by-cycle trace of one operation (for tests/visualisation). */
 struct KaratsubaTrace
 {
-    int cycles = 0;           ///< always 4 in this implementation
-    int halfMultiplies = 0;   ///< 17x17 signed block activations
-    int clmulBlocks = 0;      ///< 16x16 carry-less block activations
+    int cycles = 0;           ///< the variant's per-op occupancy
+    int halfMultiplies = 0;   ///< integer block activations
+    int clmulBlocks = 0;      ///< carry-less block activations
     int64_t subProducts[3]{}; ///< AL*BL, AH*BH, middle term
 };
 
@@ -66,7 +92,8 @@ class KaratsubaUnit
     execute(KaratsubaOp op, uint32_t rs, uint32_t rt)
     {
         KaratsubaTrace trace;
-        trace.cycles = 4;
+        trace.cycles =
+            static_cast<int>(multiplierOpLatency(kKaratsubaDesc, op));
         switch (op) {
           case KaratsubaOp::Mult: {
             // Signed: run the unsigned datapath on magnitudes; the
@@ -91,15 +118,7 @@ class KaratsubaUnit
           case KaratsubaOp::Maddu:
           case KaratsubaOp::M2addu: {
             uint64_t p = karatsubaU32(rs, rt, trace);
-            int reps = (op == KaratsubaOp::M2addu) ? 2 : 1;
-            for (int r = 0; r < reps; ++r) {
-                uint64_t acc = (static_cast<uint64_t>(hi_) << 32) | lo_;
-                uint64_t sum = acc + p;
-                if (sum < acc)
-                    ovflo_ += 1;
-                lo_ = static_cast<uint32_t>(sum);
-                hi_ = static_cast<uint32_t>(sum >> 32);
-            }
+            accumulate(p, op == KaratsubaOp::M2addu);
             break;
           }
           default:
@@ -108,6 +127,17 @@ class KaratsubaUnit
         }
         return trace;
     }
+
+    /**
+     * Executes one operation on a family variant's datapath
+     * (sim/multiplier.hh).  Architecturally identical to the default
+     * Karatsuba path -- only the trace's schedule and block-activity
+     * counts differ.  Out of line: the simulator's hot loops never
+     * call it (variants change timing through PeteConfig, not
+     * results), only tests and the design-space sweep do.
+     */
+    KaratsubaTrace execute(KaratsubaOp op, uint32_t rs, uint32_t rt,
+                           MultiplierVariant variant);
 
     uint32_t hi() const { return hi_; }
     uint32_t lo() const { return lo_; }
@@ -122,6 +152,30 @@ class KaratsubaUnit
     }
 
   private:
+    /**
+     * MADDU/M2ADDU accumulate (Table 5.1): one wide add of p or 2p
+     * into (OvFlo,Hi,Lo).  For M2ADDU the addend 2p is 65 bits; its
+     * shifted-out top bit plus the 64-bit sum's carry-out give the
+     * 0-2 OvFlo increment.  This is provably the same count two
+     * sequential 64-bit adds of p produce -- write acc + p =
+     * c1*2^64 + r1 and r1 + p = c2*2^64 + r2, then acc + 2p =
+     * (c1+c2)*2^64 + r2 -- so the paper's one-wide-add reading and
+     * the iterated-adder reading cannot disagree (the diffuzz mpint
+     * "m2acc" oracle and test_karatsuba pin this against a 128-bit
+     * reference).
+     */
+    void
+    accumulate(uint64_t p, bool doubled)
+    {
+        uint64_t acc = (static_cast<uint64_t>(hi_) << 32) | lo_;
+        uint32_t carry = doubled ? static_cast<uint32_t>(p >> 63) : 0;
+        uint64_t addend = doubled ? p << 1 : p;
+        uint64_t sum = acc + addend;
+        ovflo_ += carry + (sum < acc ? 1u : 0u);
+        lo_ = static_cast<uint32_t>(sum);
+        hi_ = static_cast<uint32_t>(sum >> 32);
+    }
+
     /** Unsigned 32x32 product via three 17x17 products (Eq. 5.1). */
     static uint64_t
     karatsubaU32(uint32_t a, uint32_t b, KaratsubaTrace &trace)

@@ -247,9 +247,10 @@ SuperblockCache::lookup(Pete &cpu, uint32_t pc)
         if (programKey_ == 0) {
             // Everything a trace's content depends on beyond the text.
             const PeteConfig &cfg = cpu.config_;
-            const uint32_t extra[5] = {
+            const uint32_t extra[7] = {
                 cfg.multLatency, cfg.divLatency, cfg.macLatency,
-                cfg.addauLatency,
+                cfg.addauLatency, cfg.gf2Latency,
+                static_cast<uint32_t>(cfg.multiplier),
                 cpu.icache_ ? cpu.icache_->config().lineBytes : 0};
             uint64_t h = fnv1a(cpu.mem_.romImage(),
                                cpu.mem_.romImageSize(),
@@ -402,9 +403,9 @@ SuperblockCache::buildTrace(Pete &cpu, uint32_t headPc)
             r.kind = Kind::Addau; r.aux = cfg.addauLatency; break;
           case Op::Sha: r.kind = Kind::Sha; break;
           case Op::Mulgf2:
-            r.kind = Kind::Mulgf2; r.aux = cfg.macLatency; break;
+            r.kind = Kind::Mulgf2; r.aux = cfg.gf2Latency; break;
           case Op::Maddgf2:
-            r.kind = Kind::Maddgf2; r.aux = cfg.macLatency; break;
+            r.kind = Kind::Maddgf2; r.aux = cfg.gf2Latency; break;
           case Op::Mfhi: r.kind = Kind::Mfhi; break;
           case Op::Mflo: r.kind = Kind::Mflo; break;
           case Op::Mthi: r.kind = Kind::Mthi; break;

@@ -435,10 +435,11 @@ kernelSource(AsmKernel kernel, int k)
 
 KernelRun
 runKernel(AsmKernel kernel, const MpUint &a, const MpUint &b, int k,
-          const ICacheConfig *icache)
+          const ICacheConfig *icache, MultiplierVariant multiplier)
 {
     auto execute = [&](const std::string &src) {
         PeteConfig cfg;
+        applyMultiplier(cfg, multiplier);
         if (icache) {
             cfg.icacheEnabled = true;
             cfg.icache = *icache;

@@ -55,10 +55,15 @@ std::string kernelSource(AsmKernel kernel, int k);
  * Runs @p kernel on the simulator with operands @p a and @p b of
  * @p k limbs.  The measured window excludes the setup prologue.
  *
- * @param icache  Optionally run with an instruction cache attached.
+ * @param icache      Optionally run with an instruction cache attached.
+ * @param multiplier  The Hi/Lo multiplier design point to time against
+ *                    (sim/multiplier.hh; results are variant-invariant,
+ *                    cycles are not).
  */
 KernelRun runKernel(AsmKernel kernel, const MpUint &a, const MpUint &b,
-                    int k, const ICacheConfig *icache = nullptr);
+                    int k, const ICacheConfig *icache = nullptr,
+                    MultiplierVariant multiplier =
+                        MultiplierVariant::Karatsuba);
 
 } // namespace ulecc
 

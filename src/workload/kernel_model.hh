@@ -22,6 +22,7 @@
 #include "ec/curve.hh"
 #include "energy/power_model.hh"
 #include "mpint/op_observer.hh"
+#include "sim/multiplier.hh"
 
 namespace ulecc
 {
@@ -60,6 +61,13 @@ struct KernelModelOptions
     bool icachePrefetch = false;
     bool monteDoubleBuffer = true;
     int billieDigit = 3;
+    /**
+     * The Hi/Lo multiplier design point (sim/multiplier.hh): the
+     * measured kernels simulate against its latencies and the
+     * analytic occupancy terms use its descriptor.  Architectural
+     * results never change -- only cycles and energy do.
+     */
+    MultiplierVariant multiplier = MultiplierVariant::Karatsuba;
 };
 
 /** The cost model for one (arch, curve) pair. */

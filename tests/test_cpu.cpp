@@ -698,6 +698,50 @@ TEST(BlockCache, MultCountdownCrossesBlockBoundary)
     )");
 }
 
+namespace
+{
+
+// The countdown-crossing workload shared by the multiplier-variant
+// regressions: the multiply issues in the jump's delay slot, so the
+// busy countdown is live at the next block's entry and its width is
+// variant-dependent.
+constexpr const char *kMultCrossingWorkload = R"(
+        addiu $t0, $zero, 30
+        addiu $t1, $zero, 0
+        addiu $t2, $zero, 7
+    loop:
+        j     body
+        mult  $t2, $t0
+    body:
+        mflo  $t3
+        addu  $t1, $t1, $t3
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        break
+    )";
+
+} // namespace
+
+TEST(BlockCache, SixCycleMultiplierCountdownStaysExact)
+{
+    // A 6-cycle variant (karatsuba2) widens the live countdown past
+    // what the old 200-cap key packing assumed; the entry-context key
+    // must still carry it exactly -- bit-identical stats on vs off,
+    // and MORE mult-busy stalls than the 4-cycle default, never a
+    // corrupted count.
+    PeteConfig cfg;
+    applyMultiplier(cfg, MultiplierVariant::Karatsuba2);
+    ASSERT_EQ(cfg.multLatency, 6u);
+    Pete slow6 = expectCacheEquivalent(kMultCrossingWorkload, cfg);
+    Pete dflt = expectCacheEquivalent(kMultCrossingWorkload);
+    EXPECT_GT(slow6.stats().multBusyStalls,
+              dflt.stats().multBusyStalls);
+    EXPECT_EQ(slow6.stats().instructions, dflt.stats().instructions);
+    EXPECT_EQ(slow6.lo(), dflt.lo()); // timing only, same arithmetic
+    EXPECT_EQ(slow6.hi(), dflt.hi());
+}
+
 TEST(BlockCache, DataDependentBranchDirections)
 {
     // The inner branch alternates taken/not-taken with the counter's
@@ -984,6 +1028,23 @@ TEST(Superblock, StatsBitIdenticalWithIcache)
     const SuperblockStats *sb = fast.superblockStats();
     ASSERT_NE(sb, nullptr);
     EXPECT_GT(sb->traceRuns, 0u); // resident lines still run threaded
+}
+
+TEST(Superblock, SixCycleMultiplierTraceTierStaysExact)
+{
+    // Same regression one tier up: traces compile the variant's
+    // per-op occupancy into TraceOp.aux and the registry key folds
+    // the variant, so a karatsuba2 run must stay bit-identical to
+    // its own slow path and stall more than the default.
+    PeteConfig cfg;
+    applyMultiplier(cfg, MultiplierVariant::Karatsuba2);
+    Pete slow6 = expectSuperblockEquivalent(kMultCrossingWorkload, cfg);
+    Pete dflt = expectSuperblockEquivalent(kMultCrossingWorkload);
+    EXPECT_GT(slow6.stats().multBusyStalls,
+              dflt.stats().multBusyStalls);
+    EXPECT_EQ(slow6.stats().instructions, dflt.stats().instructions);
+    EXPECT_EQ(slow6.lo(), dflt.lo());
+    EXPECT_EQ(slow6.hi(), dflt.hi());
 }
 
 TEST(Superblock, DataDependentBranchDirections)

@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include "mpint/binary_field.hh"
+#include "sim/cpu.hh"
 #include "sim/karatsuba_unit.hh"
+#include "sim/multiplier.hh"
 #include "test_util.hh"
 
 using namespace ulecc;
@@ -125,6 +127,168 @@ TEST(Karatsuba, CarrylessAccumulateXors)
     unit.execute(KaratsubaOp::Maddgf2, 0xDEADBEEFu, 0xCAFEBABEu);
     EXPECT_EQ(unit.lo(), 0x55555555u);
     EXPECT_EQ(unit.hi(), 0xAAAAAAAAu);
+}
+
+namespace
+{
+
+const MultiplierVariant kAllVariants[] = {
+    MultiplierVariant::Karatsuba, MultiplierVariant::Schoolbook,
+    MultiplierVariant::Karatsuba2, MultiplierVariant::ClmulWide};
+
+} // namespace
+
+TEST(MultiplierFamily, ScheduleMatchesDescriptor)
+{
+    // Satellite pin: KaratsubaTrace.cycles is sourced from the ONE
+    // descriptor table, per op class -- no duplicated "4"s anywhere.
+    for (MultiplierVariant v : kAllVariants) {
+        const MultiplierDesc &d = multiplierDesc(v);
+        KaratsubaUnit unit;
+        KaratsubaTrace t =
+            unit.execute(KaratsubaOp::Multu, 0x1234u, 0x5678u, v);
+        EXPECT_EQ(t.cycles, static_cast<int>(d.multLatency)) << d.name;
+        EXPECT_EQ(t.halfMultiplies, d.halfMultiplies) << d.name;
+        EXPECT_EQ(t.clmulBlocks, 0u) << d.name;
+
+        t = unit.execute(KaratsubaOp::Maddu, 0x1234u, 0x5678u, v);
+        EXPECT_EQ(t.cycles, static_cast<int>(d.macLatency)) << d.name;
+
+        t = unit.execute(KaratsubaOp::Mulgf2, 0x1234u, 0x5678u, v);
+        EXPECT_EQ(t.cycles, static_cast<int>(d.gf2Latency)) << d.name;
+        EXPECT_EQ(t.clmulBlocks, d.clmulBlocks) << d.name;
+        EXPECT_EQ(t.halfMultiplies, 0u) << d.name;
+    }
+    // The default inline path and the descriptor must agree too.
+    KaratsubaUnit unit;
+    KaratsubaTrace t = unit.execute(KaratsubaOp::Multu, 3u, 5u);
+    EXPECT_EQ(t.cycles, static_cast<int>(kKaratsubaDesc.multLatency));
+    EXPECT_LE(kKaratsubaDesc.multLatency, kMaxMultiplierLatency);
+}
+
+TEST(MultiplierFamily, VariantsBitIdenticalToOracle)
+{
+    // Every datapath computes the SAME architectural Hi/Lo/OvFlo --
+    // variants may only change timing and energy.  Random op streams
+    // against a 128-bit software oracle.
+    Rng rng(0xd351);
+    KaratsubaUnit units[4];
+    unsigned __int128 acc = 0;
+    for (int i = 0; i < 20000; ++i) {
+        uint32_t a = rng.next32(), b = rng.next32();
+        KaratsubaOp op;
+        switch (rng.next32() % 6) {
+        case 0: op = KaratsubaOp::Mult; break;
+        case 1: op = KaratsubaOp::Multu; break;
+        case 2: op = KaratsubaOp::Maddu; break;
+        case 3: op = KaratsubaOp::M2addu; break;
+        case 4: op = KaratsubaOp::Mulgf2; break;
+        default: op = KaratsubaOp::Maddgf2; break;
+        }
+        for (size_t v = 0; v < 4; ++v)
+            units[v].execute(op, a, b, kAllVariants[v]);
+
+        // Software oracle for the integer accumulator ops.
+        switch (op) {
+        case KaratsubaOp::Mult:
+            acc = static_cast<unsigned __int128>(static_cast<uint64_t>(
+                static_cast<int64_t>(static_cast<int32_t>(a))
+                * static_cast<int32_t>(b)));
+            acc &= ~(unsigned __int128)0 >> 64; // hi:lo only
+            break;
+        case KaratsubaOp::Multu:
+            acc = static_cast<unsigned __int128>(a) * b;
+            break;
+        case KaratsubaOp::Maddu:
+            acc = (acc & (((unsigned __int128)1 << 96) - 1))
+                  + static_cast<unsigned __int128>(a) * b;
+            break;
+        case KaratsubaOp::M2addu:
+            // The paper's single 65-bit add of 2*rs*rt.
+            acc = (acc & (((unsigned __int128)1 << 96) - 1))
+                  + 2 * static_cast<unsigned __int128>(a) * b;
+            break;
+        case KaratsubaOp::Mulgf2:
+            acc = clmul32(a, b);
+            break;
+        case KaratsubaOp::Maddgf2:
+            acc = (acc & (((unsigned __int128)1 << 96)
+                          - ((unsigned __int128)1 << 64)))
+                  | (static_cast<uint64_t>(acc) ^ clmul32(a, b));
+            break;
+        }
+        uint32_t lo = static_cast<uint32_t>(acc);
+        uint32_t hi = static_cast<uint32_t>(acc >> 32);
+        for (size_t v = 0; v < 4; ++v) {
+            ASSERT_EQ(units[v].lo(), lo)
+                << multiplierDesc(kAllVariants[v]).name << " op " << i;
+            ASSERT_EQ(units[v].hi(), hi)
+                << multiplierDesc(kAllVariants[v]).name << " op " << i;
+            ASSERT_EQ(units[v].ovflo(), units[0].ovflo())
+                << multiplierDesc(kAllVariants[v]).name << " op " << i;
+        }
+    }
+}
+
+TEST(MultiplierFamily, M2adduCarryMatches65BitAdd)
+{
+    // Satellite 2: M2ADDU is ONE 65-bit add of 2*rs*rt (the paper's
+    // datapath), not two chained 64-bit adds -- the carry into OvFlo
+    // must match the 128-bit reference exactly, including the case
+    // where bit 63 of the product becomes the doubled carry.
+    Rng rng(0x65b17add);
+    for (int i = 0; i < 20000; ++i) {
+        uint32_t hi = rng.next32(), lo = rng.next32();
+        uint32_t ov = rng.next32() & 0xFF;
+        uint32_t a = rng.next32() | 0x80000000u; // force large products
+        uint32_t b = rng.next32() | 0x80000000u;
+        KaratsubaUnit unit;
+        unit.set(hi, lo, ov);
+        unit.execute(KaratsubaOp::M2addu, a, b);
+        unsigned __int128 ref =
+            ((static_cast<unsigned __int128>(ov) << 64)
+             | (static_cast<uint64_t>(hi) << 32) | lo)
+            + 2 * static_cast<unsigned __int128>(a) * b;
+        ASSERT_EQ(unit.lo(), static_cast<uint32_t>(ref));
+        ASSERT_EQ(unit.hi(), static_cast<uint32_t>(ref >> 32));
+        ASSERT_EQ(unit.ovflo(), static_cast<uint32_t>(ref >> 64));
+    }
+    // Pinned corner: product with bit 63 set, so doubling itself
+    // carries out even before the accumulate.
+    KaratsubaUnit unit;
+    unit.set(0, 0, 0);
+    unit.execute(KaratsubaOp::M2addu, 0xFFFFFFFFu, 0xFFFFFFFFu);
+    unsigned __int128 ref = 2 * static_cast<unsigned __int128>(
+                                    0xFFFFFFFFull * 0xFFFFFFFFull);
+    EXPECT_EQ(unit.lo(), static_cast<uint32_t>(ref));
+    EXPECT_EQ(unit.hi(), static_cast<uint32_t>(ref >> 32));
+    EXPECT_EQ(unit.ovflo(), static_cast<uint32_t>(ref >> 64)); // == 1
+}
+
+TEST(MultiplierFamily, PeteConfigDefaultsComeFromDescriptor)
+{
+    // The single-source contract: a default PeteConfig carries exactly
+    // the karatsuba descriptor's schedule, and applyMultiplier()
+    // rewrites all three latencies from the chosen descriptor.
+    PeteConfig cfg;
+    EXPECT_EQ(cfg.multiplier, MultiplierVariant::Karatsuba);
+    EXPECT_EQ(cfg.multLatency, kKaratsubaDesc.multLatency);
+    EXPECT_EQ(cfg.macLatency, kKaratsubaDesc.macLatency);
+    EXPECT_EQ(cfg.gf2Latency, kKaratsubaDesc.gf2Latency);
+    for (MultiplierVariant v : kAllVariants) {
+        const MultiplierDesc &d = multiplierDesc(v);
+        PeteConfig c;
+        applyMultiplier(c, v);
+        EXPECT_EQ(c.multiplier, v) << d.name;
+        EXPECT_EQ(c.multLatency, d.multLatency) << d.name;
+        EXPECT_EQ(c.macLatency, d.macLatency) << d.name;
+        EXPECT_EQ(c.gf2Latency, d.gf2Latency) << d.name;
+        MultiplierVariant parsed;
+        EXPECT_TRUE(parseMultiplierVariant(d.name, parsed)) << d.name;
+        EXPECT_EQ(parsed, v) << d.name;
+    }
+    MultiplierVariant parsed;
+    EXPECT_FALSE(parseMultiplierVariant("wallace-tree", parsed));
 }
 
 TEST(Karatsuba, MiddleTermStaysWithin17Bits)

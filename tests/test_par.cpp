@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <future>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -383,6 +384,36 @@ TEST(EvalCache, KeyCoversEveryOption)
     power.power.romReadScale *= 1.5;
     EXPECT_NE(k0, evalPointKey(MicroArch::Baseline, CurveId::P192,
                                power));
+    // Satellite 3: the multiplier variant (and through it the whole
+    // descriptor) is part of the key -- every variant keys distinctly.
+    std::set<std::string> variant_keys;
+    for (int v = 0; v < kMultiplierVariantCount; ++v) {
+        EvalOptions mult = base;
+        mult.kernel.multiplier = static_cast<MultiplierVariant>(v);
+        variant_keys.insert(
+            evalPointKey(MicroArch::Baseline, CurveId::P192, mult));
+    }
+    EXPECT_EQ(variant_keys.size(),
+              static_cast<size_t>(kMultiplierVariantCount));
+    EXPECT_EQ(variant_keys.count(k0), 1u); // default == karatsuba
+}
+
+TEST(EvalCache, MultiplierVariantMissesTheMemo)
+{
+    // A variant change must MISS: a schoolbook evaluation may never
+    // be served from the karatsuba entry.
+    EnvVar cache("ULECC_EVAL_CACHE", "1");
+    EvalCache::instance().clear();
+    evaluate(MicroArch::Baseline, CurveId::P192, {});
+    uint64_t misses = EvalCache::instance().stats().misses;
+    EvalOptions opt;
+    opt.kernel.multiplier = MultiplierVariant::Schoolbook;
+    EvalResult school =
+        evaluate(MicroArch::Baseline, CurveId::P192, opt);
+    EXPECT_GT(EvalCache::instance().stats().misses, misses);
+    EvalResult dflt = evaluate(MicroArch::Baseline, CurveId::P192, {});
+    EXPECT_NE(school.totalCycles(), dflt.totalCycles());
+    EvalCache::instance().clear();
 }
 
 TEST(EvalCache, MemoHitIsBitIdentical)

@@ -24,6 +24,10 @@
 # It also runs bench_svc and compares svc_requests_per_sec /
 # svc_telemetry_overhead against BENCH_svc.json the same way, so
 # observability overhead regressions are caught.
+# Finally it re-runs the bench_multspace sweep and byte-compares the
+# ulecc.multspace.v1 journal against the committed BENCH_multspace.json
+# -- the multiplier design-space numbers are pure evaluation, so any
+# drift is a real model change, not noise.
 
 set -euo pipefail
 
@@ -143,6 +147,26 @@ fi
 "$json_check" --jsonl "$schemas/bench_record.schema.json" \
     "$work/bench.jsonl"
 
+step "telemetry: multiplier design-space sweep (serial vs parallel)"
+for mode in par ser; do
+    extra=()
+    [[ $mode == ser ]] && extra=(--serial)
+    : > "$work/multspace_$mode.jsonl"
+    ULECC_MULTSPACE_METRICS="$work/multspace_$mode.jsonl" \
+        "$repo/build/bench/bench_multspace" "${extra[@]}" \
+        > "$work/multspace_$mode.txt"
+done
+for ext in txt jsonl; do
+    if ! cmp -s "$work/multspace_par.$ext" "$work/multspace_ser.$ext"; then
+        echo "FAIL: multspace $ext differs serial vs parallel" >&2
+        diff "$work/multspace_par.$ext" "$work/multspace_ser.$ext" >&2 \
+            || true
+        exit 1
+    fi
+done
+"$json_check" --jsonl "$schemas/multspace.schema.json" \
+    "$work/multspace_par.jsonl"
+
 if [[ $run_bench -eq 1 ]]; then
     step "bench: simulator throughput vs committed baseline"
     : > "$work/bench_ss.jsonl"
@@ -235,6 +259,16 @@ timing("svc_telemetry_overhead", higher_is_better=False)
 
 sys.exit(1 if fail else 0)
 EOF
+
+    step "bench: multiplier design space vs committed baseline"
+    if ! cmp -s "$repo/BENCH_multspace.json" \
+            "$work/multspace_par.jsonl"; then
+        echo "FAIL: multspace journal drifted from BENCH_multspace.json" >&2
+        diff "$repo/BENCH_multspace.json" "$work/multspace_par.jsonl" >&2 \
+            || true
+        exit 1
+    fi
+    echo "ok:   80 multspace records byte-identical to baseline"
 fi
 
 if [[ "$diffuzz_cases" != "0" ]]; then

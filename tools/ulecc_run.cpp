@@ -8,6 +8,9 @@
  *     --prefetch     enable the stream-buffer prefetcher
  *     --monte        attach the Monte coprocessor
  *     --billie       attach the Billie coprocessor (B-163, D = 3)
+ *     --multiplier V pick the Hi/Lo multiplier design point
+ *                    (karatsuba | schoolbook | karatsuba2 | clmulwide;
+ *                    timing/energy only -- results are identical)
  *     --max-cycles N cycle budget (default 500M)
  *     --no-predecode decode at every retirement (the pre-fast-path
  *                    behaviour; for simulator-speed A/B runs)
@@ -57,12 +60,13 @@ usage()
     std::fprintf(stderr,
                  "usage: ulecc-run [--icache KB] [--prefetch] [--monte] "
                  "[--billie]\n"
-                 "                 [--max-cycles N] [--no-predecode] "
-                 "[--no-block-cache]\n"
-                 "                 [--no-superblock] "
-                 "[--dump ADDR WORDS] [--energy]\n"
-                 "                 [--trace FILE] [--profile] "
-                 "[--metrics FILE] program.s\n");
+                 "                 [--multiplier VARIANT] "
+                 "[--max-cycles N] [--no-predecode]\n"
+                 "                 [--no-block-cache] [--no-superblock] "
+                 "[--dump ADDR WORDS]\n"
+                 "                 [--energy] [--trace FILE] [--profile] "
+                 "[--metrics FILE]\n"
+                 "                 program.s\n");
 }
 
 /** The run's activity, in the power model's terms. */
@@ -74,7 +78,10 @@ collectEvents(const Pete &cpu, const PeteConfig &config,
     EventCounts ev;
     ev.cycles = s.cycles;
     ev.instructions = s.instructions;
-    ev.multActiveCycles = s.multIssues * 4;
+    // Each issue occupies the unit for the configured latency -- the
+    // descriptor-sourced field, never a literal (GF(2)-heavy runs on a
+    // split-latency variant are approximated by the integer latency).
+    ev.multActiveCycles = s.multIssues * config.multLatency;
     ev.romNarrowReads = cpu.mem().romFetchCounters().reads;
     ev.romWideReads = cpu.mem().romFetchCounters().wideReads;
     ev.ramReads = cpu.mem().ramCounters().reads;
@@ -137,6 +144,17 @@ main(int argc, char **argv)
             use_monte = true;
         } else if (!std::strcmp(argv[i], "--billie")) {
             use_billie = true;
+        } else if (!std::strcmp(argv[i], "--multiplier")
+                   && i + 1 < argc) {
+            MultiplierVariant v;
+            if (!parseMultiplierVariant(argv[++i], v)) {
+                std::fprintf(stderr,
+                             "ulecc-run: unknown multiplier '%s'\n",
+                             argv[i]);
+                usage();
+                return 2;
+            }
+            applyMultiplier(config, v);
         } else if (!std::strcmp(argv[i], "--max-cycles")
                    && i + 1 < argc) {
             config.maxCycles = std::strtoull(argv[++i], nullptr, 0);
@@ -329,6 +347,8 @@ main(int argc, char **argv)
         if (metrics_path) {
             MetricsRegistry reg("ulecc.run.v1");
             reg.set("program", path);
+            reg.set("multiplier",
+                    multiplierVariantName(config.multiplier));
             reg.set("halted", halted);
             if (!halted)
                 reg.set("error", errcName(outcome.code()));
