@@ -3,21 +3,32 @@
  * Service-engine throughput microbenchmark (not a paper figure).
  *
  * Measures the host-side cost of the crypto-as-a-service engine
- * (src/svc) and of its observability subsystem: the same chaos-mode
- * campaign is run with telemetry detached and with every consumer
- * attached (request tracer, timeline aggregator, SLO engine, flight
- * recorder), and the journal records
+ * (src/svc) on its headline serving shape: a same-curve-heavy
+ * campaign (one curve, bursty arrivals well above the service rate)
+ * with request batching enabled -- production defaults, where the
+ * batch former coalesces same-shape requests into shared passes and
+ * one co-simulation anchor serves a whole batch.  The journal
+ * records
  *
  *   svc_requests_per_sec    completed campaign requests per
- *                           wall-clock second, telemetry off;
+ *                           wall-clock second, telemetry off,
+ *                           batching on;
  *   svc_telemetry_overhead  telemetry-on / telemetry-off wall-clock
- *                           ratio (1.0 = free).
+ *                           ratio (1.0 = free);
+ *   svc_batch_off_rps       the same campaign with the former
+ *                           disabled (every request pays its own
+ *                           pass and its own co-sim anchor);
+ *   svc_batch_on_rps        == the headline cell, re-stated next to
+ *                           its off counterpart;
+ *   svc_batch_speedup       on/off wall-clock ratio;
+ *   svc_batch_occupancy     mean members per executed batch pass.
  *
  * tools/check.sh --bench compares a fresh journal line against the
  * committed BENCH_svc.json baseline, so a change that slows the
- * engine or makes observability expensive shows up as a regression.
- * The timings are host-dependent and exempt from the byte-identity
- * rule; the campaign *outcomes* stay deterministic either way.
+ * engine, makes observability expensive, or quietly stops batching
+ * (occupancy collapse) shows up as a regression.  The timings are
+ * host-dependent and exempt from the byte-identity rule; the
+ * campaign *outcomes* stay deterministic either way.
  */
 
 #include <chrono>
@@ -41,24 +52,44 @@ now()
         .count();
 }
 
+/**
+ * The same-curve-heavy campaign: one curve keeps the shape space
+ * small so the former can actually coalesce, bursty arrivals keep the
+ * queue deep, and the fidelity tier is pinned to FullSim so every
+ * unbatched request pays a fresh per-request co-simulation anchor --
+ * the host-side cost batching amortizes to one anchor per pass.
+ */
 SvcConfig
-campaignConfig(bool serial)
+campaignConfig(bool serial, bool batching)
 {
     SvcConfig cfg;
     cfg.seed = 2026;
-    cfg.requests = 400;
-    cfg.users = 96;
-    cfg.chaos.percent = 20;
-    cfg.arrivals.kind = ArrivalKind::Bursty;
+    cfg.requests = 300;
+    cfg.users = 64;
+    cfg.chaos.percent = 0;
     cfg.serial = serial;
+    cfg.curves = {CurveId::P192};
+    cfg.arrivals.kind = ArrivalKind::Bursty;
+    cfg.arrivals.ratePerSec = 2000.0;
+    // Generous budgets: this cell measures throughput, not shedding.
+    cfg.queueCap = 100000;
+    cfg.deadlineFactor = 1e6;
+    cfg.deadlineFloorNs = 1ull << 60;
+    cfg.degrade.memoizedDepth = 100000; // pin FullSim under any depth
+    cfg.degrade.analyticDepth = 200000;
+    cfg.batch.enabled = batching;
+    cfg.batch.maxSize = 16;
+    cfg.batch.lingerNs = 8'000'000;
     return cfg;
 }
 
-/** Wall-clock of one full campaign; telemetry attached when asked. */
+/** Wall-clock of one campaign; telemetry attached when asked; mean
+ * members per executed batch pass reported via @p occupancy. */
 double
-runOnce(bool serial, bool telemetry)
+runOnce(bool serial, bool batching, bool telemetry,
+        double *occupancy = nullptr)
 {
-    Server server(campaignConfig(serial));
+    Server server(campaignConfig(serial, batching));
     RequestTracer tracer;
     TimelineAggregator timeline;
     SloEngine slo;
@@ -73,16 +104,22 @@ runOnce(bool serial, bool telemetry)
     }
     double t0 = now();
     server.run();
-    return now() - t0;
+    double s = now() - t0;
+    const SvcCounters &c = server.counters();
+    if (occupancy && c.batchPassesExecuted)
+        *occupancy = double(c.batchMembersTotal)
+            / double(c.batchPassesExecuted);
+    return s;
 }
 
 /** Best of @p trials (minimum wall time denoises scheduler jitter). */
 double
-measure(bool serial, bool telemetry, int trials = 2)
+measure(bool serial, bool batching, bool telemetry,
+        double *occupancy = nullptr, int trials = 2)
 {
-    double best = runOnce(serial, telemetry);
+    double best = runOnce(serial, batching, telemetry, occupancy);
     for (int i = 1; i < trials; ++i) {
-        double s = runOnce(serial, telemetry);
+        double s = runOnce(serial, batching, telemetry, occupancy);
         if (s < best)
             best = s;
     }
@@ -96,31 +133,41 @@ main(int argc, char **argv)
 {
     SweepDriver sweep(argc, argv); // uniform CLI; drives nothing here
     banner("Svc speed",
-           "service-engine throughput and telemetry overhead");
+           "service-engine throughput, batching, telemetry overhead");
 
     // One untimed campaign first: it warms the process-wide
     // evaluation memo (and the kernel/trace memos underneath), so the
     // measured runs compare engine cost, not first-touch cache fills.
-    runOnce(sweep.serial(), false);
+    runOnce(sweep.serial(), true, false);
 
-    const SvcConfig cfg = campaignConfig(sweep.serial());
-    double off_s = measure(sweep.serial(), false);
-    double on_s = measure(sweep.serial(), true);
-    double rps = double(cfg.requests) / off_s;
-    double overhead = on_s / off_s;
+    const SvcConfig cfg = campaignConfig(sweep.serial(), true);
+    double occOff = 1.0, occOn = 1.0;
+    double batchOff_s = measure(sweep.serial(), false, false, &occOff);
+    double batchOn_s = measure(sweep.serial(), true, false, &occOn);
+    double tel_s = measure(sweep.serial(), true, true);
+    double offRps = double(cfg.requests) / batchOff_s;
+    double onRps = double(cfg.requests) / batchOn_s;
+    double overhead = tel_s / batchOn_s;
 
-    Table t({"Configuration", "Wall s", "Requests/s", "Overhead"});
-    t.addRow({"telemetry off", fmt(off_s, 3), fmt(rps, 0), "1.00x"});
-    t.addRow({"tracer+timeline+slo+flight", fmt(on_s, 3),
-              fmt(double(cfg.requests) / on_s, 0),
-              fmt(overhead, 2) + "x"});
+    Table t({"Configuration", "Wall s", "Requests/s", "Occupancy"});
+    t.addRow({"batching off", fmt(batchOff_s, 3), fmt(offRps, 0),
+              fmt(occOff, 2)});
+    t.addRow({"batching max 16, linger 8ms", fmt(batchOn_s, 3),
+              fmt(onRps, 0), fmt(occOn, 2)});
+    t.addRow({"  + tracer+timeline+slo+flight", fmt(tel_s, 3),
+              fmt(double(cfg.requests) / tel_s, 0), fmt(occOn, 2)});
     t.print();
 
-    BenchJournal::instance().recordSvcSpeed(rps, overhead);
+    BenchJournal::instance().recordSvcSpeed(onRps, overhead);
+    BenchJournal::instance().recordSvcBatch(offRps, onRps,
+                                            batchOff_s / batchOn_s,
+                                            occOn);
 
     footnote("timings are host-dependent (exempt from byte-identity); "
              "the journal's svc_requests_per_sec field tracks the "
-             "telemetry-off campaign, svc_telemetry_overhead the "
-             "all-consumers-attached wall-clock ratio");
+             "batching-on telemetry-off campaign, "
+             "svc_telemetry_overhead the all-consumers-attached "
+             "wall-clock ratio, and the svc_batch_* fields the "
+             "batching on/off cell of the same grid");
     return 0;
 }

@@ -254,6 +254,18 @@ BenchJournal::recordSvcSpeed(double requestsPerSec,
 }
 
 void
+BenchJournal::recordSvcBatch(double offRps, double onRps,
+                             double speedup, double occupancy)
+{
+    if (!open_)
+        return;
+    record_["svc_batch_off_rps"] = offRps;
+    record_["svc_batch_on_rps"] = onRps;
+    record_["svc_batch_speedup"] = speedup;
+    record_["svc_batch_occupancy"] = occupancy;
+}
+
+void
 BenchJournal::note(const std::string &text)
 {
     if (!open_)

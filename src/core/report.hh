@@ -126,6 +126,13 @@ class BenchJournal
      * free; higher = slower with all consumers attached). */
     void recordSvcSpeed(double requestsPerSec, double telemetryOverhead);
 
+    /** Captures request-batching effectiveness (bench_svc) on the
+     * same-shape-heavy campaign: completed requests per wall-clock
+     * second with batching off and on, the on/off throughput ratio,
+     * and the mean members per executed batch pass. */
+    void recordSvcBatch(double offRps, double onRps, double speedup,
+                        double occupancy);
+
     /** Captures a free-form note line. */
     void note(const std::string &text);
 

@@ -1,6 +1,6 @@
 /**
  * @file
- * Thread pool implementation.
+ * Thread pool implementation (central FIFO and work-stealing modes).
  */
 
 #include "par/thread_pool.hh"
@@ -8,9 +8,28 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
 
 namespace ulecc
 {
+
+namespace
+{
+
+/**
+ * Identity of the pool worker running on this thread, if any: lets a
+ * nested submit() land on the submitting worker's own deque instead
+ * of the injection queue.
+ */
+struct WorkerIdentity
+{
+    ThreadPool *pool = nullptr;
+    unsigned index = 0;
+};
+
+thread_local WorkerIdentity tlsWorker;
+
+} // namespace
 
 unsigned
 ThreadPool::defaultThreads()
@@ -36,20 +55,46 @@ ThreadPool::defaultThreads()
     return hw ? hw : 1;
 }
 
-ThreadPool::ThreadPool(unsigned threads, size_t maxQueued)
-    : maxQueued_(maxQueued)
+ThreadPool::Mode
+ThreadPool::defaultMode()
+{
+    if (const char *env = std::getenv("ULECC_POOL")) {
+        if (!std::strcmp(env, "fifo"))
+            return Mode::Fifo;
+    }
+    return Mode::Steal;
+}
+
+ThreadPool::ThreadPool(unsigned threads, size_t maxQueued, Mode mode)
+    : mode_(mode), maxQueued_(maxQueued)
 {
     if (threads == 0)
         threads = defaultThreads();
     threads = std::min(threads, maxThreads);
+    local_.resize(threads);
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
 {
     shutdown(Shutdown::Drain);
+}
+
+void
+ThreadPool::enqueueLocked(std::function<void()> &&task)
+{
+    if (mode_ == Mode::Steal && tlsWorker.pool == this) {
+        // Nested submission: keep the task hot on the submitting
+        // worker's own deque (popped LIFO by that worker, stolen FIFO
+        // by idle ones).
+        local_[tlsWorker.index].push_back(std::move(task));
+    } else {
+        injection_.push_back(std::move(task));
+    }
+    ++queued_;
+    ++inFlight_;
 }
 
 bool
@@ -59,12 +104,11 @@ ThreadPool::submit(std::function<void()> task)
         std::unique_lock<std::mutex> lock(mtx_);
         if (maxQueued_)
             space_.wait(lock, [this] {
-                return stop_ || queue_.size() < maxQueued_;
+                return stop_ || queued_ < maxQueued_;
             });
         if (stop_)
             return false;
-        queue_.push_back(std::move(task));
-        ++inFlight_;
+        enqueueLocked(std::move(task));
     }
     wake_.notify_one();
     return true;
@@ -75,10 +119,9 @@ ThreadPool::trySubmit(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lock(mtx_);
-        if (stop_ || (maxQueued_ && queue_.size() >= maxQueued_))
+        if (stop_ || (maxQueued_ && queued_ >= maxQueued_))
             return false;
-        queue_.push_back(std::move(task));
-        ++inFlight_;
+        enqueueLocked(std::move(task));
     }
     wake_.notify_one();
     return true;
@@ -92,16 +135,27 @@ ThreadPool::wait()
 }
 
 size_t
+ThreadPool::dropQueuedLocked()
+{
+    size_t dropped = injection_.size();
+    injection_.clear();
+    for (auto &dq : local_) {
+        dropped += dq.size();
+        dq.clear();
+    }
+    queued_ -= dropped;
+    inFlight_ -= dropped;
+    return dropped;
+}
+
+size_t
 ThreadPool::shutdown(Shutdown mode)
 {
     size_t dropped = 0;
     {
         std::lock_guard<std::mutex> lock(mtx_);
-        if (mode == Shutdown::Cancel) {
-            dropped = queue_.size();
-            queue_.clear();
-            inFlight_ -= dropped;
-        }
+        if (mode == Shutdown::Cancel)
+            dropped = dropQueuedLocked();
         stop_ = true;
         if (inFlight_ == 0)
             drained_.notify_all();
@@ -121,9 +175,7 @@ ThreadPool::cancelPending()
     size_t dropped = 0;
     {
         std::lock_guard<std::mutex> lock(mtx_);
-        dropped = queue_.size();
-        queue_.clear();
-        inFlight_ -= dropped;
+        dropped = dropQueuedLocked();
         if (inFlight_ == 0)
             drained_.notify_all();
     }
@@ -135,22 +187,81 @@ size_t
 ThreadPool::queueDepth() const
 {
     std::lock_guard<std::mutex> lock(mtx_);
-    return queue_.size();
+    return queued_;
+}
+
+uint64_t
+ThreadPool::steals() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return steals_;
+}
+
+uint64_t
+ThreadPool::localPops() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return localPops_;
+}
+
+uint64_t
+ThreadPool::injectionPops() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return injectionPops_;
+}
+
+bool
+ThreadPool::takeTask(unsigned me, std::function<void()> &task)
+{
+    // Own deque first, newest task first: nested work stays cache-hot
+    // on the worker that created it.
+    if (!local_[me].empty()) {
+        task = std::move(local_[me].back());
+        local_[me].pop_back();
+        ++localPops_;
+        --queued_;
+        return true;
+    }
+    // Then the global injection queue, in submission order -- in Fifo
+    // mode this is the only populated queue, so the legacy central-
+    // queue behaviour falls out of the same code path.
+    if (!injection_.empty()) {
+        task = std::move(injection_.front());
+        injection_.pop_front();
+        ++injectionPops_;
+        --queued_;
+        return true;
+    }
+    // Finally steal: scan victims starting at the right-hand
+    // neighbour, taking their *oldest* task (FIFO end) -- the one
+    // most likely to be cold for the victim and largest-grained.
+    unsigned n = static_cast<unsigned>(local_.size());
+    for (unsigned k = 1; k < n; ++k) {
+        unsigned victim = (me + k) % n;
+        if (!local_[victim].empty()) {
+            task = std::move(local_[victim].front());
+            local_[victim].pop_front();
+            ++steals_;
+            --queued_;
+            return true;
+        }
+    }
+    return false;
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned me)
 {
+    tlsWorker.pool = this;
+    tlsWorker.index = me;
     for (;;) {
         std::function<void()> task;
         {
             std::unique_lock<std::mutex> lock(mtx_);
-            wake_.wait(lock,
-                       [this] { return stop_ || !queue_.empty(); });
-            if (queue_.empty())
-                return; // stop_ set and nothing left to run
-            task = std::move(queue_.front());
-            queue_.pop_front();
+            wake_.wait(lock, [this] { return stop_ || queued_ != 0; });
+            if (!takeTask(me, task))
+                return; // stop_ set and nothing left anywhere
         }
         space_.notify_one();
         task();

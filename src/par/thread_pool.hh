@@ -3,25 +3,42 @@
  * A small fixed-size thread pool: the task substrate for the parallel
  * sweep runner and the crypto-as-a-service engine.
  *
- * Deliberately work-stealing-free: the workloads this serves are
- * coarse, independent, CPU-bound tasks (whole design-point
- * evaluations, whole service requests -- tens of microseconds to tens
- * of milliseconds each), so a single locked deque is contention-free
- * in practice and keeps the scheduling deterministic enough to reason
- * about.  Sized explicitly, via $ULECC_JOBS, or from the host's
- * hardware concurrency.
+ * Two scheduling modes share one lock and one contract:
  *
- * Robustness contract (pinned by tests/test_par.cpp):
+ *  - Mode::Fifo -- the classic single locked FIFO queue.  Every task,
+ *    wherever it was submitted from, lands in one central queue and
+ *    workers drain it in submission order.
+ *  - Mode::Steal -- a work-stealing executor: each worker owns a
+ *    deque, external producers push to a global injection queue, and
+ *    an idle worker pops its own deque LIFO, then the injection queue
+ *    FIFO, then steals FIFO from a victim's deque (scanning from its
+ *    right-hand neighbour).  Tasks submitted *from inside* a worker
+ *    stay on that worker's deque, so uneven fan-out (a batch that
+ *    spawns follow-on work, a wide sweep with ragged task sizes) no
+ *    longer serializes behind one queue position.
  *
- *  - The queue may be *bounded*.  A bounded pool exerts backpressure:
+ * The workloads this serves are coarse, CPU-bound tasks (whole
+ * design-point evaluations, whole service batches -- tens of
+ * microseconds to tens of milliseconds each), so one mutex guarding
+ * every deque is contention-free in practice and keeps the scheduler
+ * easy to reason about; the stealing is about *placement*, not about
+ * lock-free throughput.  Sized explicitly, via $ULECC_JOBS, or from
+ * the host's hardware concurrency; the mode comes from the
+ * constructor or $ULECC_POOL (fifo|steal).
+ *
+ * Robustness contract (pinned by tests/test_par.cpp, identical in
+ * both modes):
+ *
+ *  - The queue may be *bounded*.  A bounded pool exerts backpressure
+ *    on the total of queued-not-started tasks across every deque:
  *    submit() blocks until space frees, trySubmit() refuses instead of
  *    blocking -- the primitive admission control builds load shedding
  *    on.  An unbounded pool (the default) never blocks a producer.
  *  - Shutdown is *explicit and deterministic*.  shutdown(Drain) -- and
  *    the destructor, which calls it -- runs every queued task before
- *    the workers exit, in submission order.  shutdown(Cancel) discards
- *    tasks that have not started and returns how many were dropped;
- *    tasks already executing always run to completion.  After either,
+ *    the workers exit.  shutdown(Cancel) discards tasks that have not
+ *    started and returns how many were dropped; tasks already
+ *    executing always run to completion.  After either,
  *    submit()/trySubmit() refuse new work instead of deadlocking.
  *  - wait() observes cancellation: discarded tasks count as finished.
  */
@@ -31,6 +48,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -40,21 +58,30 @@
 namespace ulecc
 {
 
-/** Fixed pool of worker threads draining one FIFO task queue. */
+/** Fixed pool of workers: central FIFO or work-stealing deques. */
 class ThreadPool
 {
   public:
+    /** Task placement/scheduling policy. */
+    enum class Mode
+    {
+        Fifo,  ///< one central queue, strict submission order
+        Steal, ///< per-worker deques + injection queue, idle workers steal
+    };
+
     /**
      * Starts @p threads workers (0 = defaultThreads()).  A pool of
      * one still runs tasks on its worker, preserving the submit/wait
      * contract; callers that want true inline execution should simply
      * not use a pool.
      *
-     * @param maxQueued  Bound on *queued* (not yet executing) tasks;
-     *                   0 = unbounded.  When the bound is reached,
-     *                   submit() blocks and trySubmit() returns false.
+     * @param maxQueued  Bound on *queued* (not yet executing) tasks,
+     *                   summed across every deque; 0 = unbounded.
+     *                   When the bound is reached, submit() blocks and
+     *                   trySubmit() returns false.
      */
-    explicit ThreadPool(unsigned threads = 0, size_t maxQueued = 0);
+    explicit ThreadPool(unsigned threads = 0, size_t maxQueued = 0,
+                        Mode mode = defaultMode());
 
     /** Equivalent to shutdown(Shutdown::Drain). */
     ~ThreadPool();
@@ -88,11 +115,21 @@ class ThreadPool
     static unsigned defaultThreads();
 
     /**
+     * Scheduling mode the environment asks for: $ULECC_POOL=fifo
+     * selects the central queue, anything else (including unset)
+     * selects work stealing.
+     */
+    static Mode defaultMode();
+
+    /**
      * Enqueues one task, blocking while a bounded queue is full
      * (backpressure).  Returns false -- without running or keeping the
-     * task -- if the pool has been shut down.  Tasks must not throw;
-     * wrap fallible work in a Result-shaped closure (SweepRunner and
-     * the service engine do exactly this).
+     * task -- if the pool has been shut down.  In Steal mode a task
+     * submitted from inside one of this pool's workers lands on that
+     * worker's own deque; external submissions land on the injection
+     * queue.  Tasks must not throw; wrap fallible work in a
+     * Result-shaped closure (SweepRunner and the service engine do
+     * exactly this).
      */
     bool submit(std::function<void()> task);
 
@@ -122,7 +159,7 @@ class ThreadPool
      */
     size_t cancelPending();
 
-    /** Tasks queued but not yet picked up by a worker. */
+    /** Tasks queued but not yet picked up by a worker (all deques). */
     size_t queueDepth() const;
 
     unsigned threads() const
@@ -133,17 +170,38 @@ class ThreadPool
     /** The queue bound this pool was built with (0 = unbounded). */
     size_t maxQueued() const { return maxQueued_; }
 
+    Mode mode() const { return mode_; }
+
+    /** Tasks a worker took from another worker's deque. */
+    uint64_t steals() const;
+
+    /** Tasks a worker popped from its own deque. */
+    uint64_t localPops() const;
+
+    /** Tasks taken from the global injection queue. */
+    uint64_t injectionPops() const;
+
   private:
-    void workerLoop();
+    void workerLoop(unsigned me);
+    bool takeTask(unsigned me, std::function<void()> &task);
+    void enqueueLocked(std::function<void()> &&task);
+    size_t queuedLocked() const { return queued_; }
+    size_t dropQueuedLocked();
 
     mutable std::mutex mtx_;
-    std::condition_variable wake_;    ///< workers: queue non-empty/stop
+    std::condition_variable wake_;    ///< workers: work available/stop
     std::condition_variable drained_; ///< waiters: all tasks finished
     std::condition_variable space_;   ///< producers: queue below bound
-    std::deque<std::function<void()>> queue_;
+    std::deque<std::function<void()>> injection_;
+    std::vector<std::deque<std::function<void()>>> local_;
     std::vector<std::thread> workers_;
+    Mode mode_ = Mode::Steal;
     size_t maxQueued_ = 0; ///< 0 = unbounded
+    size_t queued_ = 0;    ///< queued-not-started, across all deques
     size_t inFlight_ = 0;  ///< queued + currently executing
+    uint64_t steals_ = 0;
+    uint64_t localPops_ = 0;
+    uint64_t injectionPops_ = 0;
     bool stop_ = false;
 };
 

@@ -8,7 +8,7 @@
  * seed produces the same arrival timestamps on every run, serial or
  * parallel.
  *
- * Two processes are modelled:
+ * Three processes are modelled:
  *
  *  - Poisson: memoryless arrivals at a constant rate -- the baseline
  *    open-loop traffic assumption;
@@ -18,6 +18,19 @@
  *    exponential's memorylessness: a draw that crosses a boundary is
  *    re-drawn from the boundary at the new rate, which is exact for a
  *    piecewise-constant intensity.
+ *  - ClosedLoop: N clients, each issuing its next request only after
+ *    the previous one resolved plus a deterministic exponential think
+ *    time.  Closed-loop issuance needs completion feedback, so it is
+ *    driven by the service coordinator (see Server); this module only
+ *    carries its parameters and the think-time draw.
+ *
+ * Independently of the process, a *diurnal* rate modulation can be
+ * layered on the open-loop generators: a quantized sinusoidal day
+ * curve (piecewise-constant over diurnalSteps segments per dayNs
+ * period) multiplies the instantaneous rate.  Because the combined
+ * intensity is still piecewise-constant, the same boundary-redraw
+ * trick keeps the thinning exact -- the generator redraws at
+ * whichever boundary (burst phase or diurnal segment) comes first.
  */
 
 #ifndef ULECC_SVC_ARRIVALS_HH
@@ -35,6 +48,7 @@ enum class ArrivalKind
 {
     Poisson,
     Bursty,
+    ClosedLoop,
 };
 
 /** Stable short name (logs/JSON). */
@@ -48,9 +62,20 @@ struct ArrivalConfig
     double burstFactor = 8.0;     ///< bursty: burst/idle rate multiplier
     uint64_t burstNs = 20'000'000; ///< bursty: burst phase length
     uint64_t idleNs = 80'000'000;  ///< bursty: idle phase length
+
+    /** Closed-loop: concurrent clients and mean think time between a
+     * final resolution and the client's next request. */
+    uint32_t clients = 8;
+    uint64_t thinkNs = 5'000'000;
+
+    /** Diurnal day-curve modulation of the open-loop generators. */
+    bool diurnal = false;
+    uint64_t dayNs = 1'000'000'000; ///< one virtual "day"
+    double diurnalAmp = 0.6;        ///< rate swings 1 +- amp (clamped)
+    uint32_t diurnalSteps = 24;     ///< piecewise segments per day
 };
 
-/** Deterministic arrival-timestamp generator. */
+/** Deterministic arrival-timestamp generator (open-loop kinds). */
 class ArrivalGen
 {
   public:
@@ -61,6 +86,7 @@ class ArrivalGen
 
   private:
     double currentRate(uint64_t tNs) const;
+    double diurnalFactor(uint64_t tNs) const;
     uint64_t nextBoundary(uint64_t tNs) const;
     double expDrawSeconds(double rate);
 
@@ -68,6 +94,14 @@ class ArrivalGen
     SplitMix64 rng_;
     uint64_t tNs_ = 0;
 };
+
+/**
+ * Deterministic exponential think-time draw for closed-loop clients:
+ * a pure function of (seed, request id), so the issuance schedule is
+ * byte-identical across serial/parallel runs.
+ */
+uint64_t closedLoopThinkNs(uint64_t seed, uint64_t requestId,
+                           uint64_t meanNs);
 
 } // namespace ulecc
 

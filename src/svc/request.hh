@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The service request vocabulary shared between the engine
+ * (svc/service) and the batch former (svc/batch): operation kinds and
+ * the synthetic request record itself.  Split out so the former can
+ * group requests without dragging in the whole Server interface.
+ */
+
+#ifndef ULECC_SVC_REQUEST_HH
+#define ULECC_SVC_REQUEST_HH
+
+#include <cstdint>
+
+#include "core/evaluator.hh"
+
+namespace ulecc
+{
+
+/** Request operation. */
+enum class OpKind
+{
+    Sign,
+    Verify,
+    Ecdh,
+};
+
+/** Number of OpKind values (array sizing). */
+constexpr int kNumOps = 3;
+
+/** Stable short name (logs/JSON). */
+const char *opKindName(OpKind op);
+
+/** One synthetic request (attempt state included). */
+struct Request
+{
+    uint64_t id = 0;
+    uint64_t userId = 0;
+    OpKind op = OpKind::Sign;
+    CurveId curve = CurveId::P192;
+    MicroArch arch = MicroArch::Baseline;
+    uint32_t attempt = 1;
+    uint64_t firstArrivalNs = 0;
+    uint64_t deadlineNs = 0; ///< absolute, end-to-end across retries
+};
+
+} // namespace ulecc
+
+#endif // ULECC_SVC_REQUEST_HH

@@ -3,13 +3,15 @@
  * The crypto-as-a-service engine implementation.
  *
  * Shape: a discrete-event coordinator owns *all* virtual-time state
- * (arrival heap, admission queue, worker free times, retry schedule)
+ * (arrival heap, batch former, worker free times, retry schedule)
  * and processes events in strict (time, sequence) order; admitted
- * requests are executed for real -- checked crypto, chaos strikes,
- * co-simulations -- as pure functions of (seed, id, attempt) on a
- * ThreadPool.  The coordinator blocks on an execution's future only
- * when it processes that request's completion event, so parallelism
- * overlaps real work without ever influencing a decision.
+ * requests join per-shape batches (svc/batch.hh) and each closed
+ * batch is executed for real -- checked crypto, chaos strikes, one
+ * shared co-simulation anchor -- as pure functions of (seed, id,
+ * attempt) in one pooled task that may fan member subtasks onto the
+ * work-stealing deques.  The coordinator blocks on a batch's future
+ * only when it processes that batch's completion event, so
+ * parallelism overlaps real work without ever influencing a decision.
  */
 
 #include "svc/service.hh"
@@ -47,28 +49,24 @@ opKindName(OpKind op)
     return "unknown";
 }
 
+const char *
+poolModeName(PoolMode mode)
+{
+    switch (mode) {
+      case PoolMode::Steal: return "steal";
+      case PoolMode::Fifo: return "fifo";
+    }
+    return "unknown";
+}
+
 namespace
 {
 
 constexpr double kClockNs = 3.0; ///< 333 MHz system clock
-constexpr int kNumOps = 3;
 
 constexpr MicroArch kAllArchs[] = {
     MicroArch::Baseline, MicroArch::IsaExt, MicroArch::IsaExtIcache,
     MicroArch::Monte, MicroArch::Billie,
-};
-
-/** One synthetic request (attempt state included). */
-struct Request
-{
-    uint64_t id = 0;
-    uint64_t userId = 0;
-    OpKind op = OpKind::Sign;
-    CurveId curve = CurveId::P192;
-    MicroArch arch = MicroArch::Baseline;
-    uint32_t attempt = 1;
-    uint64_t firstArrivalNs = 0;
-    uint64_t deadlineNs = 0; ///< absolute, end-to-end across retries
 };
 
 /** Outcome of one real execution (pure in (seed, id, attempt)). */
@@ -102,12 +100,49 @@ struct ServiceCost
     bool analytic = false;
 };
 
+/** What one batch's real execution returns through its future. */
+struct BatchExecResult
+{
+    std::vector<ExecOutcome> outcomes; ///< indexed by execIdx
+    bool anchorMismatch = false; ///< shared FullSim co-sim disagreed
+};
+
+/**
+ * A batch the coordinator handed to a virtual worker: everything the
+ * completion event needs to attribute per-member outcomes, fixed at
+ * dispatch time in deterministic event order.
+ */
+struct DispatchedBatch
+{
+    uint64_t id = 0;
+    BatchKey key;
+    ServiceCost cost;       ///< one pass's solo-shape cost
+    uint64_t dispatchNs = 0;
+    uint64_t passNs = 0;    ///< full modelled pass length
+    uint64_t endNs = 0;     ///< worker-occupied end (early if all cancel)
+    unsigned worker = 0;
+    int64_t slot = -1;      ///< execution slot, -1 = nothing executed
+    const char *closeReason = "size";
+
+    struct Member
+    {
+        Request req;
+        uint64_t queueNs = 0;   ///< wait between join and dispatch
+        uint64_t shareNs = 0;   ///< this member's slice of the pass
+        uint64_t chargedNs = 0; ///< <= shareNs (cancelled members)
+        bool cancelled = false; ///< deadline lands mid-pass
+        int execIdx = -1;       ///< index into outcomes, -1 = cancelled
+    };
+    std::vector<Member> members;
+};
+
 struct Event
 {
     enum class Kind
     {
         Arrival,
         Completion,
+        BatchLinger,
     };
 
     uint64_t t = 0;
@@ -115,14 +150,11 @@ struct Event
     Kind kind = Kind::Arrival;
     Request req;
 
+    // BatchLinger-only payload.
+    uint64_t batchId = 0;
+
     // Completion-only payload.
-    ServiceTier tier = ServiceTier::FullSim;
-    ServiceCost cost;
-    uint64_t chargedNs = 0; ///< < cost.serviceNs when cancelled
-    int64_t slot = -1;      ///< execution slot, -1 = pre-resolved
-    Errc preResolved = Errc::Ok;
-    unsigned worker = 0;    ///< virtual worker that served it
-    uint64_t queueNs = 0;   ///< time spent waiting for that worker
+    std::shared_ptr<DispatchedBatch> batch;
 };
 
 struct EventAfter
@@ -154,25 +186,22 @@ struct Server::Impl
     std::priority_queue<Event, std::vector<Event>, EventAfter> events;
     uint64_t nextSeq = 0;
     std::vector<uint64_t> workerFreeNs;
-    struct PendingEntry
-    {
-        Request req;
-        ServiceTier tier;
-        uint64_t estNs;
-        uint64_t enqueuedNs;
-    };
-    std::deque<PendingEntry> pending;
-    uint64_t pendingEstSumNs = 0;
+    std::optional<BatchFormer> former; ///< admission queue + coalescing
     uint64_t virtualEndNs = 0;
     uint64_t finals = 0;
 
+    // Closed-loop issuance state (ArrivalKind::ClosedLoop only).
+    std::vector<Request> issueQueue; ///< pre-drawn attributes
+    uint64_t nextToIssue = 0;
+
     // Real execution.
     std::optional<ThreadPool> pool;
-    std::deque<std::future<ExecOutcome>> slots;
+    std::deque<std::future<BatchExecResult>> slots;
 
     // Timing-free accumulators (mutated only by the coordinator, in
     // deterministic event order).
     HdrHistogram okLatency;
+    HdrHistogram batchOccupancy; ///< live members per executed pass
     EventCounts opEvents[kNumOps];
     double opUj[kNumOps] = {0, 0, 0};
     uint64_t opServed[kNumOps] = {0, 0, 0};
@@ -239,43 +268,96 @@ struct Server::Impl
         return ns < 1 ? 1 : static_cast<uint64_t>(ns);
     }
 
+    /** Draws one request's attributes (everything but arrival time). */
+    Request
+    drawAttributes(uint64_t id, SplitMix64 &attrs) const
+    {
+        uint64_t population = cfg.users ? cfg.users : 1;
+        uint64_t hot = population / 10 ? population / 10 : 1;
+        Request r;
+        r.id = id;
+        // 80/20 skew: most traffic from a hot tenth of the
+        // population, so the session cache sees real reuse.
+        r.userId = attrs.below(100) < 80 ? attrs.below(hot)
+                                         : attrs.below(population);
+        uint64_t op = attrs.below(100);
+        r.op = op < 40 ? OpKind::Sign
+             : op < 75 ? OpKind::Verify
+                       : OpKind::Ecdh;
+        r.curve = cfg.curves[attrs.below(cfg.curves.size())];
+        const CurveCtx &ctx = *curves.at(r.curve);
+        r.arch = ctx.archs[attrs.below(ctx.archs.size())];
+        return r;
+    }
+
+    /** Stamps arrival/deadline on @p r and enqueues its arrival. */
+    void
+    issueAt(Request r, uint64_t arrivalNs)
+    {
+        r.firstArrivalNs = arrivalNs;
+        uint64_t est = analyticEstNs(r);
+        double budget = cfg.deadlineFactor * static_cast<double>(est);
+        uint64_t deadline = static_cast<uint64_t>(budget);
+        if (deadline < cfg.deadlineFloorNs)
+            deadline = cfg.deadlineFloorNs;
+        r.deadlineNs = r.firstArrivalNs + deadline;
+
+        Event ev;
+        ev.t = r.firstArrivalNs;
+        ev.seq = nextSeq++;
+        ev.kind = Event::Kind::Arrival;
+        ev.req = r;
+        events.push(ev);
+    }
+
     void
     generate()
     {
-        ArrivalGen gen(cfg.arrivals, splitmix64Mix(cfg.seed, 0xA221));
         SplitMix64 attrs(splitmix64Mix(cfg.seed, 0x5EED));
-        uint64_t population = cfg.users ? cfg.users : 1;
-        uint64_t hot = population / 10 ? population / 10 : 1;
+        if (cfg.arrivals.kind == ArrivalKind::ClosedLoop) {
+            // Closed-loop clients: attributes are pre-drawn in id
+            // order (same stream as open-loop), but a request is only
+            // issued when its client's previous one resolved plus a
+            // deterministic think time.  The first wave staggers one
+            // request per client from t = 0.
+            issueQueue.reserve(cfg.requests);
+            for (uint64_t id = 0; id < cfg.requests; ++id) {
+                issueQueue.push_back(drawAttributes(id, attrs));
+                ++counters.generated;
+            }
+            uint64_t clients = cfg.arrivals.clients
+                ? cfg.arrivals.clients
+                : 1;
+            uint64_t firstWave =
+                std::min<uint64_t>(clients, cfg.requests);
+            for (nextToIssue = 0; nextToIssue < firstWave;
+                 ++nextToIssue) {
+                const Request &r = issueQueue[nextToIssue];
+                issueAt(r, closedLoopThinkNs(cfg.seed, r.id,
+                                             cfg.arrivals.thinkNs));
+            }
+            return;
+        }
+        ArrivalGen gen(cfg.arrivals, splitmix64Mix(cfg.seed, 0xA221));
         for (uint64_t id = 0; id < cfg.requests; ++id) {
-            Request r;
-            r.id = id;
-            r.firstArrivalNs = gen.next();
-            // 80/20 skew: most traffic from a hot tenth of the
-            // population, so the session cache sees real reuse.
-            r.userId = attrs.below(100) < 80 ? attrs.below(hot)
-                                             : attrs.below(population);
-            uint64_t op = attrs.below(100);
-            r.op = op < 40 ? OpKind::Sign
-                 : op < 75 ? OpKind::Verify
-                           : OpKind::Ecdh;
-            r.curve = cfg.curves[attrs.below(cfg.curves.size())];
-            const CurveCtx &ctx = *curves.at(r.curve);
-            r.arch = ctx.archs[attrs.below(ctx.archs.size())];
-            uint64_t est = analyticEstNs(r);
-            double budget = cfg.deadlineFactor * static_cast<double>(est);
-            uint64_t deadline = static_cast<uint64_t>(budget);
-            if (deadline < cfg.deadlineFloorNs)
-                deadline = cfg.deadlineFloorNs;
-            r.deadlineNs = r.firstArrivalNs + deadline;
-
-            Event ev;
-            ev.t = r.firstArrivalNs;
-            ev.seq = nextSeq++;
-            ev.kind = Event::Kind::Arrival;
-            ev.req = r;
-            events.push(ev);
+            uint64_t t = gen.next();
+            issueAt(drawAttributes(id, attrs), t);
             ++counters.generated;
         }
+    }
+
+    /** Closed-loop only: a final resolution frees its client, who
+     * thinks for a while and issues the next pre-drawn request. */
+    void
+    onClientFreed(uint64_t now)
+    {
+        if (cfg.arrivals.kind != ArrivalKind::ClosedLoop)
+            return;
+        if (nextToIssue >= issueQueue.size())
+            return;
+        const Request &r = issueQueue[nextToIssue++];
+        issueAt(r, now + closedLoopThinkNs(cfg.seed, r.id,
+                                           cfg.arrivals.thinkNs));
     }
 
     // --- real execution (pure per (seed, id, attempt)) ----------------
@@ -427,7 +509,7 @@ struct Server::Impl
     }
 
     ExecOutcome
-    execOne(const Request &req, ServiceTier tier)
+    execMember(const Request &req)
     {
         ExecOutcome out;
         try {
@@ -441,15 +523,6 @@ struct Server::Impl
                 chaosPath(ctx, s, req, rng, out);
             else
                 normalPath(ctx, s, req, out);
-            if (tier == ServiceTier::FullSim) {
-                // Per-request co-simulation: the FullSim tier anchors
-                // its telemetry with a real Pete run, cross-checked
-                // against the native bignum.
-                bool mismatch = false;
-                chaosCosim(rng, &mismatch);
-                if (mismatch)
-                    out.wrongAnswer = true;
-            }
         } catch (const UleccError &e) {
             out.errc = e.code();
         } catch (...) {
@@ -464,22 +537,102 @@ struct Server::Impl
         return out;
     }
 
+    /**
+     * Shared state of one batch's real execution: member outcomes land
+     * in pre-sized slots, the last finisher fulfils the promise.  The
+     * completion counter's acq_rel ordering makes every slot write
+     * visible to whoever observes the count hit zero.
+     */
+    struct BatchTaskState
+    {
+        std::vector<Request> reqs;
+        std::vector<ExecOutcome> outcomes;
+        std::atomic<size_t> remaining{0};
+        std::atomic<bool> anchorMismatch{false};
+        std::promise<BatchExecResult> promise;
+
+        void
+        finishOne()
+        {
+            if (remaining.fetch_sub(1, std::memory_order_acq_rel)
+                == 1) {
+                BatchExecResult res;
+                res.outcomes = std::move(outcomes);
+                res.anchorMismatch =
+                    anchorMismatch.load(std::memory_order_acquire);
+                promise.set_value(std::move(res));
+            }
+        }
+    };
+
+    /**
+     * Launches one batch pass as a single pooled task.  The task runs
+     * the shared setup once -- for the FullSim tier, one co-simulation
+     * anchor cross-checking Pete against the native bignum -- then
+     * fans the members out as subtasks on the submitting worker's own
+     * deque, where idle workers steal them.  Every member outcome
+     * stays a pure function of (seed, id, attempt); the anchor is a
+     * pure function of the batch's identity.
+     */
     int64_t
-    launch(const Request &req, ServiceTier tier)
+    launchBatch(std::vector<Request> execReqs, ServiceTier tier,
+                uint64_t batchId)
     {
         int64_t slot = static_cast<int64_t>(slots.size());
-        ++counters.executed;
+        counters.executed += execReqs.size();
+        ++counters.batchPassesExecuted;
+        bool fullSim = tier == ServiceTier::FullSim;
+        if (fullSim)
+            ++counters.batchCosimAnchors;
+        uint64_t anchorSeed = splitmix64Mix(
+            cfg.seed, 0xBA7C4ull, batchId + 1);
+
+        auto state = std::make_shared<BatchTaskState>();
+        state->reqs = std::move(execReqs);
+        size_t n = state->reqs.size();
+        state->outcomes.resize(n);
+        state->remaining.store(n, std::memory_order_relaxed);
+        slots.push_back(state->promise.get_future());
+
+        auto runAnchor = [fullSim, anchorSeed, state] {
+            if (!fullSim)
+                return;
+            SplitMix64 rng(anchorSeed);
+            bool mismatch = false;
+            chaosCosim(rng, &mismatch);
+            if (mismatch)
+                state->anchorMismatch.store(
+                    true, std::memory_order_release);
+        };
+
         if (!pool) {
-            std::promise<ExecOutcome> p;
-            p.set_value(execOne(req, tier));
-            slots.push_back(p.get_future());
-        } else {
-            auto task =
-                std::make_shared<std::packaged_task<ExecOutcome()>>(
-                    [this, req, tier] { return execOne(req, tier); });
-            slots.push_back(task->get_future());
-            pool->submit([task] { (*task)(); });
+            runAnchor();
+            for (size_t i = 0; i < n; ++i) {
+                state->outcomes[i] = execMember(state->reqs[i]);
+                state->finishOne();
+            }
+            return slot;
         }
+        pool->submit([this, state, runAnchor, n] {
+            runAnchor();
+            // Fan out members 1..n-1, keep member 0 for this task:
+            // the subtasks land on this worker's own deque and get
+            // stolen when other workers run dry.
+            for (size_t i = 1; i < n; ++i) {
+                bool queued = pool->submit([this, state, i] {
+                    state->outcomes[i] = execMember(state->reqs[i]);
+                    state->finishOne();
+                });
+                if (!queued) {
+                    // Pool shutting down mid-flight: run inline so
+                    // the batch still completes.
+                    state->outcomes[i] = execMember(state->reqs[i]);
+                    state->finishOne();
+                }
+            }
+            state->outcomes[0] = execMember(state->reqs[0]);
+            state->finishOne();
+        });
         return slot;
     }
 
@@ -566,6 +719,7 @@ struct Server::Impl
                                   tierName);
         if (tel.slo)
             tel.slo->onFinal(now, ok);
+        onClientFreed(now);
     }
 
     /** Retry when policy allows, otherwise make @p errc final. */
@@ -587,7 +741,7 @@ struct Server::Impl
         for (uint64_t f : workerFreeNs)
             minFree = std::min(minFree, f);
         uint64_t base = minFree > now ? minFree - now : 0;
-        return base + pendingEstSumNs / workerFreeNs.size();
+        return base + former->waitingEstSumNs() / workerFreeNs.size();
     }
 
     void
@@ -614,7 +768,7 @@ struct Server::Impl
             recordFinal(req, now, Errc::DeadlineExceeded);
             return;
         }
-        size_t depth = pending.size();
+        size_t depth = static_cast<size_t>(former->waitingMembers());
         if (depth >= cfg.queueCap) {
             ++counters.shedDepth;
             if (tel.tracer)
@@ -651,15 +805,44 @@ struct Server::Impl
                                 serviceTierName(tier), depth);
         if (tel.timeline)
             tel.timeline->onAdmit(now, serviceTierName(tier));
-        pending.push_back(PendingEntry{req, tier, est, now});
-        pendingEstSumNs += est;
+        BatchFormer::JoinResult jr = former->join(req, tier, est, now);
+        if (jr.lingerArmed) {
+            Event lv;
+            lv.t = jr.lingerAtNs;
+            lv.seq = nextSeq++;
+            lv.kind = Event::Kind::BatchLinger;
+            lv.batchId = jr.batchId;
+            events.push(lv);
+        }
+        if (jr.closed)
+            noteClosedBatch();
         tryDispatch(now);
+    }
+
+    void
+    noteClosedBatch()
+    {
+        // Mirror the former's close statistics into the report
+        // counters (the former keeps running totals; sample them).
+        counters.batchesClosed = former->closedTotal();
+        counters.batchClosedBySize = former->closedBySize();
+        counters.batchClosedByLinger = former->closedByLinger();
+        counters.batchClosedByDeadline = former->closedByDeadline();
+    }
+
+    void
+    onBatchLinger(const Event &ev)
+    {
+        if (former->onLinger(ev.batchId, ev.t)) {
+            noteClosedBatch();
+            tryDispatch(ev.t);
+        }
     }
 
     void
     tryDispatch(uint64_t now)
     {
-        while (!pending.empty()) {
+        while (former->hasReady()) {
             // Earliest-free worker, lowest index on ties.
             unsigned w = 0;
             for (unsigned i = 1; i < workerFreeNs.size(); ++i) {
@@ -668,54 +851,102 @@ struct Server::Impl
             }
             if (workerFreeNs[w] > now)
                 return; // all workers busy; completions re-dispatch
-            PendingEntry pe = pending.front();
-            pending.pop_front();
-            pendingEstSumNs -= pe.estNs;
-            const Request &req = pe.req;
-            if (tel.tracer)
-                tel.tracer->onQueueWait(pe.enqueuedNs, now, req.id,
-                                        req.attempt);
-            if (now >= req.deadlineNs) {
-                ++counters.expiredInQueue;
+            Batch b = former->takeReady();
+            counters.batchMembersTotal += b.members.size();
+            batchOccupancy.record(
+                static_cast<uint64_t>(b.members.size()));
+            const char *tierName = serviceTierName(b.key.tier);
+
+            auto db = std::make_shared<DispatchedBatch>();
+            db->id = b.id;
+            db->key = b.key;
+            db->dispatchNs = now;
+            db->worker = w;
+            db->closeReason = b.closeReason;
+
+            // Members whose deadline already passed while queued are
+            // resolved here and never reach the pass.
+            std::vector<Request> execReqs;
+            for (const BatchMember &m : b.members) {
                 if (tel.tracer)
-                    tel.tracer->onExpired(now, req.id, req.attempt,
-                                          "in-queue");
-                if (tel.flight)
-                    tel.flight->trigger(now, "deadline-breach", req.id,
-                                        req.attempt);
-                recordFinal(req, now, Errc::DeadlineExceeded,
-                            serviceTierName(pe.tier));
-                continue;
+                    tel.tracer->onQueueWait(m.enqueuedNs, now,
+                                            m.req.id, m.req.attempt);
+                if (now >= m.req.deadlineNs) {
+                    ++counters.expiredInQueue;
+                    if (tel.tracer)
+                        tel.tracer->onExpired(now, m.req.id,
+                                              m.req.attempt,
+                                              "in-queue");
+                    if (tel.flight)
+                        tel.flight->trigger(now, "deadline-breach",
+                                            m.req.id, m.req.attempt);
+                    recordFinal(m.req, now, Errc::DeadlineExceeded,
+                                tierName);
+                    continue;
+                }
+                DispatchedBatch::Member dm;
+                dm.req = m.req;
+                dm.queueNs = now - m.enqueuedNs;
+                db->members.push_back(dm);
             }
-            ServiceCost cost = dispatchCost(req, pe.tier);
-            uint64_t budget = req.deadlineNs - now;
+            if (db->members.empty())
+                continue; // the whole batch expired in the queue
+
+            // One pass cost for the shared shape: setup amortized
+            // once, work per live member.  Shares tile the pass
+            // exactly (remainder to the first members).
+            db->cost = dispatchCost(db->members.front().req,
+                                    b.key.tier);
+            size_t n = db->members.size();
+            uint64_t batchNs = former->passNs(db->cost.serviceNs, n);
+            db->passNs = batchNs;
+            uint64_t share = batchNs / n;
+            uint64_t rem = batchNs % n;
+
+            // Cancel-at-safe-point, batch form: a member whose
+            // deadline lands before the pass ends is cancelled at the
+            // next phase boundary (1/8 pass granularity) and charged
+            // at most its share.  With one member this reproduces the
+            // solo engine's cancellation exactly.
+            uint64_t sp = batchNs / 8;
+            if (sp == 0)
+                sp = 1;
+            bool anySurvivor = false;
+            uint64_t maxChargedNs = 0;
+            for (size_t i = 0; i < n; ++i) {
+                DispatchedBatch::Member &dm = db->members[i];
+                dm.shareNs = share + (i < rem ? 1 : 0);
+                uint64_t budget = dm.req.deadlineNs - now;
+                if (batchNs > budget) {
+                    uint64_t charged = ((budget + sp - 1) / sp) * sp;
+                    dm.chargedNs = std::min(charged, dm.shareNs);
+                    dm.cancelled = true;
+                    ++counters.cancelledMidService;
+                } else {
+                    dm.chargedNs = dm.shareNs;
+                    dm.execIdx =
+                        static_cast<int>(execReqs.size());
+                    execReqs.push_back(dm.req);
+                    anySurvivor = true;
+                }
+                maxChargedNs = std::max(maxChargedNs, dm.chargedNs);
+            }
+            // A pass with any surviving member runs to its full
+            // length; if everyone cancelled, the worker is freed at
+            // the last safe point actually charged.
+            db->endNs = now + (anySurvivor ? batchNs : maxChargedNs);
+            if (!execReqs.empty())
+                db->slot = launchBatch(std::move(execReqs),
+                                       b.key.tier, b.id);
+            if (tel.timeline)
+                tel.timeline->onBatchDispatch(
+                    now, static_cast<uint64_t>(n));
+
             Event done;
-            done.kind = Event::Kind::Completion;
-            done.req = req;
-            done.tier = pe.tier;
-            done.cost = cost;
-            if (cost.serviceNs > budget) {
-                // The deadline lands mid-service: cancel at the next
-                // safe point (phase boundaries at 1/8 granularity)
-                // instead of either hanging on or dropping mid-phase.
-                uint64_t sp = cost.serviceNs / 8;
-                if (sp == 0)
-                    sp = 1;
-                uint64_t charged = ((budget + sp - 1) / sp) * sp;
-                if (charged > cost.serviceNs)
-                    charged = cost.serviceNs;
-                done.chargedNs = charged;
-                done.slot = -1;
-                done.preResolved = Errc::DeadlineExceeded;
-                ++counters.cancelledMidService;
-            } else {
-                done.chargedNs = cost.serviceNs;
-                done.slot = launch(req, pe.tier);
-            }
-            done.t = now + done.chargedNs;
+            done.t = db->endNs;
             done.seq = nextSeq++;
-            done.worker = w;
-            done.queueNs = now - pe.enqueuedNs;
+            done.kind = Event::Kind::Completion;
+            done.batch = std::move(db);
             workerFreeNs[w] = done.t;
             events.push(done);
         }
@@ -724,127 +955,171 @@ struct Server::Impl
     void
     onCompletion(const Event &ev)
     {
-        const Request &req = ev.req;
-        ExecOutcome out;
-        if (ev.slot >= 0) {
-            out = slots[static_cast<size_t>(ev.slot)].get();
-        } else {
-            out.errc = ev.preResolved;
-        }
+        DispatchedBatch &db = *ev.batch;
+        BatchExecResult res;
+        if (db.slot >= 0)
+            res = slots[static_cast<size_t>(db.slot)].get();
+        const char *tierName = serviceTierName(db.key.tier);
 
-        // Chaos bookkeeping.
-        if (out.chaos != ChaosClass::None) {
-            ++counters.chaosStrikes;
-            ++counters.chaosByKind[out.chaosKind];
-            switch (out.chaos) {
-              case ChaosClass::Detected:
-                ++counters.chaosDetected;
-                break;
-              case ChaosClass::Masked:
-                ++counters.chaosMasked;
-                break;
-              case ChaosClass::SilentCaught:
-                ++counters.chaosSilentCaught;
-                break;
-              case ChaosClass::None:
-                break;
-            }
-        } else if (out.wrongAnswer) {
-            ++counters.wrongAnswers; // chaos-free oracle mismatch: a bug
-        }
-        if (out.unstructured)
-            ++counters.unstructuredExceptions;
-
-        // Energy attribution, charged in completion order.  The
-        // charged amount is computed once and shared with the tracer
-        // so its reconciliation sums are bit-identical to the
-        // report's.
-        int op = static_cast<int>(req.op);
-        bool cancelled = ev.slot < 0;
-        double chargedUj;
-        RequestTracer::EnergyClass energyClass;
-        if (cancelled) {
-            // Cancelled at a safe point: pro-rata charge.
-            chargedUj = ev.cost.uj
-                * (static_cast<double>(ev.chargedNs)
-                   / static_cast<double>(ev.cost.serviceNs));
-            cancelledUj += chargedUj;
-            energyClass = RequestTracer::EnergyClass::Cancelled;
-        } else if (ev.cost.analytic) {
-            chargedUj = ev.cost.uj;
-            analyticUj += chargedUj;
-            ++opServed[op];
-            energyClass = RequestTracer::EnergyClass::Analytic;
-        } else {
-            chargedUj = ev.cost.uj;
-            opEvents[op] += ev.cost.events;
-            opUj[op] += chargedUj;
-            ++opServed[op];
-            energyClass = RequestTracer::EnergyClass::Op;
-        }
-        busyNsTotal += ev.chargedNs;
-
-        const char *tierName = serviceTierName(ev.tier);
         if (tel.tracer) {
-            if (out.chaos != ChaosClass::None)
-                tel.tracer->onChaos(ev.t, req.id, req.attempt,
-                                    out.chaosKind,
-                                    chaosClassName(out.chaos));
-            RequestTracer::ServiceSpan span;
-            span.startNs = ev.t - ev.chargedNs;
-            span.chargedNs = ev.chargedNs;
-            span.serviceNs = ev.cost.serviceNs;
-            span.id = req.id;
-            span.attempt = req.attempt;
-            span.worker = ev.worker;
-            span.op = opKindName(req.op);
-            span.tier = tierName;
-            span.curve = curveIdName(req.curve);
-            span.arch = microArchName(req.arch);
-            span.errc = errcName(out.errc);
-            span.uj = chargedUj;
-            span.energyClass = energyClass;
-            span.opIndex = op;
-            span.cancelled = cancelled;
-            tel.tracer->onService(span);
-        }
-        if (tel.timeline)
-            tel.timeline->onEnergy(ev.t, chargedUj);
-        if (tel.flight) {
-            FlightRecorder::Record rec;
-            rec.id = req.id;
-            rec.attempt = req.attempt;
-            rec.userId = req.userId;
-            rec.op = opKindName(req.op);
-            rec.curve = curveIdName(req.curve);
-            rec.arch = microArchName(req.arch);
-            rec.tier = tierName;
-            rec.arrivalNs = req.firstArrivalNs;
-            rec.deadlineNs = req.deadlineNs;
-            rec.queueNs = ev.queueNs;
-            rec.serviceNs = ev.cost.serviceNs;
-            rec.chargedNs = ev.chargedNs;
-            rec.completionNs = ev.t;
-            rec.uj = chargedUj;
-            rec.errc = errcName(out.errc);
-            rec.chaosClass = chaosClassName(out.chaos);
-            rec.chaosKind = out.chaosKind;
-            rec.cancelled = cancelled;
-            rec.ok = out.errc == Errc::Ok;
-            tel.flight->record(rec);
-            if (cancelled)
-                tel.flight->trigger(ev.t, "deadline-breach", req.id,
-                                    req.attempt);
-            else if (out.chaos != ChaosClass::None)
-                tel.flight->trigger(ev.t, "chaos-strike", req.id,
-                                    req.attempt);
-            else if (out.errc == Errc::FaultDetected
-                     || out.wrongAnswer || out.unstructured)
-                tel.flight->trigger(ev.t, "fault", req.id,
-                                    req.attempt);
+            RequestTracer::BatchSpan bs;
+            bs.startNs = db.dispatchNs;
+            bs.endNs = ev.t;
+            bs.id = db.id;
+            bs.members =
+                static_cast<uint64_t>(db.members.size());
+            bs.closeReason = db.closeReason;
+            bs.op = opKindName(db.key.op);
+            bs.curve = curveIdName(db.key.curve);
+            bs.arch = microArchName(db.key.arch);
+            bs.tier = tierName;
+            bs.worker = db.worker;
+            tel.tracer->onBatch(bs);
         }
 
-        resolve(req, ev.t, out.errc, tierName);
+        // Per-member attribution, in batch member order.  The pass's
+        // device events are charged once (they are what the shared
+        // setup amortizes); energy and latency stay per member.
+        bool eventsCharged = false;
+        uint64_t tileNs = db.dispatchNs;
+        for (const DispatchedBatch::Member &m : db.members) {
+            const Request &req = m.req;
+            ExecOutcome out;
+            if (m.execIdx >= 0) {
+                out = res.outcomes[static_cast<size_t>(m.execIdx)];
+                if (res.anchorMismatch) {
+                    // The shared co-sim anchor disagreed with the
+                    // native bignum: taint every request it vouched
+                    // for rather than let one slip through.
+                    out.wrongAnswer = true;
+                    if (out.errc == Errc::Ok)
+                        out.errc = Errc::FaultDetected;
+                }
+            } else {
+                out.errc = Errc::DeadlineExceeded;
+            }
+
+            // Chaos bookkeeping.
+            if (out.chaos != ChaosClass::None) {
+                ++counters.chaosStrikes;
+                ++counters.chaosByKind[out.chaosKind];
+                switch (out.chaos) {
+                  case ChaosClass::Detected:
+                    ++counters.chaosDetected;
+                    break;
+                  case ChaosClass::Masked:
+                    ++counters.chaosMasked;
+                    break;
+                  case ChaosClass::SilentCaught:
+                    ++counters.chaosSilentCaught;
+                    break;
+                  case ChaosClass::None:
+                    break;
+                }
+            } else if (out.wrongAnswer) {
+                ++counters.wrongAnswers; // chaos-free mismatch: a bug
+            }
+            if (out.unstructured)
+                ++counters.unstructuredExceptions;
+
+            // Energy attribution, charged in completion order.  The
+            // charged amount is computed once and shared with the
+            // tracer so its reconciliation sums are bit-identical to
+            // the report's.
+            int op = static_cast<int>(req.op);
+            bool cancelled = m.cancelled;
+            double chargedUj;
+            RequestTracer::EnergyClass energyClass;
+            if (cancelled) {
+                // Cancelled at a safe point: pro-rata charge.
+                chargedUj = db.cost.uj
+                    * (static_cast<double>(m.chargedNs)
+                       / static_cast<double>(db.cost.serviceNs));
+                cancelledUj += chargedUj;
+                energyClass = RequestTracer::EnergyClass::Cancelled;
+            } else if (db.cost.analytic) {
+                chargedUj = db.cost.uj
+                    * (static_cast<double>(m.shareNs)
+                       / static_cast<double>(db.cost.serviceNs));
+                analyticUj += chargedUj;
+                ++opServed[op];
+                energyClass = RequestTracer::EnergyClass::Analytic;
+            } else {
+                chargedUj = db.cost.uj
+                    * (static_cast<double>(m.shareNs)
+                       / static_cast<double>(db.cost.serviceNs));
+                if (!eventsCharged) {
+                    opEvents[op] += db.cost.events;
+                    eventsCharged = true;
+                }
+                opUj[op] += chargedUj;
+                ++opServed[op];
+                energyClass = RequestTracer::EnergyClass::Op;
+            }
+            busyNsTotal += m.chargedNs;
+
+            if (tel.tracer) {
+                if (out.chaos != ChaosClass::None)
+                    tel.tracer->onChaos(ev.t, req.id, req.attempt,
+                                        out.chaosKind,
+                                        chaosClassName(out.chaos));
+                RequestTracer::ServiceSpan span;
+                span.startNs = tileNs;
+                span.chargedNs = m.chargedNs;
+                span.serviceNs = db.cost.serviceNs;
+                span.id = req.id;
+                span.attempt = req.attempt;
+                span.worker = db.worker;
+                span.op = opKindName(req.op);
+                span.tier = tierName;
+                span.curve = curveIdName(req.curve);
+                span.arch = microArchName(req.arch);
+                span.errc = errcName(out.errc);
+                span.uj = chargedUj;
+                span.energyClass = energyClass;
+                span.opIndex = op;
+                span.cancelled = cancelled;
+                tel.tracer->onService(span);
+            }
+            tileNs += m.shareNs;
+            if (tel.timeline)
+                tel.timeline->onEnergy(ev.t, chargedUj);
+            if (tel.flight) {
+                FlightRecorder::Record rec;
+                rec.id = req.id;
+                rec.attempt = req.attempt;
+                rec.userId = req.userId;
+                rec.op = opKindName(req.op);
+                rec.curve = curveIdName(req.curve);
+                rec.arch = microArchName(req.arch);
+                rec.tier = tierName;
+                rec.arrivalNs = req.firstArrivalNs;
+                rec.deadlineNs = req.deadlineNs;
+                rec.queueNs = m.queueNs;
+                rec.serviceNs = db.cost.serviceNs;
+                rec.chargedNs = m.chargedNs;
+                rec.completionNs = ev.t;
+                rec.uj = chargedUj;
+                rec.errc = errcName(out.errc);
+                rec.chaosClass = chaosClassName(out.chaos);
+                rec.chaosKind = out.chaosKind;
+                rec.cancelled = cancelled;
+                rec.ok = out.errc == Errc::Ok;
+                tel.flight->record(rec);
+                if (cancelled)
+                    tel.flight->trigger(ev.t, "deadline-breach",
+                                        req.id, req.attempt);
+                else if (out.chaos != ChaosClass::None)
+                    tel.flight->trigger(ev.t, "chaos-strike", req.id,
+                                        req.attempt);
+                else if (out.errc == Errc::FaultDetected
+                         || out.wrongAnswer || out.unstructured)
+                    tel.flight->trigger(ev.t, "fault", req.id,
+                                        req.attempt);
+            }
+
+            resolve(req, ev.t, out.errc, tierName);
+        }
         tryDispatch(ev.t);
     }
 
@@ -856,7 +1131,11 @@ struct Server::Impl
         if (cfg.warmEvalCache)
             warmEvalCache();
         if (!cfg.serial)
-            pool.emplace(cfg.jobs);
+            pool.emplace(cfg.jobs, 0,
+                         cfg.poolMode == PoolMode::Fifo
+                             ? ThreadPool::Mode::Fifo
+                             : ThreadPool::Mode::Steal);
+        former.emplace(cfg.batch);
         workerFreeNs.assign(
             cfg.virtualWorkers ? cfg.virtualWorkers : 1, 0);
         counters.retriesByAttempt.assign(
@@ -866,10 +1145,17 @@ struct Server::Impl
             Event ev = events.top();
             events.pop();
             virtualEndNs = std::max(virtualEndNs, ev.t);
-            if (ev.kind == Event::Kind::Arrival)
+            switch (ev.kind) {
+              case Event::Kind::Arrival:
                 onArrival(ev);
-            else
+                break;
+              case Event::Kind::BatchLinger:
+                onBatchLinger(ev);
+                break;
+              case Event::Kind::Completion:
                 onCompletion(ev);
+                break;
+            }
         }
         if (pool) {
             pool->wait();
@@ -910,7 +1196,20 @@ struct Server::Impl
         arrivals["burst_factor"] = cfg.arrivals.burstFactor;
         arrivals["burst_ns"] = cfg.arrivals.burstNs;
         arrivals["idle_ns"] = cfg.arrivals.idleNs;
+        arrivals["clients"] = cfg.arrivals.clients;
+        arrivals["think_ns"] = cfg.arrivals.thinkNs;
+        arrivals["diurnal"] = cfg.arrivals.diurnal;
+        arrivals["day_ns"] = cfg.arrivals.dayNs;
+        arrivals["diurnal_amp"] = cfg.arrivals.diurnalAmp;
+        arrivals["diurnal_steps"] = cfg.arrivals.diurnalSteps;
         config["arrivals"] = arrivals;
+        Json batchCfg = Json::object();
+        batchCfg["enabled"] = cfg.batch.enabled;
+        batchCfg["max_size"] = cfg.batch.maxSize;
+        batchCfg["linger_ns"] = cfg.batch.lingerNs;
+        batchCfg["deadline_slack"] = cfg.batch.deadlineSlack;
+        batchCfg["setup_fraction"] = cfg.batch.setupFraction;
+        config["batch"] = batchCfg;
         Json backoff = Json::object();
         backoff["base_ns"] = cfg.backoff.baseNs;
         backoff["cap_ns"] = cfg.backoff.capNs;
@@ -970,6 +1269,26 @@ struct Server::Impl
         degradeOut["analytic"] = counters.tierAnalytic;
         degradeOut["eval_fallbacks"] = counters.evalFallbacks;
         root["degrade"] = degradeOut;
+
+        // Batch formation + execution: closes by trigger, how many
+        // requests rode a shared pass, and the occupancy histogram
+        // (members per dispatched batch).
+        Json batch = Json::object();
+        batch["closed_total"] = counters.batchesClosed;
+        batch["closed_by_size"] = counters.batchClosedBySize;
+        batch["closed_by_linger"] = counters.batchClosedByLinger;
+        batch["closed_by_deadline"] = counters.batchClosedByDeadline;
+        batch["members_total"] = counters.batchMembersTotal;
+        batch["passes_executed"] = counters.batchPassesExecuted;
+        batch["cosim_anchors"] = counters.batchCosimAnchors;
+        Json occupancy = Json::object();
+        occupancy["count"] = batchOccupancy.count();
+        occupancy["p50"] = batchOccupancy.percentilePermille(500);
+        occupancy["p99"] = batchOccupancy.percentilePermille(990);
+        occupancy["max"] = batchOccupancy.max();
+        occupancy["mean"] = batchOccupancy.mean();
+        batch["occupancy"] = occupancy;
+        root["batch"] = batch;
 
         Json chaos = Json::object();
         chaos["strikes"] = counters.chaosStrikes;
@@ -1081,6 +1400,14 @@ struct Server::Impl
              (unsigned long long)counters.tierFullSim,
              (unsigned long long)counters.tierMemoized,
              (unsigned long long)counters.tierAnalytic);
+        line("  batch: %llu closed (%llu size, %llu linger, "
+             "%llu deadline), %.2f mean occupancy, %llu anchors",
+             (unsigned long long)counters.batchesClosed,
+             (unsigned long long)counters.batchClosedBySize,
+             (unsigned long long)counters.batchClosedByLinger,
+             (unsigned long long)counters.batchClosedByDeadline,
+             batchOccupancy.mean(),
+             (unsigned long long)counters.batchCosimAnchors);
         line("  chaos: %llu strikes (%llu detected, %llu masked, "
              "%llu silent-caught); %llu wrong answers, "
              "%llu unstructured",

@@ -23,12 +23,14 @@
  *    result or a structured Errc -- never a crash, hang, or silent
  *    wrong answer.
  *
- * Determinism architecture: all timing, admission, retry, and
- * degradation decisions are made by a discrete-event coordinator in
- * *virtual time*; real execution of admitted requests (the host-side
- * cryptography, chaos strikes, co-simulations) is a pure function of
- * (seed, request id, attempt) farmed out to a ThreadPool.  Parallel
- * and serial runs therefore produce byte-identical timing-free
+ * Determinism architecture: all timing, admission, retry,
+ * degradation, and *batching* decisions are made by a discrete-event
+ * coordinator in *virtual time*; real execution of admitted requests
+ * (the host-side cryptography, chaos strikes, co-simulations) is a
+ * pure function of (seed, request id, attempt) farmed out to a
+ * ThreadPool -- one pooled task per batch, which may fan member
+ * subtasks onto the work-stealing deques.  Parallel, serial, and
+ * work-stealing runs therefore produce byte-identical timing-free
  * reports: threads change wall-clock, never outcomes.
  */
 
@@ -42,23 +44,24 @@
 
 #include "core/json.hh"
 #include "svc/arrivals.hh"
+#include "svc/batch.hh"
 #include "svc/chaos.hh"
 #include "svc/degrade.hh"
+#include "svc/request.hh"
 #include "svc/retry.hh"
 
 namespace ulecc
 {
 
-/** Request operation. */
-enum class OpKind
+/** Real-executor scheduling policy (par/thread_pool.hh modes). */
+enum class PoolMode
 {
-    Sign,
-    Verify,
-    Ecdh,
+    Steal, ///< work-stealing deques (the default executor)
+    Fifo,  ///< legacy single central queue
 };
 
 /** Stable short name (logs/JSON). */
-const char *opKindName(OpKind op);
+const char *poolModeName(PoolMode mode);
 
 /** Service engine configuration. */
 struct SvcConfig
@@ -73,6 +76,8 @@ struct SvcConfig
     unsigned jobs = 0;
     /** Execute requests inline on the coordinator (--serial). */
     bool serial = false;
+    /** Real-executor scheduling policy (ignored when serial). */
+    PoolMode poolMode = PoolMode::Steal;
 
     /** Admission control: max requests waiting for a worker. */
     size_t queueCap = 64;
@@ -88,6 +93,7 @@ struct SvcConfig
     DegradePolicy degrade;
     ArrivalConfig arrivals;
     ChaosConfig chaos;
+    BatchPolicy batch;
 
     /** Curves traffic is drawn from (uniform mix). */
     std::vector<CurveId> curves{CurveId::P192, CurveId::B163,
@@ -124,6 +130,13 @@ struct SvcCounters
     uint64_t chaosSilentCaught = 0;
     uint64_t wrongAnswers = 0;     ///< oracle mismatches (chaos-free)
     uint64_t unstructuredExceptions = 0; ///< escaped non-Errc throws
+    uint64_t batchesClosed = 0;    ///< batches formed (all reasons)
+    uint64_t batchClosedBySize = 0;
+    uint64_t batchClosedByLinger = 0;
+    uint64_t batchClosedByDeadline = 0;
+    uint64_t batchMembersTotal = 0; ///< members across closed batches
+    uint64_t batchPassesExecuted = 0; ///< passes that reached a worker
+    uint64_t batchCosimAnchors = 0; ///< shared FullSim co-sim anchors
     std::map<std::string, uint64_t> failedByErrc;
     std::map<std::string, uint64_t> chaosByKind;
     std::vector<uint64_t> retriesByAttempt; ///< [i]: finals at attempt i+1

@@ -222,6 +222,35 @@ RequestTracer::onService(const ServiceSpan &span)
     record(std::move(ev));
 }
 
+void
+RequestTracer::onBatch(const BatchSpan &span)
+{
+    ++batchSpans_;
+    if (span.members <= 1)
+        return; // a solo pass is just its service span
+    // An enclosing async-style span on the worker track: the member
+    // service spans tile it.  Not a service span, so the span/busy
+    // reconciliation totals are untouched.
+    Ev ev;
+    ev.ph = 'X';
+    ev.tid = static_cast<uint16_t>(10 + span.worker);
+    ev.ts = span.startNs;
+    ev.dur = span.endNs - span.startNs;
+    ev.name = "batch";
+    ev.cat = "batch";
+    ev.id = span.id;
+    ev.attempt = 0;
+    ev.s1key = "close";
+    ev.s1 = span.closeReason;
+    ev.s2key = "tier";
+    ev.s2 = span.tier;
+    ev.n1key = "members";
+    ev.n1 = span.members;
+    ev.curve = span.curve;
+    ev.arch = span.arch;
+    record(std::move(ev));
+}
+
 double
 RequestTracer::totalUj() const
 {
@@ -343,7 +372,7 @@ bool
 TimelineAggregator::Window::active() const
 {
     return arrivals || admitted || shed || retries || ok || failed
-        || timeouts || uj != 0.0;
+        || timeouts || batches || batchMembers || uj != 0.0;
 }
 
 void
@@ -384,6 +413,11 @@ TimelineAggregator::flush()
         : 0.0;
     rec["timeout_rate"] = finals
         ? double(cur_.timeouts) / double(finals)
+        : 0.0;
+    rec["batches"] = cur_.batches;
+    rec["batch_members"] = cur_.batchMembers;
+    rec["batch_occupancy"] = cur_.batches
+        ? double(cur_.batchMembers) / double(cur_.batches)
         : 0.0;
     rec["uj"] = cur_.uj;
     rec["uj_per_ok"] = cur_.ok ? cur_.uj / double(cur_.ok) : 0.0;
@@ -455,6 +489,14 @@ TimelineAggregator::onRetry(uint64_t t)
 {
     advanceTo(t);
     ++cur_.retries;
+}
+
+void
+TimelineAggregator::onBatchDispatch(uint64_t t, uint64_t members)
+{
+    advanceTo(t);
+    ++cur_.batches;
+    cur_.batchMembers += members;
 }
 
 void

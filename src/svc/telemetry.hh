@@ -125,11 +125,30 @@ class RequestTracer
     };
 
     void onService(const ServiceSpan &span);
+
+    /** One dispatched batch pass (a track-level span enclosing its
+     * members' service spans).  Does not count as a service span. */
+    struct BatchSpan
+    {
+        uint64_t startNs = 0;  ///< dispatch time
+        uint64_t endNs = 0;    ///< worker-released time
+        uint64_t id = 0;       ///< batch formation sequence number
+        uint64_t members = 0;  ///< members dispatched with the pass
+        const char *closeReason = "";
+        const char *op = "";
+        std::string curve;
+        const char *arch = "";
+        const char *tier = "";
+        unsigned worker = 0;
+    };
+
+    void onBatch(const BatchSpan &span);
     /** @} */
 
     /** @name Reconciliation totals (exact even past the event cap) */
     /** @{ */
     uint64_t serviceSpans() const { return spans_; }
+    uint64_t batchSpans() const { return batchSpans_; }
     uint64_t droppedEvents() const { return dropped_; }
     /** Summed charged service time across spans. */
     uint64_t busyNs() const { return busyNs_; }
@@ -179,6 +198,7 @@ class RequestTracer
     Config config_;
     std::vector<Ev> events_;
     uint64_t spans_ = 0;
+    uint64_t batchSpans_ = 0;
     uint64_t dropped_ = 0;
     uint64_t busyNs_ = 0;
     uint16_t maxWorkerTid_ = 0;
@@ -208,6 +228,8 @@ class TimelineAggregator
     void onAdmit(uint64_t t, const char *tier);
     void onShed(uint64_t t);
     void onRetry(uint64_t t);
+    /** One batch of @p members dispatched to a virtual worker. */
+    void onBatchDispatch(uint64_t t, uint64_t members);
     void onEnergy(uint64_t t, double uj);
     /** @p tier may be null (finals that never reached a worker);
      * @p latencyNs is meaningful only when @p ok. */
@@ -245,6 +267,8 @@ class TimelineAggregator
         uint64_t ok = 0;
         uint64_t failed = 0;
         uint64_t timeouts = 0;
+        uint64_t batches = 0;      ///< batch passes dispatched
+        uint64_t batchMembers = 0; ///< requests riding those passes
         double uj = 0;
         std::map<std::string, HdrHistogram> opLatency;
         std::map<std::string, HdrHistogram> tierLatency;

@@ -295,6 +295,168 @@ TEST(ThreadPool, BoundedQueueExertsBackpressure)
     EXPECT_EQ(done.load(), 3);
 }
 
+TEST(ThreadPool, DefaultModeHonoursUleccPool)
+{
+    {
+        EnvVar mode("ULECC_POOL", "fifo");
+        EXPECT_EQ(ThreadPool::defaultMode(), ThreadPool::Mode::Fifo);
+    }
+    {
+        EnvVar mode("ULECC_POOL", "steal");
+        EXPECT_EQ(ThreadPool::defaultMode(), ThreadPool::Mode::Steal);
+    }
+    {
+        EnvVar mode("ULECC_POOL", nullptr);
+        EXPECT_EQ(ThreadPool::defaultMode(), ThreadPool::Mode::Steal);
+    }
+    ThreadPool fifo(2, 0, ThreadPool::Mode::Fifo);
+    EXPECT_EQ(fifo.mode(), ThreadPool::Mode::Fifo);
+    ThreadPool steal(2, 0, ThreadPool::Mode::Steal);
+    EXPECT_EQ(steal.mode(), ThreadPool::Mode::Steal);
+}
+
+TEST(ThreadPool, NestedSubmitsLandOnTheWorkersOwnDeque)
+{
+    // One worker, so nothing can be stolen: every task submitted from
+    // inside a task must come back off the worker's own deque.
+    ThreadPool pool(1, 0, ThreadPool::Mode::Steal);
+    std::atomic<int> done{0};
+    pool.submit([&] {
+        for (int i = 0; i < 25; ++i)
+            pool.submit([&] { done.fetch_add(1); });
+    });
+    pool.wait();
+    EXPECT_EQ(done.load(), 25);
+    EXPECT_EQ(pool.localPops(), 25u);
+    EXPECT_EQ(pool.steals(), 0u);
+    // The external seed task came through the injection queue.
+    EXPECT_EQ(pool.injectionPops(), 1u);
+}
+
+TEST(ThreadPool, IdleWorkersStealNestedBacklog)
+{
+    // One producer task fans out a nested backlog onto its own deque,
+    // then blocks until some other worker has run one of those tasks.
+    // While the producer is parked its deque can only drain by theft,
+    // so at least one steal is guaranteed -- even on a single-CPU host
+    // where the producer would otherwise outrun every idle thief.
+    ThreadPool pool(4, 0, ThreadPool::Mode::Steal);
+    std::atomic<int> done{0};
+    std::promise<void> stolen;
+    std::shared_future<void> first = stolen.get_future().share();
+    std::atomic<bool> signalled{false};
+    pool.submit([&, first] {
+        for (int i = 0; i < 200; ++i) {
+            pool.submit([&] {
+                if (!signalled.exchange(true))
+                    stolen.set_value();
+                done.fetch_add(1);
+            });
+        }
+        first.wait();
+    });
+    pool.wait();
+    EXPECT_EQ(done.load(), 200);
+    EXPECT_GE(pool.steals(), 1u);
+    EXPECT_EQ(pool.steals() + pool.localPops(), 200u);
+}
+
+TEST(ThreadPool, CancelDropsTasksQueuedOnLocalDeques)
+{
+    ThreadPool pool(1, 0, ThreadPool::Mode::Steal);
+    std::promise<void> submitted;
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::atomic<int> ran{0};
+    pool.submit([&, open] {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&] { ran.fetch_add(1); });
+        submitted.set_value();
+        open.wait();
+    });
+    submitted.get_future().wait();
+    EXPECT_EQ(pool.queueDepth(), 10u);
+    // cancelPending must see tasks parked on worker deques, not just
+    // the injection queue.
+    EXPECT_EQ(pool.cancelPending(), 10u);
+    gate.set_value();
+    pool.wait();
+    EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPool, StealModeBoundedQueueExertsBackpressure)
+{
+    ThreadPool pool(1, 2, ThreadPool::Mode::Steal);
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::atomic<int> done{0};
+    pool.submit([open] { open.wait(); });
+    while (pool.queueDepth() != 0)
+        std::this_thread::yield();
+    pool.submit([&] { done.fetch_add(1); });
+    pool.submit([&] { done.fetch_add(1); });
+    EXPECT_EQ(pool.queueDepth(), 2u);
+    EXPECT_FALSE(pool.trySubmit([&] { done.fetch_add(1); }));
+    std::thread producer([&] {
+        pool.submit([&] { done.fetch_add(1); });
+    });
+    gate.set_value();
+    producer.join();
+    pool.wait();
+    EXPECT_EQ(done.load(), 3);
+}
+
+TEST(ThreadPool, StealRaceStressLosesNoTasks)
+{
+    // Hammer every path at once -- external producers racing nested
+    // fan-out racing idle thieves -- and count completions.  Run under
+    // the TSan preset this doubles as a data-race hunt on the deques.
+    for (int round = 0; round < 5; ++round) {
+        ThreadPool pool(4, 0, ThreadPool::Mode::Steal);
+        std::atomic<int> done{0};
+        constexpr int kProducers = 3;
+        constexpr int kRoots = 20;
+        constexpr int kNested = 10;
+        std::vector<std::thread> producers;
+        for (int p = 0; p < kProducers; ++p) {
+            producers.emplace_back([&] {
+                for (int r = 0; r < kRoots; ++r) {
+                    pool.submit([&] {
+                        for (int i = 0; i < kNested; ++i)
+                            pool.submit(
+                                [&] { done.fetch_add(1); });
+                        done.fetch_add(1);
+                    });
+                }
+            });
+        }
+        for (auto &t : producers)
+            t.join();
+        pool.wait();
+        EXPECT_EQ(done.load(), kProducers * kRoots * (kNested + 1));
+        EXPECT_EQ(pool.localPops() + pool.injectionPops()
+                      + pool.steals(),
+                  static_cast<uint64_t>(done.load()));
+    }
+}
+
+TEST(ThreadPool, FifoModeDrainsNestedSubmitsThroughInjection)
+{
+    // Legacy mode: everything funnels through the central queue, so
+    // the deque counters stay zero and nothing is stolen.
+    ThreadPool pool(2, 0, ThreadPool::Mode::Fifo);
+    std::atomic<int> done{0};
+    pool.submit([&] {
+        for (int i = 0; i < 15; ++i)
+            pool.submit([&] { done.fetch_add(1); });
+    });
+    pool.wait();
+    EXPECT_EQ(done.load(), 15);
+    EXPECT_EQ(pool.localPops(), 0u);
+    EXPECT_EQ(pool.steals(), 0u);
+    EXPECT_EQ(pool.injectionPops(), 16u);
+}
+
 TEST(Sweep, ParallelMatchesSerialBitExact)
 {
     // Disable the evaluation memo so the two sweeps genuinely compute

@@ -578,3 +578,424 @@ TEST(SvcTelemetry, SloAlertsAndFlightRecorderCaptureChaosBreach)
                   dump.find("replay")->find("seed")->asInt()),
               cfg.seed);
 }
+
+// ---------------------------------------------------------------------
+// Batch former (src/svc/batch.hh)
+
+namespace
+{
+
+/** A request with the fields the former actually looks at. */
+Request
+batchReq(uint64_t id, uint64_t deadlineNs,
+         CurveId curve = CurveId::P192,
+         MicroArch arch = MicroArch::Baseline,
+         OpKind op = OpKind::Sign)
+{
+    Request r;
+    r.id = id;
+    r.op = op;
+    r.curve = curve;
+    r.arch = arch;
+    r.deadlineNs = deadlineNs;
+    return r;
+}
+
+} // namespace
+
+TEST(SvcBatch, FormerClosesBySizeAndKeepsShapesApart)
+{
+    BatchPolicy p;
+    p.maxSize = 3;
+    p.lingerNs = 1'000'000;
+    BatchFormer f(p);
+
+    // Two shapes interleaved: only same-shape joins coalesce.
+    uint64_t est = 100'000;
+    for (uint64_t i = 0; i < 2; ++i) {
+        auto a = f.join(batchReq(10 + i, UINT64_MAX), ServiceTier::Memoized,
+                        est, i);
+        auto b = f.join(batchReq(20 + i, UINT64_MAX, CurveId::B163),
+                        ServiceTier::Memoized, est, i);
+        EXPECT_FALSE(a.closed);
+        EXPECT_FALSE(b.closed);
+        // The linger timer arms exactly once per fresh batch.
+        EXPECT_EQ(a.lingerArmed, i == 0);
+        EXPECT_EQ(b.lingerArmed, i == 0);
+    }
+    EXPECT_EQ(f.waitingMembers(), 4u);
+    EXPECT_EQ(f.waitingEstSumNs(), 4 * est);
+
+    // Third same-shape member hits maxSize: closed at join, by size.
+    auto jr = f.join(batchReq(12, UINT64_MAX), ServiceTier::Memoized, est, 2);
+    EXPECT_TRUE(jr.closed);
+    EXPECT_TRUE(f.hasReady());
+    EXPECT_EQ(f.closedBySize(), 1u);
+    Batch b = f.takeReady();
+    EXPECT_EQ(b.members.size(), 3u);
+    EXPECT_STREQ(b.closeReason, "size");
+    EXPECT_EQ(b.key.curve, CurveId::P192);
+    // The other shape is still open and waiting.
+    EXPECT_EQ(f.waitingMembers(), 2u);
+    EXPECT_EQ(f.waitingEstSumNs(), 2 * est);
+
+    // A linger timer for an already-closed batch is a no-op; for the
+    // open one it closes it.
+    EXPECT_FALSE(f.onLinger(b.id, 5));
+    EXPECT_FALSE(f.hasReady());
+    // A fresh third shape closes only when its linger timer fires.
+    auto fresh = f.join(batchReq(30, UINT64_MAX, CurveId::P256),
+                        ServiceTier::Memoized, est, 3);
+    EXPECT_FALSE(fresh.closed);
+    EXPECT_TRUE(fresh.lingerArmed);
+    EXPECT_TRUE(f.onLinger(fresh.batchId, fresh.lingerAtNs));
+    EXPECT_EQ(f.closedByLinger(), 1u);
+    Batch lb = f.takeReady();
+    EXPECT_STREQ(lb.closeReason, "linger");
+    EXPECT_EQ(lb.members.size(), 1u);
+    // The B163 pair is still waiting in its open batch.
+    EXPECT_EQ(f.waitingMembers(), 2u);
+    EXPECT_EQ(f.waitingEstSumNs(), 2 * est);
+}
+
+TEST(SvcBatch, FormerDeadlinePressureClosesEarly)
+{
+    BatchPolicy p;
+    p.maxSize = 8;
+    p.lingerNs = 1'000'000'000; // linger would take forever
+    p.deadlineSlack = 1.0;
+    BatchFormer f(p);
+    uint64_t est = 1'000'000;
+    // Deadline far away: stays open.
+    auto a = f.join(batchReq(1, 100'000'000), ServiceTier::Analytic, est, 0);
+    EXPECT_FALSE(a.closed);
+    // A member whose deadline leaves less than one estimated pass of
+    // headroom forces the close (pass for 2 members = 1.75ms here).
+    auto b = f.join(batchReq(2, 1'600'000), ServiceTier::Analytic, est, 0);
+    EXPECT_TRUE(b.closed);
+    EXPECT_EQ(f.closedByDeadline(), 1u);
+    EXPECT_STREQ(f.takeReady().closeReason, "deadline");
+}
+
+TEST(SvcBatch, DegeneratePoliciesCannotStrandRequests)
+{
+    // Disabled batching: every join closes its own size-1 batch.
+    BatchPolicy off;
+    off.enabled = false;
+    off.maxSize = 64;
+    off.lingerNs = 50'000'000;
+    BatchFormer foff(off);
+    auto jr = foff.join(batchReq(1, UINT64_MAX), ServiceTier::FullSim,
+                        1000, 0);
+    EXPECT_TRUE(jr.closed);
+    EXPECT_FALSE(jr.lingerArmed);
+    EXPECT_EQ(foff.takeReady().members.size(), 1u);
+
+    // Zero linger with maxSize > 1: no timer would ever fire, so the
+    // former must clamp to immediate close rather than letting a lone
+    // request sit in an open batch forever.
+    BatchPolicy zl;
+    zl.maxSize = 8;
+    zl.lingerNs = 0;
+    BatchFormer fzl(zl);
+    auto jz = fzl.join(batchReq(2, UINT64_MAX), ServiceTier::FullSim,
+                       1000, 0);
+    EXPECT_TRUE(jz.closed);
+    EXPECT_EQ(fzl.waitingMembers(), 1u); // ready but not yet taken
+    EXPECT_EQ(fzl.takeReady().members.size(), 1u);
+    EXPECT_EQ(fzl.waitingMembers(), 0u);
+}
+
+TEST(SvcBatch, PassTimeAmortizesSetupButNeverBelowHalfSolo)
+{
+    BatchPolicy p;
+    p.setupFraction = 0.25;
+    BatchFormer f(p);
+    uint64_t solo = 1'000'000;
+    EXPECT_EQ(f.passNs(solo, 1), solo); // batch of one == solo, exactly
+    // Per-member share shrinks with batch size but the amortization is
+    // bounded by the setup fraction: share >= (1 - fraction) x solo.
+    for (uint64_t n = 2; n <= 16; n *= 2) {
+        uint64_t pass = f.passNs(solo, n);
+        EXPECT_LT(pass, n * solo) << "n " << n;
+        EXPECT_GE(pass / n, solo / 2) << "n " << n;
+        EXPECT_GE(pass / n, (solo - solo / 4) - 1) << "n " << n;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batching inside the engine (src/svc/service.cc)
+
+TEST(SvcBatch, OutcomesMatchUnbatchedEngineUnderGenerousDeadlines)
+{
+    // With deadlines and queue capacity out of the picture and the
+    // fidelity tier pinned (so formation depth cannot change it),
+    // request outcomes are a pure function of (seed, id, attempt) --
+    // the batched and unbatched engines must agree on every outcome
+    // counter even though their virtual timelines differ.
+    SvcConfig base;
+    base.seed = 515;
+    base.requests = 500;
+    base.users = 32;
+    base.chaos.percent = 20;
+    base.queueCap = 100000;
+    base.deadlineFactor = 1e6;
+    base.deadlineFloorNs = 1ull << 60;
+    base.degrade.memoizedDepth = 0;
+    base.degrade.analyticDepth = 0; // pin: always Analytic
+    base.arrivals.kind = ArrivalKind::Bursty;
+
+    SvcCounters got[2];
+    for (int on = 0; on < 2; ++on) {
+        SvcConfig cfg = base;
+        cfg.batch.enabled = on == 1;
+        cfg.batch.maxSize = 16;
+        cfg.batch.lingerNs = 4'000'000;
+        Server server(cfg);
+        server.run();
+        got[on] = server.counters();
+    }
+    const SvcCounters &a = got[0], &b = got[1];
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.admitted, b.admitted);
+    EXPECT_EQ(a.executed, b.executed);
+    EXPECT_EQ(a.completedOk, b.completedOk);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.retriesScheduled, b.retriesScheduled);
+    EXPECT_EQ(a.retriesExhausted, b.retriesExhausted);
+    EXPECT_EQ(a.chaosStrikes, b.chaosStrikes);
+    EXPECT_EQ(a.chaosDetected, b.chaosDetected);
+    EXPECT_EQ(a.chaosMasked, b.chaosMasked);
+    EXPECT_EQ(a.chaosSilentCaught, b.chaosSilentCaught);
+    EXPECT_EQ(a.failedByErrc, b.failedByErrc);
+    EXPECT_EQ(a.chaosByKind, b.chaosByKind);
+    // Nothing was shed or expired on either side.
+    EXPECT_EQ(a.shedDepth + a.shedDeadlineBudget + a.expiredAtArrival
+                  + a.expiredInQueue + a.cancelledMidService,
+              0u);
+    EXPECT_EQ(b.shedDepth + b.shedDeadlineBudget + b.expiredAtArrival
+                  + b.expiredInQueue + b.cancelledMidService,
+              0u);
+    // And batching actually batched: fewer passes than members.
+    EXPECT_EQ(a.batchMembersTotal, a.admitted);
+    EXPECT_EQ(b.batchMembersTotal, b.admitted);
+    EXPECT_EQ(a.batchPassesExecuted, a.executed); // size-1 batches
+    EXPECT_LT(b.batchPassesExecuted, b.executed); // real coalescing
+}
+
+TEST(SvcBatch, ArtifactsByteIdenticalAcrossPoolModesWithBatchingOn)
+{
+    // The tentpole determinism contract: with batching on and chaos
+    // striking, the report and all four telemetry artifacts are
+    // byte-identical whether requests execute serially, on the legacy
+    // FIFO pool, or on the work-stealing pool.
+    std::vector<std::string> reports, traces, timelines, slos, flights;
+    for (int mode = 0; mode < 3; ++mode) {
+        SvcConfig run = soakConfig(23, 500);
+        run.batch.maxSize = 8;
+        run.batch.lingerNs = 3'000'000;
+        run.serial = mode == 2;
+        run.jobs = mode == 2 ? 0 : 3;
+        run.poolMode = mode == 1 ? PoolMode::Fifo : PoolMode::Steal;
+        Server server(run);
+        RequestTracer tracer;
+        TimelineAggregator timeline;
+        SloEngine slo;
+        FlightRecorder flight;
+        SvcTelemetry tel;
+        tel.tracer = &tracer;
+        tel.timeline = &timeline;
+        tel.slo = &slo;
+        tel.flight = &flight;
+        server.attachTelemetry(tel);
+        server.run();
+        reports.push_back(server.report().dump(2));
+        traces.push_back(tracer.dump());
+        timelines.push_back(timeline.dumpJsonl());
+        slos.push_back(slo.dumpJsonl());
+        flights.push_back(flight.toJson().dump(2));
+    }
+    for (int mode = 1; mode < 3; ++mode) {
+        EXPECT_EQ(reports[0], reports[mode]) << "mode " << mode;
+        EXPECT_EQ(traces[0], traces[mode]) << "mode " << mode;
+        EXPECT_EQ(timelines[0], timelines[mode]) << "mode " << mode;
+        EXPECT_EQ(slos[0], slos[mode]) << "mode " << mode;
+        EXPECT_EQ(flights[0], flights[mode]) << "mode " << mode;
+    }
+}
+
+TEST(SvcBatch, ChaosSoakWithBatchingHoldsEveryInvariant)
+{
+    // The SvcSoak headline invariant, re-run with aggressive batching
+    // (bigger batches, longer linger) layered on top of 25% chaos and
+    // bursty overload -- plus the batch bookkeeping identities.
+    SvcConfig cfg = soakConfig(929, 1200);
+    cfg.batch.maxSize = 16;
+    cfg.batch.lingerNs = 6'000'000;
+    Server server(cfg);
+    RequestTracer tracer;
+    SvcTelemetry tel;
+    tel.tracer = &tracer;
+    server.attachTelemetry(tel);
+    server.run();
+
+    const SvcCounters &c = server.counters();
+    EXPECT_EQ(c.generated, cfg.requests);
+    EXPECT_EQ(c.completedOk + c.failed, c.generated);
+    EXPECT_EQ(c.wrongAnswers, 0u);
+    EXPECT_EQ(c.unstructuredExceptions, 0u);
+    EXPECT_GT(c.chaosStrikes, 0u);
+    uint64_t resolved = c.admitted + c.shedDepth + c.shedDeadlineBudget
+        + c.expiredAtArrival;
+    EXPECT_EQ(resolved, c.arrivals);
+    EXPECT_EQ(c.arrivals, c.generated + c.retriesScheduled);
+
+    // Batch bookkeeping: every admitted request is a member of exactly
+    // one closed batch, close reasons partition the closes, and real
+    // coalescing happened.
+    EXPECT_EQ(c.batchMembersTotal, c.admitted);
+    EXPECT_EQ(c.batchesClosed, c.batchClosedBySize + c.batchClosedByLinger
+                                   + c.batchClosedByDeadline);
+    EXPECT_GT(c.batchesClosed, 0u);
+    EXPECT_LE(c.batchPassesExecuted, c.batchesClosed);
+    EXPECT_LT(c.batchPassesExecuted, c.executed) << "nothing coalesced";
+    // One tracer batch span per executed pass; the per-request span
+    // reconciliation is unchanged by batching.
+    EXPECT_EQ(tracer.batchSpans(), c.batchPassesExecuted);
+    EXPECT_EQ(tracer.serviceSpans(), c.executed + c.cancelledMidService);
+
+    // The report's batch section agrees with the counters.
+    Json rep = server.report();
+    const Json *batch = rep.find("batch");
+    ASSERT_NE(batch, nullptr);
+    EXPECT_EQ(static_cast<uint64_t>(batch->find("closed_total")->asInt()),
+              c.batchesClosed);
+    EXPECT_EQ(static_cast<uint64_t>(batch->find("members_total")->asInt()),
+              c.batchMembersTotal);
+    EXPECT_EQ(static_cast<uint64_t>(
+                  batch->find("passes_executed")->asInt()),
+              c.batchPassesExecuted);
+    const Json *occ = batch->find("occupancy");
+    ASSERT_NE(occ, nullptr);
+    EXPECT_EQ(static_cast<uint64_t>(occ->find("count")->asInt()),
+              c.batchesClosed);
+    EXPECT_GT(occ->find("mean")->asDouble(), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Closed-loop and diurnal arrivals (src/svc/arrivals.hh)
+
+TEST(SvcArrivals, ClosedLoopResolvesEveryRequestWithoutDepthSheds)
+{
+    SvcConfig cfg;
+    cfg.seed = 77;
+    cfg.requests = 400;
+    cfg.users = 32;
+    cfg.chaos.percent = 15;
+    cfg.arrivals.kind = ArrivalKind::ClosedLoop;
+    cfg.arrivals.clients = 6;
+    cfg.arrivals.thinkNs = 2'000'000;
+    Server server(cfg);
+    server.run();
+    const SvcCounters &c = server.counters();
+    EXPECT_EQ(c.generated, cfg.requests);
+    EXPECT_EQ(c.completedOk + c.failed, c.generated);
+    EXPECT_EQ(c.wrongAnswers, 0u);
+    EXPECT_EQ(c.unstructuredExceptions, 0u);
+    // Six clients can never overflow a 64-deep queue: closed-loop
+    // traffic is self-limiting, so depth shedding must be impossible.
+    EXPECT_EQ(c.shedDepth, 0u);
+    EXPECT_EQ(c.arrivals, c.generated + c.retriesScheduled);
+}
+
+TEST(SvcArrivals, ClosedLoopReportIsByteIdenticalAcrossModes)
+{
+    std::string first;
+    for (int mode = 0; mode < 3; ++mode) {
+        SvcConfig run;
+        run.seed = 78;
+        run.requests = 300;
+        run.users = 16;
+        run.chaos.percent = 20;
+        run.arrivals.kind = ArrivalKind::ClosedLoop;
+        run.arrivals.clients = 5;
+        run.arrivals.thinkNs = 1'500'000;
+        run.serial = mode == 2;
+        run.jobs = mode == 1 ? 3 : 0;
+        Server server(run);
+        server.run();
+        std::string doc = server.report().dump(2);
+        if (mode == 0)
+            first = doc;
+        else
+            EXPECT_EQ(doc, first) << "mode " << mode;
+    }
+    EXPECT_FALSE(first.empty());
+}
+
+TEST(SvcArrivals, ThinkTimeDrawIsDeterministicWithSaneMean)
+{
+    uint64_t mean = 4'000'000;
+    EXPECT_EQ(closedLoopThinkNs(9, 41, mean),
+              closedLoopThinkNs(9, 41, mean));
+    EXPECT_NE(closedLoopThinkNs(9, 41, mean),
+              closedLoopThinkNs(9, 42, mean));
+    double sum = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(closedLoopThinkNs(9, i, mean));
+    double avg = sum / n;
+    EXPECT_GT(avg, 0.85 * static_cast<double>(mean));
+    EXPECT_LT(avg, 1.15 * static_cast<double>(mean));
+}
+
+TEST(SvcArrivals, DiurnalDayCurveShapesTheStream)
+{
+    // Two-step day, amplitude 0.8: the first half-day runs at 1.8x the
+    // base rate, the second at 0.2x -- a 9:1 expected density ratio.
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Poisson;
+    cfg.ratePerSec = 2000.0;
+    cfg.diurnal = true;
+    cfg.dayNs = 1'000'000'000;
+    cfg.diurnalAmp = 0.8;
+    cfg.diurnalSteps = 2;
+
+    ArrivalGen gen(cfg, 5);
+    ArrivalGen gen2(cfg, 5);
+    uint64_t prev = 0, firstHalf = 0, secondHalf = 0;
+    for (;;) {
+        uint64_t t = gen.next();
+        EXPECT_EQ(t, gen2.next()); // deterministic in the seed
+        EXPECT_GE(t, prev);        // monotone non-decreasing
+        prev = t;
+        if (t >= cfg.dayNs)
+            break;
+        (t < cfg.dayNs / 2 ? firstHalf : secondHalf)++;
+    }
+    EXPECT_GT(firstHalf, 100u);
+    EXPECT_GT(secondHalf, 10u);
+    EXPECT_GT(firstHalf, 4 * secondHalf)
+        << "peak half-day not denser than trough";
+
+    // And the engine end-to-end stays deterministic with diurnal on.
+    SvcConfig run;
+    run.seed = 31;
+    run.requests = 300;
+    run.arrivals.diurnal = true;
+    run.arrivals.dayNs = 200'000'000;
+    run.arrivals.diurnalAmp = 0.7;
+    std::string first;
+    for (int mode = 0; mode < 2; ++mode) {
+        SvcConfig r = run;
+        r.serial = mode == 1;
+        Server server(r);
+        server.run();
+        std::string doc = server.report().dump(2);
+        if (mode == 0)
+            first = doc;
+        else
+            EXPECT_EQ(doc, first);
+    }
+}

@@ -256,6 +256,20 @@ def timing(name, higher_is_better=True):
 
 timing("svc_requests_per_sec")
 timing("svc_telemetry_overhead", higher_is_better=False)
+timing("svc_batch_on_rps")
+timing("svc_batch_speedup")
+
+# Occupancy is deterministic (a counter ratio, not a timing): a drop
+# means the former quietly stopped coalescing.
+b, f = base.get("svc_batch_occupancy"), fresh.get("svc_batch_occupancy")
+if b is None or f is None:
+    print("FAIL: svc_batch_occupancy missing")
+    fail = True
+elif f + 1e-9 < b:
+    print(f"FAIL: svc_batch_occupancy {f:.3g} below baseline {b:.3g}")
+    fail = True
+else:
+    print(f"ok:   svc_batch_occupancy {f:.3g} (baseline {b:.3g})")
 
 sys.exit(1 if fail else 0)
 EOF
@@ -363,11 +377,16 @@ EOF
     done
 fi
 
-step "telemetry: svc run with all artifacts (serial vs parallel)"
+step "telemetry: svc artifacts (serial vs fifo vs work-stealing)"
+# Batching on (explicitly, with a close policy that actually
+# coalesces): every artifact must still be byte-identical whether
+# requests execute inline, on the legacy FIFO pool, or on the
+# work-stealing deques.
 svc_tel_args=(--seed 11 --requests 400 --chaos 20 --arrival bursty
-              --quiet)
-for mode in par ser; do
+              --batch-max 8 --batch-linger-us 3000 --quiet)
+for mode in par fifo ser; do
     extra=()
+    [[ $mode == fifo ]] && extra=(--pool fifo)
     [[ $mode == ser ]] && extra=(--serial)
     "$repo/build/tools/svc_run" "${svc_tel_args[@]}" "${extra[@]}" \
         --json "$work/svc_$mode.json" \
@@ -376,13 +395,55 @@ for mode in par ser; do
         --slo "$work/svc_$mode.slo" \
         --flight-recorder "$work/svc_$mode.flight"
 done
-for ext in json trace timeline slo flight; do
-    if ! cmp -s "$work/svc_par.$ext" "$work/svc_ser.$ext"; then
-        echo "FAIL: svc $ext artifact differs serial vs parallel" >&2
-        diff "$work/svc_par.$ext" "$work/svc_ser.$ext" >&2 || true
-        exit 1
-    fi
+for other in fifo ser; do
+    for ext in json trace timeline slo flight; do
+        if ! cmp -s "$work/svc_par.$ext" "$work/svc_$other.$ext"; then
+            echo "FAIL: svc $ext artifact differs par vs $other" >&2
+            diff "$work/svc_par.$ext" "$work/svc_$other.$ext" >&2 || true
+            exit 1
+        fi
+    done
 done
+
+step "batching: batch-on vs batch-off outcome cross-check"
+# With deadlines generous enough that nothing sheds or expires,
+# request outcomes are a pure function of (seed, id, attempt): the
+# batched and unbatched engines must agree on every outcome counter
+# even though their virtual timelines differ.
+svc_eq_args=(--seed 515 --requests 400 --chaos 20 --arrival bursty
+             --rate 2000 --queue-cap 100000 --deadline-factor 1000000
+             --deadline-floor-ms 1000000000 --quiet)
+"$repo/build/tools/svc_run" "${svc_eq_args[@]}" --batch-max 16 \
+    --batch-linger-us 4000 --json "$work/svc_batch_on.json"
+"$repo/build/tools/svc_run" "${svc_eq_args[@]}" --no-batch \
+    --json "$work/svc_batch_off.json"
+python3 - "$work/svc_batch_on.json" "$work/svc_batch_off.json" <<'EOF'
+import json, sys
+
+on = json.load(open(sys.argv[1]))
+off = json.load(open(sys.argv[2]))
+fail = False
+for section, keys in [
+    ("totals", ["generated", "arrivals", "admitted", "executed",
+                "completed_ok", "failed", "finals"]),
+    ("retry", ["scheduled", "exhausted"]),
+    ("chaos", ["strikes", "detected", "masked", "silent_caught"]),
+    ("errors", ["wrong_answers", "unstructured_exceptions",
+                "failed_by_errc"]),
+]:
+    for key in keys:
+        a, b = on[section][key], off[section][key]
+        if a != b:
+            print(f"FAIL: {section}.{key} batch-on {a} != batch-off {b}")
+            fail = True
+occ = on["batch"]["occupancy"]["mean"]
+if occ <= 1.0:
+    print(f"FAIL: batch-on occupancy {occ} -- nothing coalesced")
+    fail = True
+if not fail:
+    print(f"ok:   outcomes identical, batch-on occupancy {occ:.2f}")
+sys.exit(1 if fail else 0)
+EOF
 "$json_check" "$schemas/svc_report.schema.json" "$work/svc_par.json"
 "$json_check" "$schemas/svc_trace.schema.json" "$work/svc_par.trace"
 "$json_check" --jsonl "$schemas/svc_timeline.schema.json" \

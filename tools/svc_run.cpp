@@ -4,10 +4,14 @@
  *
  * Usage:
  *   svc_run [--seed N] [--requests N] [--users N] [--workers N]
- *           [--jobs N] [--serial] [--queue-cap N]
- *           [--arrival poisson|bursty] [--rate R] [--chaos PCT]
+ *           [--jobs N] [--serial] [--pool steal|fifo] [--queue-cap N]
+ *           [--arrival poisson|bursty|closed-loop] [--rate R]
+ *           [--clients N] [--think-ms MS] [--diurnal] [--day-ms MS]
+ *           [--diurnal-amp A] [--diurnal-steps N] [--chaos PCT]
  *           [--deadline-factor F] [--deadline-floor-ms MS]
- *           [--retries N] [--no-warm] [--json PATH] [--quiet]
+ *           [--retries N] [--no-batch] [--batch-max N]
+ *           [--batch-linger-us US] [--batch-slack S]
+ *           [--batch-setup F] [--no-warm] [--json PATH] [--quiet]
  *           [--trace-requests PATH] [--timeline PATH]
  *           [--window-ms MS] [--slo PATH] [--flight-recorder PATH]
  *
@@ -56,10 +60,15 @@ usage()
         stderr,
         "usage: svc_run [--seed N] [--requests N] [--users N]\n"
         "               [--workers N] [--jobs N] [--serial]\n"
-        "               [--queue-cap N] [--arrival poisson|bursty]\n"
-        "               [--rate R] [--chaos PCT]\n"
+        "               [--pool steal|fifo] [--queue-cap N]\n"
+        "               [--arrival poisson|bursty|closed-loop]\n"
+        "               [--rate R] [--clients N] [--think-ms MS]\n"
+        "               [--diurnal] [--day-ms MS] [--diurnal-amp A]\n"
+        "               [--diurnal-steps N] [--chaos PCT]\n"
         "               [--deadline-factor F] [--deadline-floor-ms MS]\n"
-        "               [--retries N] [--no-warm] [--json PATH]\n"
+        "               [--retries N] [--no-batch] [--batch-max N]\n"
+        "               [--batch-linger-us US] [--batch-slack S]\n"
+        "               [--batch-setup F] [--no-warm] [--json PATH]\n"
         "               [--quiet] [--trace-requests PATH]\n"
         "               [--timeline PATH] [--window-ms MS]\n"
         "               [--slo PATH] [--flight-recorder PATH]\n");
@@ -96,6 +105,16 @@ main(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 0));
         } else if (!std::strcmp(argv[i], "--serial")) {
             cfg.serial = true;
+        } else if (!std::strcmp(argv[i], "--pool") && i + 1 < argc) {
+            const char *mode = argv[++i];
+            if (!std::strcmp(mode, "steal")) {
+                cfg.poolMode = PoolMode::Steal;
+            } else if (!std::strcmp(mode, "fifo")) {
+                cfg.poolMode = PoolMode::Fifo;
+            } else {
+                usage();
+                return 2;
+            }
         } else if (!std::strcmp(argv[i], "--queue-cap") && i + 1 < argc) {
             cfg.queueCap = std::strtoull(argv[++i], nullptr, 0);
         } else if (!std::strcmp(argv[i], "--arrival") && i + 1 < argc) {
@@ -104,12 +123,47 @@ main(int argc, char **argv)
                 cfg.arrivals.kind = ArrivalKind::Poisson;
             } else if (!std::strcmp(kind, "bursty")) {
                 cfg.arrivals.kind = ArrivalKind::Bursty;
+            } else if (!std::strcmp(kind, "closed-loop")) {
+                cfg.arrivals.kind = ArrivalKind::ClosedLoop;
             } else {
                 usage();
                 return 2;
             }
         } else if (!std::strcmp(argv[i], "--rate") && i + 1 < argc) {
             cfg.arrivals.ratePerSec = std::strtod(argv[++i], nullptr);
+        } else if (!std::strcmp(argv[i], "--clients") && i + 1 < argc) {
+            cfg.arrivals.clients = static_cast<uint32_t>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (!std::strcmp(argv[i], "--think-ms") && i + 1 < argc) {
+            cfg.arrivals.thinkNs = static_cast<uint64_t>(
+                std::strtod(argv[++i], nullptr) * 1e6);
+        } else if (!std::strcmp(argv[i], "--diurnal")) {
+            cfg.arrivals.diurnal = true;
+        } else if (!std::strcmp(argv[i], "--day-ms") && i + 1 < argc) {
+            cfg.arrivals.dayNs = static_cast<uint64_t>(
+                std::strtod(argv[++i], nullptr) * 1e6);
+        } else if (!std::strcmp(argv[i], "--diurnal-amp")
+                   && i + 1 < argc) {
+            cfg.arrivals.diurnalAmp = std::strtod(argv[++i], nullptr);
+        } else if (!std::strcmp(argv[i], "--diurnal-steps")
+                   && i + 1 < argc) {
+            cfg.arrivals.diurnalSteps = static_cast<uint32_t>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (!std::strcmp(argv[i], "--no-batch")) {
+            cfg.batch.enabled = false;
+        } else if (!std::strcmp(argv[i], "--batch-max") && i + 1 < argc) {
+            cfg.batch.maxSize = static_cast<uint32_t>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (!std::strcmp(argv[i], "--batch-linger-us")
+                   && i + 1 < argc) {
+            cfg.batch.lingerNs = static_cast<uint64_t>(
+                std::strtod(argv[++i], nullptr) * 1e3);
+        } else if (!std::strcmp(argv[i], "--batch-slack")
+                   && i + 1 < argc) {
+            cfg.batch.deadlineSlack = std::strtod(argv[++i], nullptr);
+        } else if (!std::strcmp(argv[i], "--batch-setup")
+                   && i + 1 < argc) {
+            cfg.batch.setupFraction = std::strtod(argv[++i], nullptr);
         } else if (!std::strcmp(argv[i], "--chaos") && i + 1 < argc) {
             cfg.chaos.percent = static_cast<uint32_t>(
                 std::strtoul(argv[++i], nullptr, 0));
